@@ -1,0 +1,74 @@
+"""Benchmarks: ablation studies (DESIGN.md experiments A, B and C).
+
+These are not paper figures; they quantify the design choices the paper
+argues for (hybrid RAM+SSD nodes, batching, scaling/replication as future
+work), giving the reproduction its own paper-vs-design evidence.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+
+from repro.analysis.experiments import (
+    run_batch_tradeoff,
+    run_scaling_ablation,
+    run_tier_ablation,
+)
+
+
+def test_bench_ablation_tiers(benchmark, results_dir, scale):
+    """Ablation A: hybrid node vs disk-index / DDFS / ChunkStash / RAM-only."""
+    result = benchmark.pedantic(
+        run_tier_ablation,
+        kwargs=dict(scale=0.002 * scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "ablation_tiers", result.render())
+
+    disk = result.row("disk-index").mean_latency
+    ddfs = result.row("ddfs").mean_latency
+    chunkstash = result.row("chunkstash").mean_latency
+    hybrid = result.row("shhc-hybrid").mean_latency
+    # The hybrid layout must beat the disk-bound designs by a wide margin ...
+    assert hybrid * 10 < disk
+    assert hybrid < ddfs
+    # ... and be competitive with the flash-optimised centralized design.
+    assert hybrid < chunkstash * 2
+
+
+def test_bench_ablation_batch_tradeoff(benchmark, results_dir, scale):
+    """Ablation B: batch size vs throughput and per-request latency."""
+    result = benchmark.pedantic(
+        run_batch_tradeoff,
+        kwargs=dict(batch_sizes=(1, 8, 32, 128, 512, 2048), scale=0.0003 * scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "ablation_batch", result.render())
+
+    throughputs = [point.throughput for point in result.points]
+    latencies = [point.mean_request_latency for point in result.points]
+    # Throughput rises monotonically (within noise) with batch size ...
+    assert throughputs[-1] > throughputs[0] * 10
+    # ... but each batched request waits longer: the paper's stated trade-off.
+    assert latencies[-1] > latencies[0]
+
+
+def test_bench_ablation_scaling(benchmark, results_dir, scale):
+    """Ablation C: node join data movement and replication overhead."""
+    result = benchmark.pedantic(
+        run_scaling_ablation,
+        kwargs=dict(scale=0.01 * scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "ablation_scaling", result.render())
+
+    # Consistent hashing should move close to 1/(N+1) of the entries, far
+    # fewer than the range partitioner's full re-shard.
+    assert result.moved_fraction_consistent < result.moved_fraction_range
+    assert result.moved_fraction_consistent < 0.45
+    # Replication factor 2 doubles stored entries but not lookup cost.
+    assert 1.9 < result.replication_entry_overhead < 2.1
+    assert result.replication_latency_overhead < 1.5

@@ -1,0 +1,42 @@
+"""Benchmark: paper Figure 1 -- lookup execution time vs offered rate and cluster size.
+
+Regenerates the motivation experiment: open-loop fingerprint queries at
+20k-100k requests/second against clusters of 1-16 hybrid hash nodes,
+reporting the time to complete a fixed number of requests.  Expected shape
+(checked by assertions): execution time decreases with cluster size, and a
+single node saturates at the higher offered rates while large clusters stay
+injection-limited.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+
+from repro.analysis.experiments import run_figure1
+
+
+def test_bench_figure1(benchmark, results_dir, scale):
+    requests = max(1_000, int(6_000 * scale))
+    node_counts = (1, 2, 4, 8, 16)
+    rates = (20_000, 40_000, 60_000, 80_000, 100_000)
+
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs=dict(node_counts=node_counts, rates=rates, requests=requests),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "figure1", result.render())
+
+    # Shape 1: at every offered rate, more nodes never means more time.
+    grouped = result.series()
+    for rate_index in range(len(rates)):
+        times = [grouped[nodes][rate_index].execution_time for nodes in node_counts]
+        assert all(earlier >= later * 0.95 for earlier, later in zip(times, times[1:]))
+
+    # Shape 2: a single node saturates at 100k req/s ...
+    single_saturated = grouped[1][-1]
+    assert single_saturated.achieved_rate < 100_000 * 0.7
+    # ... while 16 nodes remain injection-limited (finish near requests/rate).
+    big_cluster = grouped[16][-1]
+    assert big_cluster.execution_time <= (requests / 100_000) * 1.5

@@ -1,0 +1,42 @@
+"""Benchmark: paper Figure 5 -- cluster throughput vs servers and batch size.
+
+Replays the mixed Table-I workloads from two clients against 1-4 hybrid hash
+nodes with batch sizes 1/128/2048.  Expected shape (checked by assertions):
+batched configurations are roughly an order of magnitude faster than
+unbatched, throughput grows with cluster size for batched requests, and the
+128 and 2048 batch sizes end up within the same ballpark.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+
+from repro.analysis.experiments import run_figure5
+
+
+def test_bench_figure5(benchmark, results_dir, scale):
+    workload_scale = 0.0005 * scale
+    node_counts = (1, 2, 3, 4)
+    batch_sizes = (1, 128, 2048)
+
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs=dict(node_counts=node_counts, batch_sizes=batch_sizes, scale=workload_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "figure5", result.render())
+
+    # Shape 1: batching buys about an order of magnitude at every cluster size.
+    for nodes in node_counts:
+        assert result.throughput(nodes, 128) > result.throughput(nodes, 1) * 5
+        assert result.throughput(nodes, 2048) > result.throughput(nodes, 1) * 5
+
+    # Shape 2: batched throughput grows with the number of servers.
+    assert result.throughput(4, 128) > result.throughput(1, 128) * 1.8
+    assert result.throughput(4, 2048) > result.throughput(1, 2048) * 1.8
+
+    # Shape 3: 128 and 2048 behave similarly (within ~2x of each other).
+    for nodes in (3, 4):
+        ratio = result.throughput(nodes, 2048) / result.throughput(nodes, 128)
+        assert 0.5 < ratio < 2.0

@@ -1,0 +1,46 @@
+"""Benchmark: paper Figure 6 -- hash value storage distribution (load balance).
+
+Stores the mixed Table-I workloads on a 4-node cluster and reports the share
+of hash entries held by each node.  Expected shape: each node holds ~25 % of
+the entries (the paper reports "roughly 25 %").
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+
+from repro.analysis.experiments import run_figure6
+
+
+def test_bench_figure6(benchmark, results_dir, scale):
+    workload_scale = 0.01 * scale
+
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs=dict(num_nodes=4, scale=workload_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "figure6", result.render())
+
+    fractions = result.fractions()
+    assert len(fractions) == 4
+    for share in fractions.values():
+        assert abs(share - 0.25) < 0.03
+    assert result.storage_report.coefficient_of_variation < 0.05
+    # Access load (lookups served) is balanced as well (paper §IV.C).
+    assert result.lookup_report.max_over_mean < 1.15
+
+
+def test_bench_figure6_scales_to_more_nodes(benchmark, results_dir, scale):
+    """Extension: the same balance holds for an 8-node cluster."""
+    workload_scale = 0.005 * scale
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs=dict(num_nodes=8, scale=workload_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(results_dir, "figure6_8nodes", result.render())
+    for share in result.fractions().values():
+        assert abs(share - 0.125) < 0.03

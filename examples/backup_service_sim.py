@@ -1,0 +1,91 @@
+"""Simulated datacenter deployment: the paper's Figure 2 architecture end to end.
+
+Deploys clients, an HAProxy-style load balancer, web front-ends and an SHHC
+cluster on the discrete-event simulator, replays the paper's mixed Table-I
+workloads from two client machines, and prints throughput, latency and load
+balance -- essentially a single cell of Figure 5 with full detail.
+
+Run with::
+
+    python examples/backup_service_sim.py [num_hash_nodes] [batch_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ClusterConfig, HashNodeConfig, build_simulated_service
+from repro.frontend import SimulatedClient
+from repro.simulation import Simulator
+from repro.workloads import table_i_mix
+
+
+def main(num_nodes: int = 4, batch_size: int = 128) -> None:
+    scale = 0.001               # fraction of the full 42M-fingerprint mix
+    num_clients = 2             # the paper uses two client machines
+
+    print(f"simulating: {num_nodes} hash nodes, batch size {batch_size}, "
+          f"{num_clients} clients, workload scale {scale}\n")
+
+    sim = Simulator()
+    deployment = build_simulated_service(
+        sim,
+        ClusterConfig(
+            num_nodes=num_nodes,
+            node=HashNodeConfig(ram_cache_entries=200_000, bloom_expected_items=1_000_000),
+        ),
+        num_clients=num_clients,
+        num_web_servers=3,
+    )
+
+    shares = table_i_mix(seed=0).split_among_clients(num_clients, scale=scale)
+    clients = []
+    for index, share in enumerate(shares):
+        client = SimulatedClient(
+            client_id=f"client-{index}",
+            rpc=deployment.network.rpc,
+            load_balancer=deployment.load_balancer,
+            fingerprints=share,
+            batch_size=batch_size,
+            sim=sim,
+        )
+        clients.append(client)
+        client.start()
+
+    sim.run()
+
+    total = sum(client.stats.fingerprints_sent for client in clients)
+    elapsed = max(client.stats.finished_at for client in clients)
+    duplicates = sum(client.stats.duplicates_found for client in clients)
+    metrics = deployment.cluster.metrics()
+
+    print("results (simulated time)")
+    print(f"  fingerprints processed : {total:,}")
+    print(f"  completion time        : {elapsed * 1e3:.1f} ms")
+    print(f"  cluster throughput     : {total / elapsed:,.0f} chunks/s")
+    print(f"  duplicates found       : {duplicates:,} ({duplicates / total:.0%})")
+    for client in clients:
+        latency = client.stats.request_latency
+        print(f"  {client.client_id}: mean request latency "
+              f"{latency.mean * 1e3:.2f} ms, p99 {latency.percentile(0.99) * 1e3:.2f} ms")
+
+    print("\nhash cluster")
+    print(f"  answered from RAM      : {metrics.ram_hit_ratio():.0%} of lookups")
+    breakdown = metrics.tier_breakdown()
+    print(f"  tier breakdown         : ram={breakdown['ram']:,} ssd={breakdown['ssd']:,} "
+          f"new={breakdown['new']:,}")
+    print("  storage distribution   :")
+    for node, share in sorted(deployment.cluster.storage_distribution().fractions().items()):
+        print(f"    {node}: {share:.1%}")
+
+    print("\nweb front-end")
+    for name, count in sorted(deployment.load_balancer.assignments().items()):
+        print(f"  {name}: {count} requests")
+
+    print(f"\nsimulator: {sim.events_processed:,} events executed")
+
+
+if __name__ == "__main__":
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+    main(nodes, batch)

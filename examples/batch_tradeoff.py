@@ -1,0 +1,44 @@
+"""Batch size trade-off study (the open question in the paper's §V).
+
+Sweeps the query batch size on the simulated deployment and prints the
+throughput / latency trade-off curve: batching multiplies throughput by
+amortising per-message costs, but each chunk's verdict waits for its whole
+batch, so per-request latency grows.  The "knee" of the curve is the batch
+size the paper suggests looking for.
+
+Run with::
+
+    python examples/batch_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_batch_tradeoff
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    batch_sizes = (1, 4, 16, 64, 256, 1024, 2048)
+    print(f"sweeping batch sizes {batch_sizes} on a 4-node cluster...\n")
+    result = run_batch_tradeoff(batch_sizes=batch_sizes, num_nodes=4, scale=0.0005)
+    print(result.render())
+
+    # Identify the knee: the smallest batch reaching 80% of peak throughput.
+    peak = max(point.throughput for point in result.points)
+    knee = next(point for point in result.points if point.throughput >= 0.8 * peak)
+    print(
+        f"\nknee of the curve: batch size {knee.batch_size} reaches "
+        f"{knee.throughput:,.0f} chunk/s ({knee.throughput / peak:.0%} of peak) at "
+        f"{knee.mean_request_latency * 1e3:.2f} ms per request"
+    )
+
+    rows = [
+        [point.batch_size, round(point.throughput / result.points[0].throughput, 1)]
+        for point in result.points
+    ]
+    print()
+    print(format_table(["batch", "speedup vs batch=1"], rows))
+
+
+if __name__ == "__main__":
+    main()

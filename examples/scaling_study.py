@@ -1,0 +1,83 @@
+"""Elastic scaling and fault tolerance study (the paper's future-work features).
+
+Loads a 4-node cluster with a Home-Directories-profile trace, then:
+
+1. adds a fifth node and reports how much data migrated and how balanced the
+   cluster is afterwards (range partitioning vs consistent hashing),
+2. fails a node in a replicated cluster and shows that no fingerprint is lost
+   and the replication factor is restored.
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterConfig, HashNodeConfig, SHHCCluster, TraceGenerator
+from repro.core import MembershipManager, ReplicationController
+from repro.workloads import HOME_DIR
+
+
+def build_cluster(virtual_nodes: int, replication: int = 1) -> SHHCCluster:
+    return SHHCCluster(
+        ClusterConfig(
+            num_nodes=4,
+            node=HashNodeConfig(ram_cache_entries=100_000, bloom_expected_items=500_000),
+            virtual_nodes=virtual_nodes,
+            replication_factor=replication,
+        )
+    )
+
+
+def scaling_section(fingerprints) -> None:
+    print("1. elastic scaling: adding a fifth node\n")
+    for label, virtual_nodes in (("range partitioning", 0), ("consistent hashing (128 vnodes)", 128)):
+        cluster = build_cluster(virtual_nodes)
+        cluster.lookup_batch(fingerprints)
+        manager = MembershipManager(cluster)
+        report = manager.add_node("hashnode-4")
+        balance = cluster.storage_distribution()
+        print(f"  {label}:")
+        print(f"    entries moved        : {report.entries_moved:,} "
+              f"({report.moved_fraction:.0%} of {report.entries_before:,})")
+        print(f"    post-join max/mean   : {balance.max_over_mean:.3f}")
+        # Every fingerprint must still be found after the migration.
+        missing = sum(1 for fp in fingerprints if fp not in cluster)
+        print(f"    fingerprints missing : {missing}")
+        print()
+
+
+def fault_tolerance_section(fingerprints) -> None:
+    print("2. fault tolerance: replication factor 2, one node fails\n")
+    cluster = build_cluster(virtual_nodes=0, replication=2)
+    cluster.lookup_batch(fingerprints)
+    controller = ReplicationController(cluster)
+
+    healthy = controller.consistency_report()
+    print(f"  before failure : {healthy.total_fingerprints:,} fingerprints, "
+          f"fully replicated {healthy.fully_replicated:,}")
+
+    created = controller.handle_failure("hashnode-1")
+    after = controller.consistency_report()
+    lost = sum(1 for fp in fingerprints if not cluster.lookup(fp).is_duplicate)
+    print(f"  hashnode-1 fails: {created:,} replacement copies created")
+    print(f"  after repair   : fully replicated {after.fully_replicated:,}, "
+          f"lost {after.lost}, unanswerable lookups {lost}")
+
+    restored = controller.handle_recovery("hashnode-1")
+    print(f"  node rejoins   : {restored:,} copies rebuilt, "
+          f"healthy={controller.consistency_report().is_healthy}")
+
+
+def main() -> None:
+    profile = HOME_DIR.scaled(0.01)
+    print(f"workload: {profile.name}, {profile.fingerprints:,} fingerprints "
+          f"({profile.redundancy:.0%} redundant)\n")
+    fingerprints = list(TraceGenerator(profile, seed=3).generate())
+    scaling_section(fingerprints)
+    fault_tolerance_section(fingerprints)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro -- a reproduction of SHHC, the Scalable Hybrid Hash Cluster.
+
+SHHC (Xu, Hu, Mkandawire, Jiang -- ICDCS Workshops 2011) is a distributed
+fingerprint store and lookup service for in-line deduplicating cloud backup:
+fingerprints are range-partitioned over *hybrid hash nodes* that pair an
+in-RAM LRU cache and bloom filter with an SSD-resident hash table.
+
+The package is organised in layers:
+
+``repro.simulation``
+    Discrete-event simulation kernel (clock, processes, resources, RNG,
+    statistics) used by every timing experiment.
+``repro.storage``
+    Device models (RAM/SSD/HDD), bloom filter, LRU cache, cuckoo hash, the
+    SSD-resident hash store, write-ahead log and the cloud object store.
+``repro.network``
+    Messages, links, switch fabric, RPC layer and HAProxy-style load
+    balancing policies.
+``repro.dedup``
+    Chunking (fixed and content-defined), SHA-1 fingerprints, chunk-index
+    interfaces and the client-side dedup pipeline.
+``repro.core``
+    The paper's contribution: hybrid hash nodes, partitioners, the SHHC
+    cluster, batching, membership/rebalancing and replication.
+``repro.frontend``
+    Backup clients, web front-end servers, upload plans and the one-call
+    :class:`~repro.frontend.gateway.BackupService` facade.
+``repro.baselines``
+    Centralized comparison points (disk index, DDFS-style, ChunkStash-style,
+    single hybrid node).
+``repro.workloads``
+    Table-I workload profiles, synthetic trace generation and arrival
+    processes.
+``repro.analysis``
+    Experiment runners for every table and figure, plus report rendering.
+
+Quickstart
+----------
+>>> from repro import BackupService
+>>> service = BackupService()
+>>> plan = service.backup("alice", b"some data" * 1024)
+>>> plan.total_chunks >= 1
+True
+"""
+
+from .core.cluster import SHHCCluster
+from .core.config import ClusterConfig, HashNodeConfig
+from .core.hash_node import HybridHashNode
+from .dedup.pipeline import DedupPipeline
+from .frontend.gateway import BackupService, build_simulated_service
+from .workloads.profiles import TABLE_I_PROFILES, WorkloadProfile
+from .workloads.traces import TraceGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SHHCCluster",
+    "ClusterConfig",
+    "HashNodeConfig",
+    "HybridHashNode",
+    "DedupPipeline",
+    "BackupService",
+    "build_simulated_service",
+    "TABLE_I_PROFILES",
+    "WorkloadProfile",
+    "TraceGenerator",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Analysis helpers: reporting and experiment runners for every table/figure."""
+
+from .reporting import format_fraction_bar, format_series, format_table
+
+__all__ = ["format_fraction_bar", "format_series", "format_table"]

@@ -1,0 +1,47 @@
+"""Experiment runners, one per paper table/figure plus the ablations.
+
+Every runner returns a result object with a ``render()`` method producing the
+same table/series the paper reports; the benchmark harness under
+``benchmarks/`` is a thin wrapper around these functions.
+"""
+
+from .ablations import (
+    BatchTradeoffPoint,
+    BatchTradeoffResult,
+    ScalingAblationResult,
+    TierAblationResult,
+    TierAblationRow,
+    run_batch_tradeoff,
+    run_scaling_ablation,
+    run_tier_ablation,
+)
+from .figure1 import Figure1Point, Figure1Result, run_figure1
+from .generational import GenerationalResult, GenerationRow, run_generational_backup
+from .figure5 import Figure5Point, Figure5Result, run_figure5
+from .figure6 import Figure6Result, run_figure6
+from .table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "BatchTradeoffPoint",
+    "BatchTradeoffResult",
+    "ScalingAblationResult",
+    "TierAblationResult",
+    "TierAblationRow",
+    "run_batch_tradeoff",
+    "run_scaling_ablation",
+    "run_tier_ablation",
+    "Figure1Point",
+    "Figure1Result",
+    "run_figure1",
+    "GenerationalResult",
+    "GenerationRow",
+    "run_generational_backup",
+    "Figure5Point",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+]

@@ -1,0 +1,187 @@
+"""Figure 1 -- execution time of 100 000 lookups vs offered rate and cluster size.
+
+The paper's motivation experiment (§II.A) injects SHA-1 fingerprint queries
+of 8 KB chunks into hash clusters of 1, 2, 4, 8 and 16 nodes at offered
+rates from 10 000 to 100 000 requests per second and reports the time needed
+to complete a fixed number of requests.  The headline shape: execution time
+is a decreasing function of the number of nodes -- small clusters saturate
+(their completion time is set by their capacity), large clusters finish at
+the injection-limited time ``requests / rate``.
+
+The runner reproduces the experiment on the simulated deployment: an
+open-loop driver sends one-fingerprint requests directly to the owning hash
+node (no web tier, like the paper's motivation simulator) and the result
+records when the last response arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...core.cluster import SHHCCluster
+from ...core.config import ClusterConfig, HashNodeConfig
+from ...core.protocol import BatchLookupRequest
+from ...dedup.fingerprint import Fingerprint, synthetic_fingerprint
+from ...network.topology import ClusterTopology
+from ...simulation.engine import Simulator
+from ...workloads.arrival import OpenLoopArrivals
+from ..reporting import format_series
+
+__all__ = ["Figure1Point", "Figure1Result", "run_figure1"]
+
+#: Offered rates used by the paper's Figure 1 x axis (requests / second).
+DEFAULT_RATES = (20_000, 40_000, 60_000, 80_000, 100_000)
+
+#: Cluster sizes plotted in Figure 1.
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One (cluster size, offered rate) measurement."""
+
+    nodes: int
+    offered_rate: float
+    requests: int
+    execution_time: float
+
+    @property
+    def execution_time_us(self) -> float:
+        """Execution time in microseconds (the paper's y axis unit)."""
+        return self.execution_time * 1e6
+
+    @property
+    def achieved_rate(self) -> float:
+        """Requests completed per second of simulated time."""
+        return self.requests / self.execution_time if self.execution_time > 0 else 0.0
+
+
+@dataclass
+class Figure1Result:
+    """All measurements for the Figure 1 sweep."""
+
+    requests: int
+    points: List[Figure1Point] = field(default_factory=list)
+
+    def series(self) -> Dict[int, List[Figure1Point]]:
+        """Points grouped by cluster size, ordered by offered rate."""
+        grouped: Dict[int, List[Figure1Point]] = {}
+        for point in self.points:
+            grouped.setdefault(point.nodes, []).append(point)
+        for values in grouped.values():
+            values.sort(key=lambda p: p.offered_rate)
+        return grouped
+
+    def execution_times(self, nodes: int) -> List[float]:
+        """Execution times (seconds) for one cluster size, by offered rate."""
+        return [point.execution_time for point in self.series().get(nodes, [])]
+
+    def render(self) -> str:
+        """Text rendering in the paper's format (time in microseconds)."""
+        grouped = self.series()
+        rates = sorted({point.offered_rate for point in self.points})
+        series = {
+            f"{nodes} nodes (us)": [round(p.execution_time_us) for p in grouped[nodes]]
+            for nodes in sorted(grouped)
+        }
+        return format_series(
+            "req/s",
+            [round(rate) for rate in rates],
+            series,
+            title=f"Figure 1: execution time for {self.requests:,} requests",
+        )
+
+
+def _drive_one_configuration(
+    num_nodes: int,
+    rate: float,
+    requests: int,
+    node_config: HashNodeConfig,
+    chunk_size: int,
+    seed: int,
+) -> Figure1Point:
+    """Run one open-loop injection against a cluster of ``num_nodes``."""
+    sim = Simulator()
+    config = ClusterConfig(num_nodes=num_nodes, node=node_config)
+    cluster = SHHCCluster(config, sim=sim)
+    topology = ClusterTopology(
+        num_clients=1,
+        num_web_servers=1,
+        num_hash_nodes=num_nodes,
+        hash_prefix=config.node_name_prefix,
+    )
+    network = topology.build_network(sim)
+    cluster.register_services(network.rpc)
+
+    fingerprints: Sequence[Fingerprint] = [
+        synthetic_fingerprint(seed * 1_000_000_000 + index, chunk_size) for index in range(requests)
+    ]
+    completion = {"done": 0, "last_time": 0.0}
+
+    def _on_reply(_event) -> None:
+        completion["done"] += 1
+        completion["last_time"] = sim.now
+
+    def _send(fingerprint: Fingerprint) -> None:
+        owner = cluster.partitioner.owner(fingerprint)
+        request = BatchLookupRequest(fingerprints=[fingerprint], client_id="driver")
+        call = network.rpc.call(
+            source="client-0",
+            destination=owner,
+            payload=request,
+            payload_bytes=request.payload_bytes,
+        )
+        call.add_callback(_on_reply)
+
+    arrivals = OpenLoopArrivals(rate=rate, count=requests, jitter=0.0, seed=seed)
+    for arrival_time, fingerprint in zip(arrivals.times(), fingerprints):
+        sim.schedule_at(arrival_time, _send, fingerprint)
+
+    sim.run()
+    if completion["done"] != requests:
+        raise RuntimeError(
+            f"figure 1 run lost requests: {completion['done']}/{requests} completed"
+        )
+    return Figure1Point(
+        nodes=num_nodes,
+        offered_rate=rate,
+        requests=requests,
+        execution_time=completion["last_time"],
+    )
+
+
+def run_figure1(
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    requests: int = 20_000,
+    node_config: Optional[HashNodeConfig] = None,
+    chunk_size: int = 8192,
+    seed: int = 1,
+) -> Figure1Result:
+    """Reproduce Figure 1.
+
+    Parameters
+    ----------
+    node_counts / rates:
+        The sweep axes (defaults follow the paper).
+    requests:
+        Number of lookups per run.  The paper uses 100 000; the default here
+        is 20 000 to keep regression runs fast -- execution time scales
+        linearly with this value, so the curves' shape is unchanged.
+    node_config:
+        Hash-node parameters (defaults are the calibrated ones).
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, requests * 2),
+    )
+    result = Figure1Result(requests=requests)
+    for num_nodes in node_counts:
+        for rate in rates:
+            result.points.append(
+                _drive_one_configuration(num_nodes, rate, requests, config, chunk_size, seed)
+            )
+    return result

@@ -1,0 +1,100 @@
+"""Figure 6 -- hash value storage distribution across cluster nodes.
+
+The paper stores the four mixed workloads on a 4-node cluster and reports
+the percentage of hash-table entries held by each node: roughly 25 % each,
+i.e. the partitioning scheme is load balanced.  Because balance is a
+property of the partitioner and the fingerprint distribution (not of
+timing), the runner uses the cluster in immediate mode, which lets it use a
+much larger slice of the workload than the timing experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...core.cluster import SHHCCluster
+from ...core.config import ClusterConfig, HashNodeConfig
+from ...core.metrics import LoadBalanceReport
+from ...workloads.mixer import WorkloadMix, table_i_mix
+from ..reporting import format_fraction_bar, format_table
+
+__all__ = ["Figure6Result", "run_figure6"]
+
+
+@dataclass
+class Figure6Result:
+    """Per-node storage shares plus balance summary statistics."""
+
+    num_nodes: int
+    fingerprints_processed: int
+    entry_counts: Dict[str, int] = field(default_factory=dict)
+    lookup_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def storage_report(self) -> LoadBalanceReport:
+        return LoadBalanceReport(self.entry_counts)
+
+    @property
+    def lookup_report(self) -> LoadBalanceReport:
+        return LoadBalanceReport(self.lookup_counts)
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of stored hash entries per node (the Figure 6 percentages)."""
+        return self.storage_report.fractions()
+
+    def max_deviation_from_even(self) -> float:
+        """Largest deviation of any node's share from the ideal 1/N."""
+        return self.storage_report.max_deviation_from_even()
+
+    def render(self) -> str:
+        bars = format_fraction_bar(
+            self.fractions(),
+            title=f"Figure 6: hash value storage distribution ({self.num_nodes} nodes)",
+        )
+        rows = [
+            [
+                node,
+                self.entry_counts[node],
+                round(self.fractions()[node] * 100.0, 2),
+                self.lookup_counts.get(node, 0),
+            ]
+            for node in sorted(self.entry_counts)
+        ]
+        table = format_table(["node", "entries", "share %", "lookups"], rows)
+        summary = (
+            f"coefficient of variation: {self.storage_report.coefficient_of_variation:.4f}, "
+            f"max deviation from even: {self.max_deviation_from_even() * 100:.2f}%"
+        )
+        return "\n".join([bars, "", table, summary])
+
+
+def run_figure6(
+    num_nodes: int = 4,
+    scale: float = 0.01,
+    mix: Optional[WorkloadMix] = None,
+    node_config: Optional[HashNodeConfig] = None,
+    virtual_nodes: int = 0,
+    seed: int = 0,
+) -> Figure6Result:
+    """Reproduce Figure 6: feed the mixed workload and measure per-node shares."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    workload = mix if mix is not None else table_i_mix(seed=seed)
+    fingerprints: Sequence = workload.interleaved(scale=scale)
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
+    )
+    cluster = SHHCCluster(
+        ClusterConfig(num_nodes=num_nodes, node=config, virtual_nodes=virtual_nodes)
+    )
+    cluster.lookup_batch_replies(list(fingerprints))
+
+    snapshots = {name: node.snapshot() for name, node in cluster.nodes.items()}
+    return Figure6Result(
+        num_nodes=num_nodes,
+        fingerprints_processed=len(fingerprints),
+        entry_counts={name: snap.entries for name, snap in snapshots.items()},
+        lookup_counts={name: snap.lookups for name, snap in snapshots.items()},
+    )

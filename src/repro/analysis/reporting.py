@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results (tables and ASCII series).
+
+Every experiment runner returns a result object that can render itself as the
+same kind of table or series the paper prints, so benchmark output and
+EXPERIMENTS.md can be produced directly from these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_fraction_bar"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(_line(list(headers)))
+    lines.append(_line(["-" * width for width in widths]))
+    lines.extend(_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict,
+    title: str = "",
+) -> str:
+    """Render multiple named series sharing an x axis as one table.
+
+    ``series`` maps a series name to its list of y values (same length as
+    ``x_values``).
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_fraction_bar(fractions: dict, width: int = 40, title: str = "") -> str:
+    """Render a name->fraction mapping as labelled ASCII bars (Figure 6 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not fractions:
+        return "\n".join(lines + ["(empty)"])
+    longest = max(len(str(name)) for name in fractions)
+    for name, fraction in fractions.items():
+        bar = "#" * max(0, round(fraction * width))
+        lines.append(f"{str(name).ljust(longest)}  {fraction * 100:5.1f}%  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Centralized baselines SHHC is compared against."""
+
+from .chunkstash import ChunkStashIndex
+from .ddfs import DDFSIndex
+from .disk_index import DiskIndex
+from .single_node import SingleNodeHashServer
+
+__all__ = ["ChunkStashIndex", "DDFSIndex", "DiskIndex", "SingleNodeHashServer"]

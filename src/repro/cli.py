@@ -1,0 +1,223 @@
+"""Command-line interface for the SHHC reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli experiment figure1 --requests 5000
+    python -m repro.cli experiment figure5 --scale 0.0005
+    python -m repro.cli experiment figure6
+    python -m repro.cli experiment table1
+    python -m repro.cli experiment ablations
+    python -m repro.cli trace --workload mail-server --scale 0.001 --output trace.txt
+    python -m repro.cli backup  --root ./mydata --catalog catalog.json --store ./chunkstore
+    python -m repro.cli restore --catalog catalog.json --store ./chunkstore \
+                                --snapshot snap-1 --target ./restored
+
+The ``experiment`` subcommands run the same code as the benchmark harness and
+print the rendered tables; ``backup``/``restore`` exercise the library as a
+real file-level deduplicating archiver backed by an on-disk chunk store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .analysis.experiments import (
+    run_batch_tradeoff,
+    run_figure1,
+    run_figure5,
+    run_figure6,
+    run_scaling_ablation,
+    run_table1,
+    run_tier_ablation,
+)
+from .core.cluster import SHHCCluster
+from .core.config import ClusterConfig, HashNodeConfig
+from .dedup.archive import DirectoryArchiver
+from .dedup.chunking import ContentDefinedChunker
+from .storage.hashstore import FileHashStore
+from .storage.object_store import CloudObjectStore
+from .workloads.profiles import profile_by_name
+from .workloads.traces import TraceGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- experiments
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "figure1":
+        result = run_figure1(requests=args.requests)
+        print(result.render())
+    elif name == "figure5":
+        result = run_figure5(scale=args.scale)
+        print(result.render())
+    elif name == "figure6":
+        result = run_figure6(scale=args.scale, num_nodes=args.nodes)
+        print(result.render())
+    elif name == "table1":
+        result = run_table1(scale=args.scale)
+        print(result.render())
+    elif name == "ablations":
+        print(run_tier_ablation(scale=args.scale).render())
+        print()
+        print(run_batch_tradeoff(scale=args.scale / 10).render())
+        print()
+        print(run_scaling_ablation(scale=args.scale).render())
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown experiment {name!r}")
+    return 0
+
+
+# --------------------------------------------------------------------------- traces
+def _cmd_trace(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.workload).scaled(args.scale)
+    generator = TraceGenerator(profile, seed=args.seed)
+    destination = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        count = 0
+        for fingerprint in generator.generate():
+            destination.write(fingerprint.hex + "\n")
+            count += 1
+        print(
+            f"generated {count:,} fingerprints for {profile.name} "
+            f"(redundancy target {profile.redundancy:.0%})",
+            file=sys.stderr,
+        )
+    finally:
+        if destination is not sys.stdout:
+            destination.close()
+    return 0
+
+
+# --------------------------------------------------------------------------- backup / restore
+class _PersistentObjectStore(CloudObjectStore):
+    """Object store that keeps chunk payloads in an on-disk FileHashStore."""
+
+    def __init__(self, directory: str) -> None:
+        super().__init__()
+        os.makedirs(directory, exist_ok=True)
+        self._backing = FileHashStore(os.path.join(directory, "chunks.log"))
+        # Preload previously stored chunks so dedup carries across runs.
+        for key, value in self._backing.items():
+            super().put(key, value)
+
+    def put(self, key: bytes, data: bytes) -> bool:
+        is_new = super().put(key, data)
+        if is_new:
+            self._backing.put(key, data)
+        return is_new
+
+    def close(self) -> None:
+        self._backing.close()
+
+
+def _make_archiver(args: argparse.Namespace) -> DirectoryArchiver:
+    cluster = SHHCCluster(
+        ClusterConfig(
+            num_nodes=args.nodes,
+            node=HashNodeConfig(ram_cache_entries=200_000, bloom_expected_items=2_000_000),
+        )
+    )
+    store = _PersistentObjectStore(args.store)
+    return DirectoryArchiver(
+        index=cluster,
+        object_store=store,
+        chunker=ContentDefinedChunker(average_size=args.chunk_size),
+        catalog_path=args.catalog,
+    )
+
+
+def _cmd_backup(args: argparse.Namespace) -> int:
+    archiver = _make_archiver(args)
+    snapshot_id = args.snapshot or f"snap-{len(archiver.snapshots) + 1}"
+    stats = archiver.backup_directory(args.root, snapshot_id)
+    print(f"snapshot {snapshot_id}: {stats.files_scanned} files, "
+          f"{stats.chunks_seen} chunks, {stats.chunks_uploaded} uploaded "
+          f"({stats.dedup_savings:.0%} deduplicated)")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    archiver = _make_archiver(args)
+    if args.snapshot not in archiver.snapshots:
+        print(f"error: unknown snapshot {args.snapshot!r}; "
+              f"available: {archiver.list_snapshots()}", file=sys.stderr)
+        return 1
+    written = archiver.restore_directory(args.snapshot, args.target)
+    print(f"restored {written} files from {args.snapshot} into {args.target}")
+    return 0
+
+
+def _cmd_snapshots(args: argparse.Namespace) -> int:
+    archiver = _make_archiver(args)
+    if not archiver.snapshots:
+        print("no snapshots")
+        return 0
+    for snapshot_id in archiver.list_snapshots():
+        snapshot = archiver.snapshots[snapshot_id]
+        print(f"{snapshot_id}: {snapshot.file_count} files, {snapshot.logical_bytes:,} bytes")
+    return 0
+
+
+# --------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SHHC reproduction: experiments, trace generation and file backup.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name", choices=["figure1", "figure5", "figure6", "table1", "ablations"]
+    )
+    experiment.add_argument("--requests", type=int, default=6_000, help="figure1 request count")
+    experiment.add_argument("--scale", type=float, default=0.002, help="workload scale factor")
+    experiment.add_argument("--nodes", type=int, default=4, help="cluster size (figure6)")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    trace = subparsers.add_parser("trace", help="generate a synthetic fingerprint trace")
+    trace.add_argument("--workload", default="web-server",
+                       choices=["web-server", "home-dir", "mail-server", "time-machine"])
+    trace.add_argument("--scale", type=float, default=0.001)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", default=None, help="file to write hex fingerprints to")
+    trace.set_defaults(handler=_cmd_trace)
+
+    def add_archive_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--catalog", required=True, help="snapshot catalogue JSON path")
+        sub.add_argument("--store", required=True, help="chunk store directory")
+        sub.add_argument("--nodes", type=int, default=4)
+        sub.add_argument("--chunk-size", type=int, default=8192)
+
+    backup = subparsers.add_parser("backup", help="back up a directory tree")
+    backup.add_argument("--root", required=True, help="directory to back up")
+    backup.add_argument("--snapshot", default=None, help="snapshot id (default: auto)")
+    add_archive_arguments(backup)
+    backup.set_defaults(handler=_cmd_backup)
+
+    restore = subparsers.add_parser("restore", help="restore a snapshot")
+    restore.add_argument("--snapshot", required=True)
+    restore.add_argument("--target", required=True, help="directory to restore into")
+    add_archive_arguments(restore)
+    restore.set_defaults(handler=_cmd_restore)
+
+    snapshots = subparsers.add_parser("snapshots", help="list snapshots in a catalogue")
+    add_archive_arguments(snapshots)
+    snapshots.set_defaults(handler=_cmd_snapshots)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

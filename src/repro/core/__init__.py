@@ -1,0 +1,42 @@
+"""SHHC core: the scalable hybrid hash cluster (the paper's contribution)."""
+
+from .batching import BatchAccumulator, reassemble_replies, split_batch_by_owner
+from .cluster import SHHCCluster
+from .config import ClusterConfig, HashNodeConfig
+from .hash_node import HybridHashNode, NodeSnapshot
+from .membership import MembershipManager, MigrationReport
+from .metrics import ClusterMetrics, LoadBalanceReport
+from .partition import ConsistentHashRing, Partitioner, RangePartitioner
+from .protocol import (
+    BatchLookupReply,
+    BatchLookupRequest,
+    LookupReply,
+    LookupRequest,
+    ServedFrom,
+)
+from .replication import ReplicaConsistencyReport, ReplicationController
+
+__all__ = [
+    "BatchAccumulator",
+    "reassemble_replies",
+    "split_batch_by_owner",
+    "SHHCCluster",
+    "ClusterConfig",
+    "HashNodeConfig",
+    "HybridHashNode",
+    "NodeSnapshot",
+    "MembershipManager",
+    "MigrationReport",
+    "ClusterMetrics",
+    "LoadBalanceReport",
+    "ConsistentHashRing",
+    "Partitioner",
+    "RangePartitioner",
+    "BatchLookupReply",
+    "BatchLookupRequest",
+    "LookupReply",
+    "LookupRequest",
+    "ServedFrom",
+    "ReplicaConsistencyReport",
+    "ReplicationController",
+]

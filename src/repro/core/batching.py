@@ -1,0 +1,172 @@
+"""Batching of fingerprint queries.
+
+The web front-end aggregates fingerprints from clients and sends them to the
+hash cluster as batches (paper §III.A, §IV.B: batch sizes 1, 128, 2048).
+Batching amortises the per-message network and CPU overhead and preserves the
+spatial locality of backup streams.  Two helpers implement this:
+
+* :class:`BatchAccumulator` -- collects fingerprints per destination node and
+  emits a :class:`~repro.core.protocol.BatchLookupRequest` when the batch size
+  is reached (or on explicit flush / timeout).
+* :func:`split_batch_by_owner` -- takes an already-formed client batch and
+  splits it into per-node sub-batches while remembering the original order so
+  replies can be reassembled for the client.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dedup.fingerprint import Fingerprint
+from .partition import Partitioner
+from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply
+
+__all__ = ["BatchAccumulator", "split_batch_by_owner", "reassemble_replies"]
+
+
+@dataclass
+class _PendingBatch:
+    fingerprints: List[Fingerprint] = field(default_factory=list)
+    first_arrival: Optional[float] = None
+
+
+class BatchAccumulator:
+    """Per-destination-node accumulation of fingerprints into batches.
+
+    Parameters
+    ----------
+    partitioner:
+        Maps each fingerprint to its owning node.
+    batch_size:
+        Number of fingerprints per emitted batch (1 disables batching).
+    on_batch_ready:
+        Callback ``(node_id, BatchLookupRequest) -> None`` invoked whenever a
+        full batch is available.  When omitted, ready batches are returned by
+        :meth:`add` / :meth:`flush` instead.
+    max_delay:
+        Optional age bound (seconds, against the supplied ``now`` values);
+        :meth:`poll_expired` emits batches older than this even if not full.
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        batch_size: int = 128,
+        on_batch_ready: Optional[Callable[[str, BatchLookupRequest], None]] = None,
+        max_delay: Optional[float] = None,
+        client_id: str = "",
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.partitioner = partitioner
+        self.batch_size = batch_size
+        self.on_batch_ready = on_batch_ready
+        self.max_delay = max_delay
+        self.client_id = client_id
+        self._pending: Dict[str, _PendingBatch] = {}
+        self._batch_ids = itertools.count(1)
+        self.batches_emitted = 0
+        self.fingerprints_added = 0
+
+    # -- ingestion --------------------------------------------------------------------
+    def add(self, fingerprint: Fingerprint, now: float = 0.0) -> List[Tuple[str, BatchLookupRequest]]:
+        """Add one fingerprint; returns any batches that became ready."""
+        node = self.partitioner.owner(fingerprint)
+        pending = self._pending.setdefault(node, _PendingBatch())
+        if not pending.fingerprints:
+            pending.first_arrival = now
+        pending.fingerprints.append(fingerprint)
+        self.fingerprints_added += 1
+        if len(pending.fingerprints) >= self.batch_size:
+            return [self._emit(node)]
+        return []
+
+    def add_many(self, fingerprints: Sequence[Fingerprint], now: float = 0.0) -> List[Tuple[str, BatchLookupRequest]]:
+        """Add several fingerprints; returns every batch that became ready."""
+        ready: List[Tuple[str, BatchLookupRequest]] = []
+        for fingerprint in fingerprints:
+            ready.extend(self.add(fingerprint, now))
+        return ready
+
+    # -- emission ----------------------------------------------------------------------
+    def _emit(self, node: str) -> Tuple[str, BatchLookupRequest]:
+        pending = self._pending.pop(node)
+        request = BatchLookupRequest(
+            fingerprints=list(pending.fingerprints),
+            client_id=self.client_id,
+            batch_id=next(self._batch_ids),
+        )
+        self.batches_emitted += 1
+        if self.on_batch_ready is not None:
+            self.on_batch_ready(node, request)
+        return node, request
+
+    def flush(self) -> List[Tuple[str, BatchLookupRequest]]:
+        """Emit every partially filled batch (end of a backup stream)."""
+        return [self._emit(node) for node in list(self._pending) if self._pending[node].fingerprints]
+
+    def poll_expired(self, now: float) -> List[Tuple[str, BatchLookupRequest]]:
+        """Emit batches whose oldest fingerprint exceeded ``max_delay``."""
+        if self.max_delay is None:
+            return []
+        expired = [
+            node
+            for node, pending in self._pending.items()
+            if pending.first_arrival is not None and now - pending.first_arrival >= self.max_delay
+        ]
+        return [self._emit(node) for node in expired]
+
+    # -- inspection -----------------------------------------------------------------------
+    def pending_count(self, node: Optional[str] = None) -> int:
+        """Fingerprints currently buffered (for ``node`` or in total)."""
+        if node is not None:
+            pending = self._pending.get(node)
+            return len(pending.fingerprints) if pending else 0
+        return sum(len(p.fingerprints) for p in self._pending.values())
+
+
+def split_batch_by_owner(
+    fingerprints: Sequence[Fingerprint],
+    partitioner: Partitioner,
+    client_id: str = "",
+    batch_id: int = 0,
+) -> Dict[str, Tuple[BatchLookupRequest, List[int]]]:
+    """Split a client batch into per-node requests.
+
+    Returns a mapping ``node -> (request, original_positions)`` where
+    ``original_positions[i]`` is the index in ``fingerprints`` of the i-th
+    fingerprint in that node's request, so replies can be reassembled in the
+    client's order with :func:`reassemble_replies`.
+    """
+    groups: Dict[str, List[int]] = {}
+    for position, fingerprint in enumerate(fingerprints):
+        node = partitioner.owner(fingerprint)
+        groups.setdefault(node, []).append(position)
+    result: Dict[str, Tuple[BatchLookupRequest, List[int]]] = {}
+    for node, positions in groups.items():
+        request = BatchLookupRequest(
+            fingerprints=[fingerprints[i] for i in positions],
+            client_id=client_id,
+            batch_id=batch_id,
+        )
+        result[node] = (request, positions)
+    return result
+
+
+def reassemble_replies(
+    total: int,
+    per_node: Sequence[Tuple[BatchLookupReply, Sequence[int]]],
+) -> List[LookupReply]:
+    """Merge per-node replies back into the client's original order."""
+    merged: List[Optional[LookupReply]] = [None] * total
+    for reply, positions in per_node:
+        if len(reply.replies) != len(positions):
+            raise ValueError("reply length does not match recorded positions")
+        for lookup_reply, position in zip(reply.replies, positions):
+            merged[position] = lookup_reply
+    missing = [i for i, entry in enumerate(merged) if entry is None]
+    if missing:
+        raise ValueError(f"missing replies for positions {missing[:5]}")
+    return [entry for entry in merged if entry is not None]

@@ -1,0 +1,219 @@
+"""The SHHC cluster: partitioned hybrid hash nodes behind one lookup service.
+
+:class:`SHHCCluster` owns the partitioner and the hybrid hash nodes and
+offers the combined fingerprint store/lookup service of the paper:
+
+* As a **library** (immediate mode) it implements the
+  :class:`~repro.dedup.index.ChunkIndex` interface, so it drops into the
+  dedup pipeline in place of a centralized index.
+* As a **simulated deployment** it registers one RPC service per node on a
+  :class:`~repro.network.rpc.RpcLayer`; web front-ends then send
+  :class:`~repro.core.protocol.BatchLookupRequest` messages to individual
+  nodes over the simulated fabric.
+
+Replication (``ClusterConfig.replication_factor > 1``) is implemented by
+writing new fingerprints to the owner and its successors on the partition
+map; lookups go to the primary and fail over to replicas when the primary is
+marked down (see :mod:`repro.core.replication`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..dedup.fingerprint import Fingerprint
+from ..dedup.index import ChunkIndex, ChunkLocation, LookupResult
+from ..network.rpc import RpcLayer
+from ..simulation.engine import Simulator
+from .batching import reassemble_replies, split_batch_by_owner
+from .config import ClusterConfig
+from .hash_node import HybridHashNode
+from .metrics import ClusterMetrics, LoadBalanceReport
+from .partition import ConsistentHashRing, Partitioner, RangePartitioner
+from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply, ServedFrom
+
+__all__ = ["SHHCCluster"]
+
+
+class SHHCCluster(ChunkIndex):
+    """A scalable hybrid hash cluster (the paper's contribution)."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        sim: Optional[Simulator] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.sim = sim
+        node_names = self.config.node_names
+        if partitioner is not None:
+            self.partitioner = partitioner
+        elif self.config.virtual_nodes > 0:
+            self.partitioner = ConsistentHashRing(node_names, self.config.virtual_nodes)
+        else:
+            self.partitioner = RangePartitioner(node_names)
+        self.nodes: Dict[str, HybridHashNode] = {
+            name: HybridHashNode(name, self.config.node, sim) for name in node_names
+        }
+        self._down: set = set()
+        self.lookups = 0
+        self.duplicates = 0
+
+    # ------------------------------------------------------------------ membership
+    @property
+    def node_names(self) -> List[str]:
+        return list(self.nodes.keys())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> HybridHashNode:
+        """Look up a node object by name."""
+        return self.nodes[name]
+
+    def mark_down(self, name: str) -> None:
+        """Mark a node as failed; lookups fail over to replicas."""
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        self._down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        """Bring a failed node back into rotation."""
+        self._down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    # ------------------------------------------------------------------ routing
+    def owner_of(self, fingerprint: Fingerprint) -> str:
+        """Primary owner node for a fingerprint."""
+        return self.partitioner.owner(fingerprint)
+
+    def replica_set(self, fingerprint: Fingerprint) -> List[str]:
+        """Owner plus successors, per the configured replication factor."""
+        return self.partitioner.owners(fingerprint, self.config.replication_factor)
+
+    def _serving_nodes(self, fingerprint: Fingerprint) -> List[str]:
+        """Replica set with failed nodes filtered out (primary first)."""
+        candidates = [n for n in self.replica_set(fingerprint) if n not in self._down]
+        if not candidates:
+            raise RuntimeError("no live replica available for fingerprint")
+        return candidates
+
+    # ------------------------------------------------------------------ ChunkIndex API
+    def lookup(self, fingerprint: Fingerprint) -> LookupResult:
+        """Combined lookup/insert through the cluster (immediate mode)."""
+        reply = self.lookup_reply(fingerprint)
+        self.lookups += 1
+        if reply.is_duplicate:
+            self.duplicates += 1
+        return LookupResult(
+            fingerprint=fingerprint,
+            is_duplicate=reply.is_duplicate,
+            location=ChunkLocation(),
+            latency=reply.service_time,
+            served_by=reply.node_id,
+        )
+
+    def lookup_reply(self, fingerprint: Fingerprint) -> LookupReply:
+        """Protocol-level single lookup (exposes tier information)."""
+        nodes = self._serving_nodes(fingerprint)
+        primary_reply = self.nodes[nodes[0]].lookup(fingerprint)
+        # Propagate new fingerprints to the remaining replicas.
+        if not primary_reply.is_duplicate:
+            for replica in nodes[1:]:
+                self.nodes[replica].lookup(fingerprint)
+        return primary_reply
+
+    def lookup_batch(self, fingerprints: Iterable[Fingerprint]) -> List[LookupResult]:
+        """Batch lookup preserving input order (immediate mode)."""
+        fingerprints = list(fingerprints)
+        replies = self.lookup_batch_replies(fingerprints)
+        results: List[LookupResult] = []
+        for reply in replies:
+            self.lookups += 1
+            if reply.is_duplicate:
+                self.duplicates += 1
+            results.append(
+                LookupResult(
+                    fingerprint=reply.fingerprint,
+                    is_duplicate=reply.is_duplicate,
+                    location=ChunkLocation(),
+                    latency=reply.service_time,
+                    served_by=reply.node_id,
+                )
+            )
+        return results
+
+    def lookup_batch_replies(self, fingerprints: Sequence[Fingerprint]) -> List[LookupReply]:
+        """Protocol-level batch lookup: split by owner, query nodes, reassemble."""
+        fingerprints = list(fingerprints)
+        if not fingerprints:
+            return []
+        per_node = split_batch_by_owner(fingerprints, self.partitioner)
+        gathered = []
+        for node_name, (request, positions) in per_node.items():
+            serving = node_name if node_name not in self._down else self._serving_nodes(request.fingerprints[0])[0]
+            node_replies = self.nodes[serving].lookup_batch(request.fingerprints)
+            if self.config.replication_factor > 1:
+                for reply in node_replies:
+                    if not reply.is_duplicate:
+                        for replica in self.replica_set(reply.fingerprint)[1:]:
+                            if replica != serving and replica not in self._down:
+                                self.nodes[replica].lookup(reply.fingerprint)
+            gathered.append((BatchLookupReply(replies=node_replies, node_id=serving), positions))
+        return reassemble_replies(len(fingerprints), gathered)
+
+    def __len__(self) -> int:
+        """Distinct fingerprints stored across all nodes (primaries + replicas)."""
+        return sum(len(node) for node in self.nodes.values())
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        """Read-only membership: checks the replica set without inserting."""
+        return any(fingerprint in self.nodes[name] for name in self.replica_set(fingerprint))
+
+    # ------------------------------------------------------------------ simulated mode
+    def register_services(self, rpc: RpcLayer) -> None:
+        """Expose each hash node as an RPC service on the simulated network."""
+        for name, node in self.nodes.items():
+            rpc.register(name, self._make_handler(node))
+
+    def _make_handler(self, node: HybridHashNode):
+        def _handle(request: BatchLookupRequest):
+            if self.sim is None:
+                replies = node.lookup_batch(list(request.fingerprints))
+                reply = BatchLookupReply(replies=replies, node_id=node.node_id, batch_id=request.batch_id)
+                return reply, reply.payload_bytes
+            completion = node.serve_batch(request)
+            wrapped = self.sim.event(f"{node.node_id}.reply")
+            completion.add_callback(
+                lambda event: wrapped.succeed((event.value, event.value.payload_bytes))
+            )
+            return wrapped
+
+        return _handle
+
+    # ------------------------------------------------------------------ reporting
+    def metrics(self) -> ClusterMetrics:
+        """Aggregated per-node statistics."""
+        return ClusterMetrics.from_nodes(list(self.nodes.values()))
+
+    def storage_distribution(self) -> LoadBalanceReport:
+        """Hash entries stored per node (Figure 6)."""
+        return self.metrics().storage_distribution()
+
+    def duplicate_ratio(self) -> float:
+        """Fraction of cluster lookups that found an existing fingerprint."""
+        return self.duplicates / self.lookups if self.lookups else 0.0
+
+    def mean_lookup_latency(self) -> float:
+        """Mean per-fingerprint service time across nodes (seconds)."""
+        recorders = [node.lookup_latency for node in self.nodes.values() if node.lookup_latency.count]
+        total = sum(r.summary.total for r in recorders)
+        count = sum(r.count for r in recorders)
+        return total / count if count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SHHCCluster nodes={self.num_nodes} entries={len(self)}>"

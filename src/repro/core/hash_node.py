@@ -1,0 +1,295 @@
+"""The hybrid hash node: RAM LRU cache + bloom filter + SSD hash table.
+
+This is the building block of the paper's contribution (§III.B, Figures 3-4).
+Each node owns a contiguous slice of the fingerprint space and answers
+"is this chunk already stored?" queries with the following tiered lookup:
+
+1. probe the RAM LRU cache -- a hit is answered immediately and refreshed;
+2. on a miss, probe the in-RAM bloom filter guarding the SSD table -- a
+   negative means the fingerprint is definitely new, so it is inserted
+   (write-buffered) into the SSD table, added to the bloom filter and cached;
+3. a positive bloom filter sends the lookup to the SSD hash table -- a hit is
+   promoted into the RAM cache and answered as a duplicate, a miss (bloom
+   false positive) is treated like a new fingerprint.
+
+The node tracks where every answer came from (:class:`~repro.core.protocol.ServedFrom`)
+and how much device time the answer cost, which is what the latency/throughput
+experiments consume.
+
+Two execution modes
+-------------------
+* **Immediate mode** (``sim is None``): lookups update the data structures and
+  return analytic service times from the device cost models.  This is the mode
+  library users get when they use the cluster as a real dedup index.
+* **Simulated mode**: :meth:`serve_batch` returns an event that completes after
+  the node's CPU worker pool and SSD device have actually been held for the
+  required time on the simulated clock, so queueing and saturation emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..dedup.fingerprint import Fingerprint
+from ..simulation.engine import Event, Simulator
+from ..simulation.process import run_process
+from ..simulation.resources import Resource
+from ..simulation.stats import Counter, LatencyRecorder
+from ..storage.bloom import BloomFilter
+from ..storage.devices import StorageDevice, make_ram, make_ssd
+from ..storage.hashstore import SSDHashStore
+from ..storage.lru import LRUCache
+from .config import HashNodeConfig
+from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply, ServedFrom
+
+__all__ = ["HybridHashNode", "NodeSnapshot"]
+
+
+@dataclass
+class NodeSnapshot:
+    """Point-in-time statistics of a node, used by reports and Figure 6."""
+
+    node_id: str
+    entries: int
+    ram_cached: int
+    lookups: int
+    ram_hits: int
+    ssd_hits: int
+    new_entries: int
+    destages: int
+    bloom_negative_shortcuts: int
+    bloom_false_positives: int
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def duplicates(self) -> int:
+        return self.ram_hits + self.ssd_hits
+
+    @property
+    def ram_hit_ratio(self) -> float:
+        return self.ram_hits / self.lookups if self.lookups else 0.0
+
+
+class HybridHashNode:
+    """A single RAM+SSD hash node of the SHHC cluster."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: Optional[HashNodeConfig] = None,
+        sim: Optional[Simulator] = None,
+        ram_device: Optional[StorageDevice] = None,
+        ssd_device: Optional[StorageDevice] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config if config is not None else HashNodeConfig()
+        self.sim = sim
+        self.ram_device = ram_device if ram_device is not None else make_ram(sim, f"{node_id}.ram")
+        self.ssd_device = ssd_device if ssd_device is not None else make_ssd(sim, f"{node_id}.ssd")
+        self.cache = LRUCache(self.config.ram_cache_entries, on_evict=self._on_destage)
+        self.bloom = BloomFilter(
+            expected_items=self.config.bloom_expected_items,
+            false_positive_rate=self.config.bloom_false_positive_rate,
+        )
+        self.store = SSDHashStore(
+            num_buckets=self.config.ssd_buckets,
+            page_size=self.config.ssd_page_size,
+            entry_size=self.config.ssd_entry_size,
+            write_buffer_pages=self.config.ssd_write_buffer_pages,
+        )
+        self.counters = Counter()
+        self.lookup_latency = LatencyRecorder(f"{node_id}.lookup_latency")
+        self._cpu: Optional[Resource] = (
+            Resource(sim, capacity=self.config.service_concurrency, name=f"{node_id}.cpu")
+            if sim is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------ state
+    def __len__(self) -> int:
+        """Number of distinct fingerprints stored on this node."""
+        return len(self.store)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        """Read-only membership check (does not insert or touch the cache)."""
+        return fingerprint.digest in self.store
+
+    def _on_destage(self, _key, _value) -> None:
+        # Entries in the LRU are already persisted in the SSD table, so a
+        # destage is simply dropping the RAM copy; we only count it.
+        self.counters.increment("destages")
+
+    # --------------------------------------------------------- immediate mode
+    def lookup(self, fingerprint: Fingerprint) -> LookupReply:
+        """Process one fingerprint through the Figure-4 flow (immediate mode)."""
+        reply, _io_time = self._lookup_core(fingerprint)
+        self.lookup_latency.record(reply.service_time)
+        return reply
+
+    def lookup_batch(self, fingerprints: Sequence[Fingerprint]) -> List[LookupReply]:
+        """Process a batch of fingerprints in order (immediate mode)."""
+        return [self.lookup(fp) for fp in fingerprints]
+
+    def _lookup_core(self, fingerprint: Fingerprint) -> Tuple[LookupReply, float]:
+        """Shared lookup logic: updates state, returns the reply and SSD time.
+
+        The returned ``service_time`` is the analytic (unloaded) cost:
+        CPU + RAM + any SSD page accesses.  The second tuple element is the
+        SSD-only portion, which the simulated path replays against the SSD
+        device to model queueing.
+        """
+        digest = fingerprint.digest
+        self.counters.increment("lookups")
+        cpu_time = self.config.cpu_per_lookup
+        ram_time = self.ram_device.read_cost(64)
+        ssd_time = 0.0
+
+        # 1. RAM LRU probe.
+        if self.cache.get(digest) is not None:
+            self.counters.increment("ram_hits")
+            reply = LookupReply(
+                fingerprint=fingerprint,
+                is_duplicate=True,
+                served_from=ServedFrom.RAM,
+                node_id=self.node_id,
+                service_time=cpu_time + ram_time,
+            )
+            return reply, ssd_time
+
+        # 2. Bloom filter guard.
+        if digest not in self.bloom:
+            self.counters.increment("bloom_negative_shortcuts")
+            ssd_time += self._insert_new(fingerprint)
+            reply = LookupReply(
+                fingerprint=fingerprint,
+                is_duplicate=False,
+                served_from=ServedFrom.NEW,
+                node_id=self.node_id,
+                service_time=cpu_time + ram_time + ssd_time,
+            )
+            return reply, ssd_time
+
+        # 3. SSD hash-table probe.
+        for operation in self.store.lookup_io(digest):
+            ssd_time += self._device_cost(operation)
+        if digest in self.store:
+            self.counters.increment("ssd_hits")
+            self.cache.put(digest, True)
+            reply = LookupReply(
+                fingerprint=fingerprint,
+                is_duplicate=True,
+                served_from=ServedFrom.SSD,
+                node_id=self.node_id,
+                service_time=cpu_time + ram_time + ssd_time,
+            )
+            return reply, ssd_time
+
+        # Bloom false positive: the SSD read found nothing.
+        self.counters.increment("bloom_false_positives")
+        ssd_time += self._insert_new(fingerprint)
+        reply = LookupReply(
+            fingerprint=fingerprint,
+            is_duplicate=False,
+            served_from=ServedFrom.NEW,
+            node_id=self.node_id,
+            service_time=cpu_time + ram_time + ssd_time,
+        )
+        return reply, ssd_time
+
+    def _insert_new(self, fingerprint: Fingerprint) -> float:
+        """Record a previously unseen fingerprint; returns the SSD write time."""
+        digest = fingerprint.digest
+        self.counters.increment("new_entries")
+        self.store.put(digest, fingerprint.chunk_size)
+        self.bloom.add(digest)
+        self.cache.put(digest, True)
+        ssd_time = 0.0
+        for operation in self.store.insert_io(digest):
+            ssd_time += self._device_cost(operation)
+        return ssd_time
+
+    def _device_cost(self, operation) -> float:
+        if operation.kind == "read":
+            return self.ssd_device.read_cost(operation.size_bytes, operation.random_access)
+        return self.ssd_device.write_cost(operation.size_bytes, operation.random_access)
+
+    # --------------------------------------------------------- simulated mode
+    def serve_batch(self, request: BatchLookupRequest) -> Event:
+        """Serve a batch on the simulated clock.
+
+        The node's CPU worker pool is held for the per-request plus
+        per-fingerprint CPU time; accumulated SSD page time is then spent on
+        the shared SSD device (modelling its queue).  The returned event
+        succeeds with a :class:`BatchLookupReply`.
+        """
+        if self.sim is None or self._cpu is None:
+            raise RuntimeError("serve_batch requires a node constructed with a Simulator")
+        return run_process(self.sim, self._serve_batch_process(request), name=f"{self.node_id}.serve")
+
+    def _serve_batch_process(self, request: BatchLookupRequest):
+        assert self.sim is not None and self._cpu is not None
+        arrival = self.sim.now
+        grant = self._cpu.request()
+        yield grant
+        try:
+            replies: List[LookupReply] = []
+            total_ssd_time = 0.0
+            cpu_time = self.config.cpu_per_request
+            for fingerprint in request.fingerprints:
+                reply, ssd_time = self._lookup_core(fingerprint)
+                replies.append(reply)
+                total_ssd_time += ssd_time
+                cpu_time += self.config.cpu_per_lookup
+            if cpu_time > 0:
+                yield self.sim.timeout(cpu_time)
+        finally:
+            self._cpu.release()
+        if total_ssd_time > 0:
+            # One aggregated access keeps the event count proportional to the
+            # number of batches rather than fingerprints; the SSD device still
+            # serialises concurrent batches, so contention is preserved.
+            yield self.ssd_device.busy(total_ssd_time)
+        service_time = self.sim.now - arrival
+        for reply in replies:
+            self.lookup_latency.record(service_time / max(1, len(replies)))
+        self.counters.increment("batches_served")
+        return BatchLookupReply(replies=replies, node_id=self.node_id, batch_id=request.batch_id)
+
+    # ---------------------------------------------------------------- reporting
+    def snapshot(self) -> NodeSnapshot:
+        """Statistics snapshot used by cluster metrics and Figure 6."""
+        return NodeSnapshot(
+            node_id=self.node_id,
+            entries=len(self.store),
+            ram_cached=len(self.cache),
+            lookups=self.counters.get("lookups"),
+            ram_hits=self.counters.get("ram_hits"),
+            ssd_hits=self.counters.get("ssd_hits"),
+            new_entries=self.counters.get("new_entries"),
+            destages=self.counters.get("destages"),
+            bloom_negative_shortcuts=self.counters.get("bloom_negative_shortcuts"),
+            bloom_false_positives=self.counters.get("bloom_false_positives"),
+            counters=self.counters.as_dict(),
+        )
+
+    def export_entries(self) -> List[Tuple[bytes, object]]:
+        """All stored ``(digest, value)`` pairs -- used by rebalancing/migration."""
+        return list(self.store.items())
+
+    def import_entries(self, entries: Sequence[Tuple[bytes, object]]) -> int:
+        """Bulk-load entries (e.g. during rebalancing); returns how many were new."""
+        added = 0
+        for digest, value in entries:
+            if self.store.put(digest, value):
+                added += 1
+                self.bloom.add(digest)
+        return added
+
+    def remove_entry(self, digest: bytes) -> bool:
+        """Drop a fingerprint from the node (bloom bits remain set, by design)."""
+        self.cache.remove(digest)
+        return self.store.remove(digest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HybridHashNode {self.node_id} entries={len(self.store)}>"

@@ -1,0 +1,149 @@
+"""Dynamic membership: adding and removing hash nodes with data migration.
+
+The paper lists "dynamic resource scaling" as future work (§V); this module
+implements it as the natural extension of the cluster design.  When a node
+joins or leaves, the partition map changes and the fingerprints whose owner
+changed are migrated between nodes.  The manager reports exactly how much
+data moved, which the scaling ablation benchmark uses to compare the range
+partitioner (full re-shard) against consistent hashing (1/N movement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dedup.fingerprint import FINGERPRINT_BYTES, Fingerprint
+from ..storage.wal import WriteAheadLog
+from .cluster import SHHCCluster
+from .hash_node import HybridHashNode
+
+__all__ = ["MigrationReport", "MembershipManager"]
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one membership change."""
+
+    action: str
+    node: str
+    entries_before: int
+    entries_moved: int
+    source_breakdown: Dict[str, int]
+
+    @property
+    def moved_fraction(self) -> float:
+        """Share of pre-change entries that had to move."""
+        return self.entries_moved / self.entries_before if self.entries_before else 0.0
+
+
+class MembershipManager:
+    """Coordinates node join/leave and the resulting data migration."""
+
+    def __init__(self, cluster: SHHCCluster, wal: Optional[WriteAheadLog] = None) -> None:
+        self.cluster = cluster
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.reports: List[MigrationReport] = []
+
+    # -- joins --------------------------------------------------------------------------
+    def add_node(self, node_id: str) -> MigrationReport:
+        """Add a new empty node and migrate the keys it now owns."""
+        cluster = self.cluster
+        if node_id in cluster.nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        entries_before = len(cluster)
+        self.wal.append("add_node", node=node_id)
+
+        new_node = HybridHashNode(node_id, cluster.config.node, cluster.sim)
+        cluster.nodes[node_id] = new_node
+        cluster.partitioner.add_node(node_id)
+
+        moved_by_source: Dict[str, int] = {}
+        for source_name, source_node in list(cluster.nodes.items()):
+            if source_name == node_id:
+                continue
+            to_move = self._entries_not_owned_by(source_node, source_name)
+            for digest, value in to_move:
+                owner = cluster.partitioner.owner(self._as_fingerprint(digest, value))
+                owner_node = cluster.nodes[owner]
+                if owner_node is not source_node:
+                    owner_node.import_entries([(digest, value)])
+                    source_node.remove_entry(digest)
+                    moved_by_source[source_name] = moved_by_source.get(source_name, 0) + 1
+
+        report = MigrationReport(
+            action="add",
+            node=node_id,
+            entries_before=entries_before,
+            entries_moved=sum(moved_by_source.values()),
+            source_breakdown=moved_by_source,
+        )
+        self.reports.append(report)
+        self.wal.append("add_node_done", node=node_id, moved=report.entries_moved)
+        return report
+
+    # -- leaves -------------------------------------------------------------------------
+    def remove_node(self, node_id: str) -> MigrationReport:
+        """Drain a node's entries to their new owners and remove it."""
+        cluster = self.cluster
+        if node_id not in cluster.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        if len(cluster.nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        entries_before = len(cluster)
+        self.wal.append("remove_node", node=node_id)
+
+        departing = cluster.nodes[node_id]
+        exported = departing.export_entries()
+        cluster.partitioner.remove_node(node_id)
+        del cluster.nodes[node_id]
+        cluster.mark_up(node_id)  # clear any stale down-marker
+
+        moved_by_target: Dict[str, int] = {}
+        for digest, value in exported:
+            owner = cluster.partitioner.owner(self._as_fingerprint(digest, value))
+            cluster.nodes[owner].import_entries([(digest, value)])
+            moved_by_target[owner] = moved_by_target.get(owner, 0) + 1
+
+        # The new partition map may also reassign ranges between the
+        # surviving nodes (always true for the range partitioner); move those
+        # entries too so every fingerprint lives at its current owner.
+        for source_name, source_node in list(cluster.nodes.items()):
+            for digest, value in self._entries_not_owned_by(source_node, source_name):
+                owner = cluster.partitioner.owner(self._as_fingerprint(digest, value))
+                cluster.nodes[owner].import_entries([(digest, value)])
+                source_node.remove_entry(digest)
+                moved_by_target[owner] = moved_by_target.get(owner, 0) + 1
+
+        report = MigrationReport(
+            action="remove",
+            node=node_id,
+            entries_before=entries_before,
+            entries_moved=sum(moved_by_target.values()),
+            source_breakdown=moved_by_target,
+        )
+        self.reports.append(report)
+        self.wal.append("remove_node_done", node=node_id, moved=report.entries_moved)
+        return report
+
+    # -- helpers -------------------------------------------------------------------------
+    def _entries_not_owned_by(self, node: HybridHashNode, node_name: str):
+        """Entries on ``node`` whose owner under the current map differs."""
+        misplaced = []
+        for digest, value in node.export_entries():
+            owner = self.cluster.partitioner.owner(self._as_fingerprint(digest, value))
+            if owner != node_name:
+                misplaced.append((digest, value))
+        return misplaced
+
+    @staticmethod
+    def _as_fingerprint(digest: bytes, value) -> Fingerprint:
+        chunk_size = value if isinstance(value, int) else 0
+        if len(digest) != FINGERPRINT_BYTES:
+            digest = digest.ljust(FINGERPRINT_BYTES, b"\0")[:FINGERPRINT_BYTES]
+        return Fingerprint(digest=digest, chunk_size=chunk_size)
+
+    # -- reporting ----------------------------------------------------------------------
+    def total_moved(self) -> int:
+        """Entries moved across all membership changes so far."""
+        return sum(report.entries_moved for report in self.reports)

@@ -1,0 +1,227 @@
+"""Partitioning the fingerprint space across hash nodes.
+
+SHHC distributes fingerprints over nodes "like the Chord system" but in a
+structured, relatively static environment (§III.B): each node owns a range of
+the hash space.  Two partitioners are provided:
+
+* :class:`RangePartitioner` -- splits the fingerprint space into equal,
+  contiguous ranges, one (or more) per node.  Because SHA-1 output is
+  uniform, this yields the near-perfect 25 %/node balance of Figure 6.
+* :class:`ConsistentHashRing` -- classic consistent hashing with virtual
+  nodes.  Node joins/leaves move only the keys adjacent to the affected
+  tokens, which is what the membership/scaling extension (future work in the
+  paper, ablation C here) builds on.
+
+Both expose the same interface: :meth:`owner`, :meth:`owners` (for
+replication), :meth:`add_node`, :meth:`remove_node`, :meth:`nodes`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple
+
+from ..dedup.fingerprint import Fingerprint
+
+__all__ = ["Partitioner", "RangePartitioner", "ConsistentHashRing"]
+
+#: Size of the partitioned key space: the top 64 bits of the SHA-1 digest.
+KEY_SPACE_BITS = 64
+KEY_SPACE_SIZE = 1 << KEY_SPACE_BITS
+
+
+def _key_of(fingerprint: Fingerprint) -> int:
+    """Map a fingerprint to its position in the partitioned key space."""
+    return fingerprint.prefix_int(KEY_SPACE_BITS)
+
+
+class Partitioner(ABC):
+    """Maps fingerprints to owning nodes (and replica sets)."""
+
+    @abstractmethod
+    def owner(self, fingerprint: Fingerprint) -> str:
+        """Name of the node owning ``fingerprint``."""
+
+    @abstractmethod
+    def owners(self, fingerprint: Fingerprint, count: int) -> List[str]:
+        """The ``count`` distinct nodes responsible for ``fingerprint``."""
+
+    @abstractmethod
+    def nodes(self) -> List[str]:
+        """All node names currently in the partition map."""
+
+    @abstractmethod
+    def add_node(self, node: str) -> None:
+        """Add a node to the partition map."""
+
+    @abstractmethod
+    def remove_node(self, node: str) -> None:
+        """Remove a node from the partition map."""
+
+    def key_of(self, fingerprint: Fingerprint) -> int:
+        """Expose the key-space position (useful for tests and migration)."""
+        return _key_of(fingerprint)
+
+
+class RangePartitioner(Partitioner):
+    """Equal contiguous ranges of the 64-bit key space, one per node.
+
+    Node *i* of *n* owns keys in ``[i * S/n, (i+1) * S/n)``.  Adding or
+    removing a node recomputes the ranges (a full re-shard); use
+    :class:`ConsistentHashRing` when incremental migration matters.
+    """
+
+    def __init__(self, nodes: Sequence[str]) -> None:
+        if not nodes:
+            raise ValueError("at least one node is required")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("node names must be unique")
+        self._nodes: List[str] = list(nodes)
+
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def owner(self, fingerprint: Fingerprint) -> str:
+        index = self.index_of(fingerprint)
+        return self._nodes[index]
+
+    def index_of(self, fingerprint: Fingerprint) -> int:
+        """Index of the owning node in the node list."""
+        key = _key_of(fingerprint)
+        width = KEY_SPACE_SIZE // len(self._nodes)
+        index = min(key // width, len(self._nodes) - 1)
+        return index
+
+    def owners(self, fingerprint: Fingerprint, count: int) -> List[str]:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        count = min(count, len(self._nodes))
+        start = self.index_of(fingerprint)
+        return [self._nodes[(start + i) % len(self._nodes)] for i in range(count)]
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already present")
+        self._nodes.append(node)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not present")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        self._nodes.remove(node)
+
+    def range_of(self, node: str) -> Tuple[int, int]:
+        """Half-open key range ``[low, high)`` owned by ``node``."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not present")
+        index = self._nodes.index(node)
+        width = KEY_SPACE_SIZE // len(self._nodes)
+        low = index * width
+        high = KEY_SPACE_SIZE if index == len(self._nodes) - 1 else (index + 1) * width
+        return low, high
+
+
+class ConsistentHashRing(Partitioner):
+    """Consistent hashing with virtual nodes (tokens) on a 64-bit ring.
+
+    Each physical node contributes ``virtual_nodes`` tokens; a fingerprint is
+    owned by the first token clockwise from its key.  Replica sets are the
+    next distinct physical nodes clockwise, Chord-successor style.
+    """
+
+    def __init__(self, nodes: Sequence[str], virtual_nodes: int = 64) -> None:
+        if not nodes:
+            raise ValueError("at least one node is required")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("node names must be unique")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._ring: List[Tuple[int, str]] = []
+        self._tokens: List[int] = []
+        self._members: List[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # -- token placement ---------------------------------------------------------------
+    @staticmethod
+    def _token(node: str, replica_index: int) -> int:
+        digest = hashlib.sha1(f"{node}#{replica_index}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _rebuild(self) -> None:
+        self._ring.sort()
+        self._tokens = [token for token, _node in self._ring]
+
+    # -- partitioner interface ---------------------------------------------------------
+    def nodes(self) -> List[str]:
+        return list(self._members)
+
+    def add_node(self, node: str) -> None:
+        if node in self._members:
+            raise ValueError(f"node {node!r} already present")
+        self._members.append(node)
+        for replica_index in range(self.virtual_nodes):
+            self._ring.append((self._token(node, replica_index), node))
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._members:
+            raise KeyError(f"node {node!r} not present")
+        if len(self._members) == 1:
+            raise ValueError("cannot remove the last node")
+        self._members.remove(node)
+        self._ring = [(token, owner) for token, owner in self._ring if owner != node]
+        self._rebuild()
+
+    def owner(self, fingerprint: Fingerprint) -> str:
+        return self._owner_of_key(_key_of(fingerprint))
+
+    def _owner_of_key(self, key: int) -> str:
+        index = bisect.bisect_right(self._tokens, key)
+        if index == len(self._tokens):
+            index = 0
+        return self._ring[index][1]
+
+    def owners(self, fingerprint: Fingerprint, count: int) -> List[str]:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        count = min(count, len(self._members))
+        key = _key_of(fingerprint)
+        index = bisect.bisect_right(self._tokens, key)
+        owners: List[str] = []
+        seen = set()
+        for step in range(len(self._ring)):
+            token_index = (index + step) % len(self._ring)
+            node = self._ring[token_index][1]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
+    # -- diagnostics -----------------------------------------------------------------------
+    def token_count(self, node: str) -> int:
+        """Number of tokens ``node`` currently places on the ring."""
+        return sum(1 for _token, owner in self._ring if owner == node)
+
+    def ownership_fractions(self, sample_keys: int = 100_000) -> Dict[str, float]:
+        """Approximate fraction of the key space owned by each node.
+
+        Computed exactly from arc lengths rather than by sampling; the
+        ``sample_keys`` parameter is kept for API familiarity but unused.
+        """
+        del sample_keys
+        arcs: Dict[str, int] = {node: 0 for node in self._members}
+        ring = self._ring
+        for i, (token, _node) in enumerate(ring):
+            next_token = ring[(i + 1) % len(ring)][0]
+            owner = ring[(i + 1) % len(ring)][1]
+            arc = (next_token - token) % KEY_SPACE_SIZE
+            arcs[owner] += arc
+        total = sum(arcs.values()) or 1
+        return {node: arc / total for node, arc in arcs.items()}

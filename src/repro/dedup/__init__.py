@@ -1,0 +1,41 @@
+"""Deduplication substrate: chunking, fingerprinting, indexes, pipelines."""
+
+from .archive import ArchiveStats, DirectoryArchiver, FileEntry, Snapshot
+from .chunking import Chunk, Chunker, ContentDefinedChunker, FixedSizeChunker
+from .fingerprint import (
+    FINGERPRINT_BYTES,
+    Fingerprint,
+    fingerprint_data,
+    synthetic_fingerprint,
+)
+from .index import ChunkIndex, ChunkLocation, InMemoryChunkIndex, LookupResult
+from .pipeline import BackupManifest, DedupPipeline, DedupStatistics
+from .rabin import RabinRollingHash
+from .segment import Segment, interleave_streams, locality_score, segment_stream
+
+__all__ = [
+    "ArchiveStats",
+    "DirectoryArchiver",
+    "FileEntry",
+    "Snapshot",
+    "Chunk",
+    "Chunker",
+    "ContentDefinedChunker",
+    "FixedSizeChunker",
+    "FINGERPRINT_BYTES",
+    "Fingerprint",
+    "fingerprint_data",
+    "synthetic_fingerprint",
+    "ChunkIndex",
+    "ChunkLocation",
+    "InMemoryChunkIndex",
+    "LookupResult",
+    "BackupManifest",
+    "DedupPipeline",
+    "DedupStatistics",
+    "RabinRollingHash",
+    "Segment",
+    "interleave_streams",
+    "locality_score",
+    "segment_stream",
+]

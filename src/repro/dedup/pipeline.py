@@ -1,0 +1,136 @@
+"""Client-side deduplication pipeline.
+
+Ties the substrate together the way the paper's Client Application does
+(§III.A): chunk local data, fingerprint every chunk, ask the chunk index
+which chunks are new, and upload only those to the cloud store, recording a
+backup manifest so files can be restored later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..storage.object_store import CloudObjectStore
+from .chunking import Chunker, FixedSizeChunker
+from .fingerprint import Fingerprint, fingerprint_data
+from .index import ChunkIndex
+
+__all__ = ["BackupManifest", "DedupStatistics", "DedupPipeline"]
+
+
+@dataclass
+class BackupManifest:
+    """Recipe for reconstructing one backed-up object (file or stream)."""
+
+    name: str
+    fingerprints: List[Fingerprint] = field(default_factory=list)
+
+    @property
+    def logical_bytes(self) -> int:
+        """Original (pre-dedup) size of the object."""
+        return sum(fp.chunk_size for fp in self.fingerprints)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.fingerprints)
+
+
+@dataclass
+class DedupStatistics:
+    """Space accounting across one or more backups."""
+
+    chunks_seen: int = 0
+    chunks_unique: int = 0
+    logical_bytes: int = 0
+    physical_bytes: int = 0
+
+    @property
+    def chunks_duplicate(self) -> int:
+        return self.chunks_seen - self.chunks_unique
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical over physical bytes (>= 1.0; higher is better)."""
+        return self.logical_bytes / self.physical_bytes if self.physical_bytes else 1.0
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of chunk occurrences that were duplicates."""
+        return self.chunks_duplicate / self.chunks_seen if self.chunks_seen else 0.0
+
+
+class DedupPipeline:
+    """Chunk → fingerprint → index lookup → selective upload.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`~repro.dedup.index.ChunkIndex` (the SHHC cluster client, a
+        baseline, or the in-memory oracle).
+    object_store:
+        Optional cloud store; when provided, unique chunks are uploaded and
+        duplicate chunks only add a reference.
+    chunker:
+        Chunking strategy; defaults to the paper's fixed 8 KB chunks.
+    """
+
+    def __init__(
+        self,
+        index: ChunkIndex,
+        object_store: Optional[CloudObjectStore] = None,
+        chunker: Optional[Chunker] = None,
+    ) -> None:
+        self.index = index
+        self.object_store = object_store
+        self.chunker = chunker if chunker is not None else FixedSizeChunker(8192)
+        self.stats = DedupStatistics()
+        self.manifests: Dict[str, BackupManifest] = {}
+
+    # -- backup --------------------------------------------------------------------------
+    def backup(self, name: str, data: bytes) -> BackupManifest:
+        """Deduplicate and store one object; returns its manifest."""
+        manifest = BackupManifest(name=name)
+        for chunk in self.chunker.chunk(data):
+            fingerprint = fingerprint_data(chunk.data)
+            manifest.fingerprints.append(fingerprint)
+            result = self.index.lookup(fingerprint)
+            self.stats.chunks_seen += 1
+            self.stats.logical_bytes += fingerprint.chunk_size
+            if result.is_duplicate:
+                if self.object_store is not None:
+                    self.object_store.add_reference(fingerprint.digest)
+            else:
+                self.stats.chunks_unique += 1
+                self.stats.physical_bytes += fingerprint.chunk_size
+                if self.object_store is not None:
+                    self.object_store.put(fingerprint.digest, chunk.data)
+        self.manifests[name] = manifest
+        return manifest
+
+    def backup_stream(self, name: str, blocks) -> BackupManifest:
+        """Back up a stream of byte blocks as one logical object."""
+        return self.backup(name, b"".join(blocks))
+
+    # -- restore -------------------------------------------------------------------------
+    def restore(self, name: str) -> bytes:
+        """Reassemble a previously backed-up object from the cloud store."""
+        if self.object_store is None:
+            raise RuntimeError("restore requires an object store")
+        manifest = self.manifests.get(name)
+        if manifest is None:
+            raise KeyError(f"no backup named {name!r}")
+        parts: List[bytes] = []
+        for fingerprint in manifest.fingerprints:
+            data = self.object_store.get(fingerprint.digest)
+            if data is None:
+                raise RuntimeError(f"chunk {fingerprint.hex[:12]} missing from object store")
+            parts.append(data)
+        return b"".join(parts)
+
+    # -- reporting ------------------------------------------------------------------------
+    def space_savings(self) -> float:
+        """1 - physical/logical bytes (0.0 when nothing is saved)."""
+        if self.stats.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.stats.physical_bytes / self.stats.logical_bytes

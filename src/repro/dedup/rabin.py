@@ -1,0 +1,69 @@
+"""Rabin-style rolling hash used by content-defined chunking.
+
+The implementation is a polynomial rolling hash over a sliding byte window:
+appending a byte and expiring the oldest byte are both O(1), which is what a
+chunker scanning gigabytes of backup data needs.  The hash constants follow
+the common 64-bit irreducible-polynomial setup used by LBFS-descended
+chunkers; any fixed-width multiplicative rolling hash with good bit diffusion
+produces the same boundary statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+__all__ = ["RabinRollingHash"]
+
+_PRIME = 1099511628211          # FNV-ish multiplier with good diffusion
+_MODULUS = (1 << 61) - 1        # Mersenne prime keeps reductions cheap
+
+
+class RabinRollingHash:
+    """A fixed-window polynomial rolling hash over bytes."""
+
+    def __init__(self, window_size: int = 48) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.window_size = window_size
+        self._window: Deque[int] = deque()
+        self._value = 0
+        # Precompute PRIME^(window_size-1) mod MODULUS for O(1) expiry.
+        self._expire_factor = pow(_PRIME, window_size - 1, _MODULUS)
+
+    @property
+    def value(self) -> int:
+        """Current hash over the window contents."""
+        return self._value
+
+    @property
+    def window_filled(self) -> bool:
+        """Whether the window currently holds ``window_size`` bytes."""
+        return len(self._window) == self.window_size
+
+    def update(self, byte: int) -> int:
+        """Slide the window forward by one byte and return the new hash."""
+        if not 0 <= byte <= 255:
+            raise ValueError("byte must be within [0, 255]")
+        if len(self._window) == self.window_size:
+            oldest = self._window.popleft()
+            # Each byte contributes (byte + 1) * PRIME^age; expire the oldest
+            # term with the same +1 offset it was added with.
+            self._value = (self._value - (oldest + 1) * self._expire_factor) % _MODULUS
+        self._window.append(byte)
+        self._value = (self._value * _PRIME + byte + 1) % _MODULUS
+        return self._value
+
+    def update_bytes(self, data: bytes) -> int:
+        """Feed several bytes; returns the final hash value."""
+        for byte in data:
+            self.update(byte)
+        return self._value
+
+    def reset(self) -> None:
+        """Clear the window (used when a chunk boundary is emitted)."""
+        self._window.clear()
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RabinRollingHash window={len(self._window)}/{self.window_size} value={self._value}>"

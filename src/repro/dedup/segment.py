@@ -1,0 +1,100 @@
+"""Segmenting fingerprint streams to preserve spatial locality.
+
+Backup streams exhibit *chunk locality*: chunks that appeared together in a
+previous backup tend to reappear together (DDFS, Sparse Indexing).  The web
+front-end exploits this by batching consecutive fingerprints before querying
+the hash cluster (paper §III.A and §IV.B, batch sizes 1/128/2048).  This
+module provides the segmenting helpers used both by the front-end batching
+logic and by locality-aware baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+from .fingerprint import Fingerprint
+
+__all__ = ["Segment", "segment_stream", "interleave_streams", "locality_score"]
+
+
+@dataclass
+class Segment:
+    """A consecutive run of fingerprints from one backup stream."""
+
+    stream_id: str
+    sequence_number: int
+    fingerprints: List[Fingerprint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(fp.chunk_size for fp in self.fingerprints)
+
+
+def segment_stream(
+    fingerprints: Iterable[Fingerprint],
+    segment_size: int,
+    stream_id: str = "stream",
+) -> Iterator[Segment]:
+    """Group a fingerprint stream into segments of at most ``segment_size``."""
+    if segment_size < 1:
+        raise ValueError("segment_size must be >= 1")
+    buffer: List[Fingerprint] = []
+    sequence = 0
+    for fingerprint in fingerprints:
+        buffer.append(fingerprint)
+        if len(buffer) >= segment_size:
+            yield Segment(stream_id, sequence, buffer)
+            buffer = []
+            sequence += 1
+    if buffer:
+        yield Segment(stream_id, sequence, buffer)
+
+
+def interleave_streams(streams: Sequence[Sequence[Fingerprint]], granularity: int = 1) -> List[Fingerprint]:
+    """Round-robin interleave several fingerprint streams.
+
+    Models multiple concurrent clients whose requests mix at the front end;
+    ``granularity`` controls how many consecutive fingerprints each stream
+    contributes per turn (larger granularity preserves more locality).
+    """
+    if granularity < 1:
+        raise ValueError("granularity must be >= 1")
+    positions = [0] * len(streams)
+    merged: List[Fingerprint] = []
+    remaining = sum(len(s) for s in streams)
+    while remaining > 0:
+        for index, stream in enumerate(streams):
+            start = positions[index]
+            if start >= len(stream):
+                continue
+            end = min(start + granularity, len(stream))
+            merged.extend(stream[start:end])
+            taken = end - start
+            positions[index] = end
+            remaining -= taken
+    return merged
+
+
+def locality_score(fingerprints: Sequence[Fingerprint], window: int = 128) -> float:
+    """Fraction of duplicate occurrences whose previous occurrence is within ``window``.
+
+    A score near 1.0 means duplicates cluster tightly (high spatial locality,
+    LRU-friendly); near 0.0 means duplicates are spread far apart.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    last_seen: dict = {}
+    duplicates = 0
+    nearby = 0
+    for position, fingerprint in enumerate(fingerprints):
+        digest = fingerprint.digest
+        if digest in last_seen:
+            duplicates += 1
+            if position - last_seen[digest] <= window:
+                nearby += 1
+        last_seen[digest] = position
+    return nearby / duplicates if duplicates else 0.0

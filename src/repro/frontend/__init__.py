@@ -1,0 +1,19 @@
+"""Front-end tier: backup clients, web servers, upload plans, service gateway."""
+
+from .client import BackupClient, ClientRunStats, SimulatedClient
+from .gateway import BackupService, SimulatedDeployment, build_simulated_service
+from .upload_plan import UploadPlan
+from .webserver import ClientBatchRequest, ClientBatchResponse, WebFrontEnd
+
+__all__ = [
+    "BackupClient",
+    "ClientRunStats",
+    "SimulatedClient",
+    "BackupService",
+    "SimulatedDeployment",
+    "build_simulated_service",
+    "UploadPlan",
+    "ClientBatchRequest",
+    "ClientBatchResponse",
+    "WebFrontEnd",
+]

@@ -1,0 +1,203 @@
+"""Backup clients.
+
+Two flavours:
+
+* :class:`BackupClient` -- the *library* client: chunks and fingerprints real
+  data, asks a web front-end for an upload plan and ships unique chunks to
+  the cloud store (the paper's Client Application, §III.A).
+* :class:`SimulatedClient` -- the *load generator* used by the evaluation:
+  it replays a fingerprint trace against the simulated deployment in
+  closed-loop fashion (a fixed number of outstanding batched requests),
+  which is how the paper's two client machines drive Figure 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.protocol import LookupReply
+from ..dedup.chunking import Chunker, FixedSizeChunker
+from ..dedup.fingerprint import Fingerprint, fingerprint_data
+from ..network.loadbalancer import LoadBalancer
+from ..network.rpc import RpcLayer
+from ..simulation.engine import Event, Simulator
+from ..simulation.process import run_process
+from ..simulation.stats import LatencyRecorder
+from ..storage.object_store import CloudObjectStore
+from .upload_plan import UploadPlan
+from .webserver import ClientBatchRequest, ClientBatchResponse, WebFrontEnd
+
+__all__ = ["BackupClient", "SimulatedClient", "ClientRunStats"]
+
+
+class BackupClient:
+    """Library-mode client: backs up real byte streams through the front end."""
+
+    def __init__(
+        self,
+        client_id: str,
+        frontend: WebFrontEnd,
+        object_store: Optional[CloudObjectStore] = None,
+        chunker: Optional[Chunker] = None,
+        batch_size: int = 128,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.client_id = client_id
+        self.frontend = frontend
+        self.object_store = object_store
+        self.chunker = chunker if chunker is not None else FixedSizeChunker(8192)
+        self.batch_size = batch_size
+        self._request_ids = itertools.count(1)
+        self.plans: List[UploadPlan] = []
+
+    def backup(self, data: bytes) -> UploadPlan:
+        """Back up one object; returns the merged upload plan for it."""
+        chunks = list(self.chunker.chunk(data))
+        fingerprints = [fingerprint_data(chunk.data) for chunk in chunks]
+        chunk_by_digest = {fp.digest: chunk.data for fp, chunk in zip(fingerprints, chunks)}
+        merged = UploadPlan(client_id=self.client_id)
+        for start in range(0, len(fingerprints), self.batch_size):
+            batch = fingerprints[start:start + self.batch_size]
+            request = ClientBatchRequest(
+                client_id=self.client_id,
+                fingerprints=batch,
+                request_id=next(self._request_ids),
+            )
+            response = self.frontend.handle_batch(request)
+            merged = merged.merge(response.plan)
+            self._apply_plan(response.plan, chunk_by_digest)
+        self.plans.append(merged)
+        return merged
+
+    def _apply_plan(self, plan: UploadPlan, chunk_by_digest: dict) -> None:
+        if self.object_store is None:
+            return
+        for fingerprint in plan.to_upload:
+            data = chunk_by_digest.get(fingerprint.digest)
+            if data is not None:
+                self.object_store.put(fingerprint.digest, data)
+        for fingerprint in plan.already_stored:
+            self.object_store.add_reference(fingerprint.digest)
+
+
+@dataclass
+class ClientRunStats:
+    """Result of one simulated client replaying its trace."""
+
+    client_id: str
+    fingerprints_sent: int = 0
+    batches_sent: int = 0
+    duplicates_found: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    request_latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("client.request"))
+
+    @property
+    def elapsed(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def throughput(self) -> float:
+        """Fingerprints processed per second of simulated time."""
+        return self.fingerprints_sent / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class SimulatedClient:
+    """Closed-loop trace-replay client for the simulated deployment.
+
+    Parameters
+    ----------
+    client_id:
+        Endpoint name on the fabric.
+    rpc:
+        RPC layer of the simulated network.
+    load_balancer:
+        Assigns each request to a web server (HAProxy in the paper).
+    fingerprints:
+        The trace this client replays.
+    batch_size:
+        Fingerprints per request (paper: 1, 128 or 2048).
+    window:
+        Outstanding requests kept in flight (the paper's clients are
+        effectively single-threaded per machine, i.e. window=1).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        rpc: RpcLayer,
+        load_balancer: LoadBalancer,
+        fingerprints: Sequence[Fingerprint],
+        batch_size: int = 128,
+        window: int = 1,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.client_id = client_id
+        self.rpc = rpc
+        self.load_balancer = load_balancer
+        self.fingerprints = list(fingerprints)
+        self.batch_size = batch_size
+        self.window = window
+        self.sim = sim if sim is not None else rpc.sim
+        self.stats = ClientRunStats(client_id=client_id)
+        self._request_ids = itertools.count(1)
+
+    # -- execution ------------------------------------------------------------------------
+    def start(self) -> Event:
+        """Begin replaying the trace; returns the completion event (a Process)."""
+        if self.sim is None:
+            raise RuntimeError("SimulatedClient requires a Simulator")
+        return run_process(self.sim, self._run(), name=f"{self.client_id}.run")
+
+    def _batches(self) -> List[List[Fingerprint]]:
+        return [
+            self.fingerprints[start:start + self.batch_size]
+            for start in range(0, len(self.fingerprints), self.batch_size)
+        ]
+
+    def _run(self):
+        assert self.sim is not None
+        self.stats.started_at = self.sim.now
+        batches = self._batches()
+        # The window is implemented by slicing the batch list into `window`
+        # independent lanes, each processed sequentially by a sub-process.
+        lanes = [batches[lane::self.window] for lane in range(self.window)]
+        lane_processes = [
+            run_process(self.sim, self._run_lane(lane), name=f"{self.client_id}.lane{i}")
+            for i, lane in enumerate(lanes)
+            if lane
+        ]
+        if lane_processes:
+            yield self.sim.all_of(lane_processes)
+        self.stats.finished_at = self.sim.now
+        return self.stats
+
+    def _run_lane(self, batches: List[List[Fingerprint]]):
+        assert self.sim is not None
+        for batch in batches:
+            backend = self.load_balancer.assign(self.client_id)
+            request = ClientBatchRequest(
+                client_id=self.client_id,
+                fingerprints=batch,
+                request_id=next(self._request_ids),
+            )
+            sent_at = self.sim.now
+            response: ClientBatchResponse = yield self.rpc.call(
+                source=self.client_id,
+                destination=backend,
+                payload=request,
+                payload_bytes=request.payload_bytes,
+            )
+            self.load_balancer.release(backend)
+            self.stats.request_latency.record(self.sim.now - sent_at)
+            self.stats.batches_sent += 1
+            self.stats.fingerprints_sent += len(batch)
+            self.stats.duplicates_found += sum(1 for r in response.replies if r.is_duplicate)
+        return None

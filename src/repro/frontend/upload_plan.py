@@ -1,0 +1,70 @@
+"""Upload plans.
+
+The web front-end answers every client backup request with an *upload plan*
+(paper §III.A): the subset of the submitted chunks that are not yet stored in
+the cloud and therefore must be transmitted.  Everything else only needs a
+reference.  The plan also carries the bandwidth-savings accounting the paper
+motivates (only ~25 % of data is unique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..core.protocol import LookupReply
+from ..dedup.fingerprint import Fingerprint
+
+__all__ = ["UploadPlan"]
+
+
+@dataclass
+class UploadPlan:
+    """Which chunks a client must upload, derived from cluster lookup replies."""
+
+    client_id: str
+    to_upload: List[Fingerprint] = field(default_factory=list)
+    already_stored: List[Fingerprint] = field(default_factory=list)
+
+    @classmethod
+    def from_replies(cls, client_id: str, replies: Sequence[LookupReply]) -> "UploadPlan":
+        """Build a plan from per-fingerprint lookup replies."""
+        plan = cls(client_id=client_id)
+        for reply in replies:
+            if reply.is_duplicate:
+                plan.already_stored.append(reply.fingerprint)
+            else:
+                plan.to_upload.append(reply.fingerprint)
+        return plan
+
+    # -- accounting --------------------------------------------------------------------
+    @property
+    def total_chunks(self) -> int:
+        return len(self.to_upload) + len(self.already_stored)
+
+    @property
+    def upload_bytes(self) -> int:
+        """Bytes the client actually has to send."""
+        return sum(fp.chunk_size for fp in self.to_upload)
+
+    @property
+    def logical_bytes(self) -> int:
+        """Bytes the backup represents before deduplication."""
+        return self.upload_bytes + sum(fp.chunk_size for fp in self.already_stored)
+
+    @property
+    def bandwidth_savings(self) -> float:
+        """Fraction of logical bytes that do not need to cross the WAN."""
+        logical = self.logical_bytes
+        if logical == 0:
+            return 0.0
+        return 1.0 - self.upload_bytes / logical
+
+    def merge(self, other: "UploadPlan") -> "UploadPlan":
+        """Combine two plans for the same client (e.g. successive batches)."""
+        if other.client_id != self.client_id:
+            raise ValueError("cannot merge plans from different clients")
+        merged = UploadPlan(client_id=self.client_id)
+        merged.to_upload = self.to_upload + other.to_upload
+        merged.already_stored = self.already_stored + other.already_stored
+        return merged

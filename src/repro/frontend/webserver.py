@@ -1,0 +1,163 @@
+"""Web front-end servers.
+
+A web front-end server (paper §III.A, Figure 2) receives backup requests
+from clients, queries the hash cluster for the existence of each submitted
+fingerprint -- batching the queries per hash node to exploit chunk locality --
+and returns an upload plan.  In the simulated deployment each web server is
+an RPC service; client requests and node queries all travel over the
+simulated fabric, so front-end fan-out latency and node queueing compose the
+end-to-end response time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.batching import reassemble_replies, split_batch_by_owner
+from ..core.cluster import SHHCCluster
+from ..core.protocol import BatchLookupReply, BatchLookupRequest, LookupReply
+from ..dedup.fingerprint import FINGERPRINT_BYTES, Fingerprint
+from ..network.rpc import RpcLayer
+from ..simulation.engine import Event, Simulator
+from ..simulation.stats import Counter, LatencyRecorder
+from .upload_plan import UploadPlan
+
+__all__ = ["ClientBatchRequest", "ClientBatchResponse", "WebFrontEnd"]
+
+
+@dataclass(frozen=True)
+class ClientBatchRequest:
+    """A client's backup query: a batch of fingerprints to check."""
+
+    client_id: str
+    fingerprints: Sequence[Fingerprint]
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fingerprints:
+            raise ValueError("a client batch must contain at least one fingerprint")
+
+    @property
+    def payload_bytes(self) -> int:
+        return 32 + FINGERPRINT_BYTES * len(self.fingerprints)
+
+
+@dataclass(frozen=True)
+class ClientBatchResponse:
+    """The front-end's answer: per-fingerprint verdicts plus the upload plan."""
+
+    client_id: str
+    replies: Sequence[LookupReply]
+    plan: UploadPlan
+    request_id: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return 32 + 9 * len(self.replies)
+
+
+class WebFrontEnd:
+    """One web server of the front-end cluster."""
+
+    def __init__(
+        self,
+        server_id: str,
+        cluster: SHHCCluster,
+        rpc: Optional[RpcLayer] = None,
+        sim: Optional[Simulator] = None,
+        per_request_overhead: float = 30e-6,
+    ) -> None:
+        self.server_id = server_id
+        self.cluster = cluster
+        self.rpc = rpc
+        self.sim = sim if sim is not None else (rpc.sim if rpc is not None else None)
+        self.per_request_overhead = per_request_overhead
+        self.counters = Counter()
+        self.response_latency = LatencyRecorder(f"{server_id}.response_latency")
+        self._request_ids = itertools.count(1)
+
+    # -- service registration ------------------------------------------------------------
+    def register(self) -> None:
+        """Expose this web server as an RPC service on the fabric."""
+        if self.rpc is None:
+            raise RuntimeError("register() requires an RpcLayer")
+        self.rpc.register(self.server_id, self._handle_rpc)
+
+    # -- immediate mode --------------------------------------------------------------------
+    def handle_batch(self, request: ClientBatchRequest) -> ClientBatchResponse:
+        """Process a client batch synchronously (library mode)."""
+        self.counters.increment("requests")
+        self.counters.increment("fingerprints", len(request.fingerprints))
+        replies = self.cluster.lookup_batch_replies(list(request.fingerprints))
+        plan = UploadPlan.from_replies(request.client_id, replies)
+        return ClientBatchResponse(
+            client_id=request.client_id,
+            replies=replies,
+            plan=plan,
+            request_id=request.request_id,
+        )
+
+    # -- simulated mode ----------------------------------------------------------------------
+    def _handle_rpc(self, request: ClientBatchRequest):
+        if self.sim is None or self.rpc is None:
+            response = self.handle_batch(request)
+            return response, response.payload_bytes
+        return self._handle_async(request)
+
+    def _handle_async(self, request: ClientBatchRequest) -> Event:
+        """Fan the batch out to the owning hash nodes and gather the replies."""
+        assert self.sim is not None and self.rpc is not None
+        self.counters.increment("requests")
+        self.counters.increment("fingerprints", len(request.fingerprints))
+        started = self.sim.now
+        done = self.sim.event(f"{self.server_id}.response")
+        fingerprints = list(request.fingerprints)
+        per_node = split_batch_by_owner(fingerprints, self.cluster.partitioner, request.client_id)
+
+        pending = {"count": len(per_node)}
+        gathered: List[Tuple[BatchLookupReply, Sequence[int]]] = []
+
+        def _on_node_reply(positions: Sequence[int]):
+            def _callback(event: Event) -> None:
+                gathered.append((event.value, positions))
+                pending["count"] -= 1
+                if pending["count"] == 0:
+                    _finish()
+
+            return _callback
+
+        def _finish() -> None:
+            replies = reassemble_replies(len(fingerprints), gathered)
+            plan = UploadPlan.from_replies(request.client_id, replies)
+            response = ClientBatchResponse(
+                client_id=request.client_id,
+                replies=replies,
+                plan=plan,
+                request_id=request.request_id,
+            )
+            self.response_latency.record(self.sim.now - started)
+            done.succeed((response, response.payload_bytes))
+
+        def _dispatch() -> None:
+            for node_name, (node_request, positions) in per_node.items():
+                call = self.rpc.call(
+                    source=self.server_id,
+                    destination=node_name,
+                    payload=node_request,
+                    payload_bytes=node_request.payload_bytes,
+                )
+                call.add_callback(_on_node_reply(positions))
+
+        # Model the web server's own per-request processing before fan-out.
+        self.sim.schedule(self.per_request_overhead, _dispatch)
+        return done
+
+    # -- reporting ------------------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "requests": self.counters.get("requests"),
+            "fingerprints": self.counters.get("fingerprints"),
+            "mean_response_time": self.response_latency.mean if self.response_latency.count else 0.0,
+        }

@@ -1,0 +1,34 @@
+"""Network substrate: messages, links, switch fabric, RPC and load balancing."""
+
+from .link import DEFAULT_LINK_LATENCY, GIGABIT_BANDWIDTH, NetworkLink
+from .loadbalancer import (
+    BalancingPolicy,
+    LeastConnectionsPolicy,
+    LoadBalancer,
+    RoundRobinPolicy,
+    SourceHashPolicy,
+    WeightedRoundRobinPolicy,
+)
+from .message import MESSAGE_HEADER_BYTES, Message
+from .rpc import RpcError, RpcLayer
+from .switch import NetworkSwitch
+from .topology import BuiltNetwork, ClusterTopology
+
+__all__ = [
+    "DEFAULT_LINK_LATENCY",
+    "GIGABIT_BANDWIDTH",
+    "NetworkLink",
+    "BalancingPolicy",
+    "LeastConnectionsPolicy",
+    "LoadBalancer",
+    "RoundRobinPolicy",
+    "SourceHashPolicy",
+    "WeightedRoundRobinPolicy",
+    "MESSAGE_HEADER_BYTES",
+    "Message",
+    "RpcError",
+    "RpcLayer",
+    "NetworkSwitch",
+    "BuiltNetwork",
+    "ClusterTopology",
+]

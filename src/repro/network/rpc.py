@@ -1,0 +1,152 @@
+"""Request/response RPC layer over the switch.
+
+Components register a *service handler*; callers invoke :meth:`RpcLayer.call`
+and receive an event that succeeds with the response payload once the request
+has crossed the network, been processed (handler may return an event for
+asynchronous processing) and the response has crossed back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..simulation.engine import Event, Simulator
+from ..simulation.stats import LatencyRecorder
+from .message import Message
+from .switch import NetworkSwitch
+
+__all__ = ["RpcLayer", "RpcError"]
+
+Handler = Callable[[Any], Union[Any, "tuple[Any, int]", Event]]
+
+
+class RpcError(RuntimeError):
+    """Raised when an RPC is addressed to an unknown service."""
+
+
+class RpcLayer:
+    """Thin RPC abstraction: named services, sized payloads, response routing."""
+
+    def __init__(self, switch: NetworkSwitch, sim: Optional[Simulator] = None) -> None:
+        self.switch = switch
+        self.sim = sim if sim is not None else switch.sim
+        self._services: Dict[str, Handler] = {}
+        self._pending: Dict[int, Event] = {}
+        self.call_latency = LatencyRecorder("rpc.call_latency")
+
+    # -- registration -----------------------------------------------------------------
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Attach ``endpoint`` to the switch (if needed) and install ``handler``.
+
+        The handler receives the request payload and returns either:
+
+        * a plain response payload (assumed small),
+        * a ``(response_payload, response_bytes)`` tuple, or
+        * an :class:`Event` succeeding with one of the above (asynchronous
+          processing on the callee's side).
+        """
+        if not self.switch.is_attached(endpoint):
+            self.switch.attach(endpoint)
+        self._services[endpoint] = handler
+        self.switch.set_handler(endpoint, self._on_message)
+
+    def register_client(self, endpoint: str) -> None:
+        """Attach a call-only endpoint (no service handler)."""
+        if not self.switch.is_attached(endpoint):
+            self.switch.attach(endpoint)
+        self.switch.set_handler(endpoint, self._on_message)
+
+    def services(self) -> list:
+        return sorted(self._services)
+
+    # -- calling ---------------------------------------------------------------------
+    def call(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        payload_bytes: int,
+    ) -> Event:
+        """Issue an RPC; the returned event succeeds with the response payload."""
+        if destination not in self._services:
+            raise RpcError(f"no service registered at {destination!r}")
+        if not self.switch.is_attached(source):
+            self.register_client(source)
+        now = self.sim.now if self.sim is not None else 0.0
+        request = Message(
+            source=source,
+            destination=destination,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            created_at=now,
+        )
+        if self.sim is None:
+            # Immediate mode: run the whole round trip synchronously.
+            response_payload = self._invoke_handler(destination, payload)
+            done = _immediate(response_payload)
+            return done
+        completion = self.sim.event("rpc.response")
+        self._pending[request.message_id] = completion
+        self.switch.send(request)
+        return completion
+
+    # -- message plumbing ----------------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        if message.reply_to is not None:
+            self._complete_call(message)
+        else:
+            self._serve_request(message)
+
+    def _serve_request(self, message: Message) -> None:
+        handler = self._services.get(message.destination)
+        if handler is None:
+            raise RpcError(f"message for unknown service {message.destination!r}")
+        result = handler(message.payload)
+        if isinstance(result, Event):
+            result.add_callback(lambda event: self._send_response(message, event.value))
+        else:
+            self._send_response(message, result)
+
+    def _send_response(self, request: Message, result: Any) -> None:
+        if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
+            response_payload, response_bytes = result
+        else:
+            response_payload, response_bytes = result, 64
+        now = self.sim.now if self.sim is not None else 0.0
+        response = request.reply(response_payload, response_bytes, created_at=now)
+        self.switch.send(response)
+
+    def _complete_call(self, message: Message) -> None:
+        completion = self._pending.pop(message.reply_to, None)
+        if completion is None:
+            return
+        if self.sim is not None:
+            self.call_latency.record(self.sim.now - message.created_at if message.created_at else 0.0)
+        completion.succeed(message.payload)
+
+    def _invoke_handler(self, destination: str, payload: Any) -> Any:
+        handler = self._services[destination]
+        result = handler(payload)
+        if isinstance(result, Event):
+            if not result.triggered:
+                raise RpcError("immediate-mode RPC requires synchronous handlers")
+            result = result.value
+        if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
+            return result[0]
+        return result
+
+    @property
+    def pending_calls(self) -> int:
+        """Number of in-flight RPCs awaiting a response."""
+        return len(self._pending)
+
+
+class _ImmediateEventSim:
+    def schedule(self, _delay: float, callback, *args) -> None:
+        callback(*args)
+
+
+def _immediate(value: Any) -> Event:
+    event = Event(sim=_ImmediateEventSim(), name="rpc.immediate")
+    event.succeed(value)
+    return event

@@ -1,0 +1,353 @@
+"""Discrete-event simulation kernel.
+
+The engine provides a simulated clock and an event calendar.  Higher level
+abstractions (processes, resources, statistics) are layered on top in the
+sibling modules.  The design follows the classic event-calendar model: an
+event is a callback scheduled at an absolute simulated time; the simulator
+pops events in time order and invokes them, advancing the clock.
+
+The kernel is deliberately free of any domain knowledge -- it is reused by
+every simulated component in the repository (storage devices, network links,
+hash nodes, clients).
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+>>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[1.0, 5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "ScheduledEvent",
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+class StopSimulation(Exception):
+    """Raised by a callback to stop the simulation immediately."""
+
+
+class ScheduledEvent:
+    """A callback scheduled on the event calendar.
+
+    The calendar heap orders entries by ``(time, priority, sequence)`` so
+    events pop in simulated-time order with FIFO tie-breaking for events
+    scheduled at the same instant.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScheduledEvent t={self.time} cb={getattr(self.callback, '__name__', self.callback)!r}>"
+
+
+class Event:
+    """A one-shot synchronisation point that callbacks/processes can wait on.
+
+    An :class:`Event` starts *pending*; it may later *succeed* with a value or
+    *fail* with an exception.  Callbacks registered before triggering run when
+    the event triggers; callbacks registered afterwards run immediately.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already succeeded or failed."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value.  Raises if the event failed or is pending."""
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None``."""
+        return self._exception
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers (or immediately if done).
+
+        Callbacks run synchronously at the simulated instant the event
+        triggers; they must not block (they may schedule further events).
+        """
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._exception is None else "failed"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Simulator:
+    """The discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        # The calendar stores (time, priority, sequence, ScheduledEvent)
+        # tuples so heap comparisons are cheap tuple comparisons.
+        self._calendar: list[tuple[float, int, int, ScheduledEvent]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of calendar events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of (non-cancelled) events still on the calendar."""
+        return sum(1 for _t, _p, _s, entry in self._calendar if not entry.cancelled)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`ScheduledEvent`, which may be cancelled before it
+        fires.  Negative delays are rejected: simulated time is monotonic.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        sequence = next(self._sequence)
+        entry = ScheduledEvent(
+            time=self._now + delay,
+            priority=priority,
+            sequence=sequence,
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._calendar, (entry.time, priority, sequence, entry))
+        return entry
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        return self.schedule(time - self._now, callback, *args, priority=priority)
+
+    def event(self, name: str = "") -> Event:
+        """Create a new pending :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """Return an event that succeeds ``delay`` seconds from now."""
+        event = self.event(name)
+        self.schedule(delay, event.succeed, value)
+        return event
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next calendar event.  Returns ``False`` if none left."""
+        while self._calendar:
+            _time, _priority, _sequence, entry = heapq.heappop(self._calendar)
+            if entry.cancelled:
+                continue
+            if entry.time < self._now:
+                raise SimulationError("event calendar corrupted: time went backwards")
+            self._now = entry.time
+            self._events_processed += 1
+            entry.callback(*entry.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance past this absolute time.  The
+            clock is left at ``until`` if provided.
+        max_events:
+            Safety valve: stop after this many events.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        executed = 0
+        try:
+            while self._calendar:
+                entry = self._calendar[0][3]
+                if entry.cancelled:
+                    heapq.heappop(self._calendar)
+                    continue
+                if until is not None and entry.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        except StopSimulation:
+            pass
+        finally:
+            self._running = False
+        if until is not None and not self._calendar:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_empty(self, max_events: int = 50_000_000) -> float:
+        """Run until the calendar drains (with a defensive event cap)."""
+        return self.run(max_events=max_events)
+
+    # -- composition helpers -------------------------------------------------
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """Return an event that succeeds when every input event succeeds.
+
+        The combined value is the list of individual values in input order.
+        If any input fails, the combined event fails with that exception.
+        """
+        events = list(events)
+        combined = self.event(name)
+        if not events:
+            combined.succeed([])
+            return combined
+        remaining = {"count": len(events)}
+
+        def _on_trigger(_event: Event) -> None:
+            if combined.triggered:
+                return
+            if _event.exception is not None:
+                combined.fail(_event.exception)
+                return
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                combined.succeed([e.value for e in events])
+
+        for event in events:
+            event.add_callback(_on_trigger)
+        return combined
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
+        """Return an event that succeeds when the first input event triggers."""
+        events = list(events)
+        combined = self.event(name)
+        if not events:
+            combined.succeed(None)
+            return combined
+
+        def _on_trigger(_event: Event) -> None:
+            if combined.triggered:
+                return
+            if _event.exception is not None:
+                combined.fail(_event.exception)
+            else:
+                combined.succeed(_event.value)
+
+        for event in events:
+            event.add_callback(_on_trigger)
+        return combined
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.6f} pending={self.pending_events}>"

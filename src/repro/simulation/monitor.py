@@ -1,0 +1,116 @@
+"""Periodic time-series monitoring of simulated components.
+
+Experiments sometimes need more than end-of-run aggregates -- e.g. the queue
+build-up at a saturated hash node over time, or cache occupancy as a backup
+stream warms up.  :class:`Monitor` samples arbitrary probe callables at a
+fixed simulated-time interval and stores ``(time, value)`` series that the
+analysis layer can render or post-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import Simulator
+
+__all__ = ["TimeSeries", "Monitor"]
+
+
+@dataclass
+class TimeSeries:
+    """A named series of ``(simulated time, value)`` samples."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def times(self) -> List[float]:
+        return [time for time, _value in self.samples]
+
+    def values(self) -> List[float]:
+        return [value for _time, value in self.samples]
+
+    def latest(self) -> Optional[float]:
+        """Most recent sampled value (``None`` before the first sample)."""
+        return self.samples[-1][1] if self.samples else None
+
+    def maximum(self) -> float:
+        return max(self.values()) if self.samples else 0.0
+
+    def mean(self) -> float:
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0
+
+
+class Monitor:
+    """Samples registered probes every ``interval`` seconds of simulated time.
+
+    Probes are zero-argument callables returning a number; they are evaluated
+    on the simulator's clock, so sampling has no effect on simulated time.
+    The monitor stops automatically when the calendar drains (no further
+    samples are scheduled once nothing else is pending) or when :meth:`stop`
+    is called.
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 0.01) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.series: Dict[str, TimeSeries] = {}
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ probes
+    def add_probe(self, name: str, probe: Callable[[], float]) -> TimeSeries:
+        """Register ``probe`` under ``name``; returns its (empty) series."""
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = probe
+        self.series[name] = TimeSeries(name=name)
+        return self.series[name]
+
+    def probe_names(self) -> List[str]:
+        return sorted(self._probes)
+
+    # ------------------------------------------------------------------ control
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._stopped = False
+        self._sample_and_reschedule()
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._stopped = True
+        self._running = False
+
+    def _sample_and_reschedule(self) -> None:
+        if self._stopped:
+            return
+        self.sample_now()
+        # Only keep sampling while other work remains; otherwise the monitor
+        # would keep the simulation alive forever.
+        if self.sim.pending_events > 0:
+            self.sim.schedule(self.interval, self._sample_and_reschedule)
+        else:
+            self._running = False
+
+    def sample_now(self) -> Dict[str, float]:
+        """Take one sample of every probe immediately; returns the values."""
+        values: Dict[str, float] = {}
+        now = self.sim.now
+        for name, probe in self._probes.items():
+            value = float(probe())
+            self.series[name].add(now, value)
+            values[name] = value
+        return values

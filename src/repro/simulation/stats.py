@@ -1,0 +1,261 @@
+"""Statistics collectors used across the simulated system.
+
+The collectors are intentionally simple and allocation-light: experiments
+record millions of samples (per-request latencies, queue lengths over time),
+so the structures keep running aggregates and, when percentiles are needed,
+a bounded reservoir sample.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SummaryStats",
+    "ReservoirSample",
+    "LatencyRecorder",
+    "TimeWeightedValue",
+    "Counter",
+    "percentile",
+]
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already *sorted* list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+
+
+@dataclass
+class SummaryStats:
+    """Running count/mean/variance/min/max (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "SummaryStats") -> "SummaryStats":
+        """Return the summary of both collections combined."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        merged = SummaryStats()
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / merged.count
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / merged.count
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, convenient for report rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "total": self.total,
+        }
+
+
+class ReservoirSample:
+    """Fixed-size uniform reservoir sample (Vitter's algorithm R)."""
+
+    def __init__(self, capacity: int = 10_000, seed: int = 17) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._seen = 0
+        self._values: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Offer one sample to the reservoir."""
+        self._seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+        else:
+            index = self._rng.randrange(self._seen)
+            if index < self.capacity:
+                self._values[index] = value
+
+    @property
+    def seen(self) -> int:
+        """Total samples offered (not just retained)."""
+        return self._seen
+
+    def values(self) -> List[float]:
+        """Copy of retained samples (unsorted)."""
+        return list(self._values)
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile from the reservoir."""
+        return percentile(sorted(self._values), fraction)
+
+
+class LatencyRecorder:
+    """Latency statistics: running summary plus a reservoir for percentiles."""
+
+    def __init__(self, name: str = "latency", reservoir_size: int = 10_000) -> None:
+        self.name = name
+        self.summary = SummaryStats()
+        self.reservoir = ReservoirSample(reservoir_size)
+
+    def record(self, value: float) -> None:
+        """Record a latency sample (seconds)."""
+        self.summary.add(value)
+        self.reservoir.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.summary.count
+
+    @property
+    def mean(self) -> float:
+        return self.summary.mean
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (e.g. ``0.99``) of recorded latencies."""
+        return self.reservoir.percentile(fraction)
+
+    def as_dict(self) -> Dict[str, float]:
+        result = self.summary.as_dict()
+        if self.count:
+            result.update(
+                p50=self.percentile(0.50),
+                p95=self.percentile(0.95),
+                p99=self.percentile(0.99),
+            )
+        return result
+
+
+class TimeWeightedValue:
+    """Tracks the time-weighted average of a piecewise-constant value.
+
+    Used for queue lengths, cache occupancy, and device utilisation: call
+    :meth:`update` whenever the value changes, then :meth:`average` at the end
+    of the run.
+    """
+
+    def __init__(self, now: float = 0.0, initial: float = 0.0) -> None:
+        self._last_time = now
+        self._value = initial
+        self._area = 0.0
+        self._max = initial
+
+    def update(self, now: float, value: float) -> None:
+        """Record that the tracked quantity becomes ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError("time must be monotonically non-decreasing")
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def average(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean up to ``now`` (default: last update time)."""
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("time must be monotonically non-decreasing")
+        area = self._area + self._value * (end - self._last_time)
+        return area / end if end > 0 else self._value
+
+
+@dataclass
+class Counter:
+    """A named group of monotonically increasing counters."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.values)
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Return a new counter with both sets of counts summed."""
+        merged = Counter(dict(self.values))
+        for name, value in other.values.items():
+            merged.increment(name, value)
+        return merged
+
+
+def histogram(values: Iterable[float], bins: int = 10) -> List[Tuple[float, float, int]]:
+    """Equal-width histogram; returns ``(low, high, count)`` per bin."""
+    data = sorted(values)
+    if not data:
+        return []
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    low, high = data[0], data[-1]
+    if low == high:
+        return [(low, high, len(data))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for value in data:
+        index = min(int((value - low) / width), bins - 1)
+        counts[index] += 1
+    return [(low + i * width, low + (i + 1) * width, counts[i]) for i in range(bins)]

@@ -1,0 +1,41 @@
+"""Storage substrate: device models, caches, filters, and persistent stores."""
+
+from .bloom import BloomFilter, optimal_parameters
+from .cuckoo import CuckooHashTable, CuckooInsertError
+from .devices import (
+    HDD_SPEC,
+    RAM_SPEC,
+    SSD_SPEC,
+    DeviceSpec,
+    StorageDevice,
+    make_hdd,
+    make_ram,
+    make_ssd,
+)
+from .hashstore import FileHashStore, IOOperation, SSDHashStore
+from .lru import LRUCache
+from .object_store import CloudObjectStore, StoredObject
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "optimal_parameters",
+    "CuckooHashTable",
+    "CuckooInsertError",
+    "DeviceSpec",
+    "StorageDevice",
+    "RAM_SPEC",
+    "SSD_SPEC",
+    "HDD_SPEC",
+    "make_ram",
+    "make_ssd",
+    "make_hdd",
+    "FileHashStore",
+    "IOOperation",
+    "SSDHashStore",
+    "LRUCache",
+    "CloudObjectStore",
+    "StoredObject",
+    "LogRecord",
+    "WriteAheadLog",
+]

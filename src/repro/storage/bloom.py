@@ -1,0 +1,144 @@
+"""Bloom filter.
+
+The SHHC node keeps a bloom filter in RAM in front of the SSD-resident hash
+table so that lookups for fingerprints that are definitely not stored avoid
+the flash read entirely (paper §III.B).  This implementation is a standard
+partitioned-by-hash bloom filter over a Python ``bytearray`` bit vector, sized
+from a target false-positive rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Optional
+
+__all__ = ["BloomFilter", "optimal_parameters"]
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
+    """Return ``(bits, hash_count)`` for the target capacity and FP rate."""
+    if expected_items <= 0:
+        raise ValueError("expected_items must be positive")
+    if not 0.0 < false_positive_rate < 1.0:
+        raise ValueError("false_positive_rate must be in (0, 1)")
+    bits = int(math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)))
+    hashes = max(1, int(round(bits / expected_items * math.log(2))))
+    return max(8, bits), hashes
+
+
+class BloomFilter:
+    """A classic bloom filter over byte-string keys.
+
+    Parameters
+    ----------
+    expected_items:
+        The number of keys the filter is sized for.
+    false_positive_rate:
+        Target false-positive probability at ``expected_items`` insertions.
+    num_bits / num_hashes:
+        Explicit sizing; overrides the derived parameters when given.
+    """
+
+    def __init__(
+        self,
+        expected_items: int = 1_000_000,
+        false_positive_rate: float = 0.01,
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
+    ) -> None:
+        derived_bits, derived_hashes = optimal_parameters(expected_items, false_positive_rate)
+        self.num_bits = int(num_bits) if num_bits is not None else derived_bits
+        self.num_hashes = int(num_hashes) if num_hashes is not None else derived_hashes
+        if self.num_bits <= 0 or self.num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.expected_items = expected_items
+        self.false_positive_rate = false_positive_rate
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self._count = 0
+
+    # -- internals -------------------------------------------------------------
+    def _indexes(self, key: bytes) -> Iterable[int]:
+        """Kirsch-Mitzenmacher double hashing over a SHA-256 digest."""
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        digest = hashlib.sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1  # odd, so it cycles all bits
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def _set_bit(self, index: int) -> None:
+        self._bits[index >> 3] |= 1 << (index & 7)
+
+    def _get_bit(self, index: int) -> bool:
+        return bool(self._bits[index >> 3] & (1 << (index & 7)))
+
+    # -- public API -------------------------------------------------------------
+    def add(self, key: bytes) -> None:
+        """Insert ``key`` into the filter."""
+        for index in self._indexes(key):
+            self._set_bit(index)
+        self._count += 1
+
+    def update(self, keys: Iterable[bytes]) -> None:
+        """Insert many keys."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        """``True`` if the key *may* have been added, ``False`` if definitely not."""
+        return all(self._get_bit(index) for index in self._indexes(key))
+
+    def might_contain(self, key: bytes) -> bool:
+        """Alias for ``key in filter`` with an explicit name."""
+        return key in self
+
+    @property
+    def count(self) -> int:
+        """Number of insertions performed (not distinct keys)."""
+        return self._count
+
+    @property
+    def bit_size(self) -> int:
+        """Size of the bit vector in bits."""
+        return self.num_bits
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the bit vector."""
+        return len(self._bits)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (used to estimate the current FP rate)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    def estimated_false_positive_rate(self) -> float:
+        """Estimate of the current false-positive probability."""
+        return self.fill_ratio() ** self.num_hashes
+
+    def clear(self) -> None:
+        """Remove all entries (reset every bit)."""
+        self._bits = bytearray(len(self._bits))
+        self._count = 0
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise OR of two filters with identical parameters."""
+        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+            raise ValueError("cannot union bloom filters with different parameters")
+        merged = BloomFilter(
+            expected_items=self.expected_items,
+            false_positive_rate=self.false_positive_rate,
+            num_bits=self.num_bits,
+            num_hashes=self.num_hashes,
+        )
+        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        merged._count = self._count + other._count
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BloomFilter bits={self.num_bits} hashes={self.num_hashes} "
+            f"count={self._count} fill={self.fill_ratio():.3f}>"
+        )

@@ -1,0 +1,234 @@
+"""Calibrated storage / memory device models.
+
+These models substitute for the paper's physical hardware (DDR3 RAM, SATA-II
+SSD, 7.2k RPM HDD).  Each device exposes a *service time* for an access of a
+given kind and size; the simulated components (hash nodes, baselines) acquire
+the device as a :class:`~repro.simulation.resources.Resource` and hold it for
+that service time, which reproduces queueing under load.
+
+Default parameters follow widely published figures for circa-2010 hardware
+(the paper's testbed era):
+
+==============  =====================  ==========================
+Device           Latency                Bandwidth
+==============  =====================  ==========================
+RAM              ~100 ns per access     ~10 GB/s
+SATA-II SSD      ~90 µs read / ~230 µs  ~250 MB/s read / 180 MB/s
+                 write (4 KB)           write
+7.2k RPM HDD     ~6 ms seek + rotate    ~100 MB/s sequential
+==============  =====================  ==========================
+
+Absolute values are configurable; experiments rely on the *ratios* (RAM ≪ SSD
+≪ HDD random access), which is what the SHHC design exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simulation.engine import Event, Simulator
+from ..simulation.resources import Resource
+from ..simulation.stats import Counter, LatencyRecorder
+
+__all__ = [
+    "DeviceSpec",
+    "StorageDevice",
+    "RAM_SPEC",
+    "SSD_SPEC",
+    "HDD_SPEC",
+    "make_ram",
+    "make_ssd",
+    "make_hdd",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Latency/bandwidth parameters of a storage or memory device.
+
+    All times are seconds; bandwidths are bytes per second.
+    """
+
+    name: str
+    read_latency: float
+    write_latency: float
+    read_bandwidth: float
+    write_bandwidth: float
+    concurrency: int = 1
+    seek_latency: float = 0.0
+
+    def read_time(self, size_bytes: int = 4096, random_access: bool = True) -> float:
+        """Service time for a read of ``size_bytes``."""
+        base = self.read_latency + (self.seek_latency if random_access else 0.0)
+        return base + size_bytes / self.read_bandwidth
+
+    def write_time(self, size_bytes: int = 4096, random_access: bool = True) -> float:
+        """Service time for a write of ``size_bytes``."""
+        base = self.write_latency + (self.seek_latency if random_access else 0.0)
+        return base + size_bytes / self.write_bandwidth
+
+
+RAM_SPEC = DeviceSpec(
+    name="ram",
+    read_latency=100e-9,
+    write_latency=100e-9,
+    read_bandwidth=10e9,
+    write_bandwidth=10e9,
+    concurrency=8,
+)
+
+SSD_SPEC = DeviceSpec(
+    name="ssd",
+    read_latency=90e-6,
+    write_latency=230e-6,
+    read_bandwidth=250e6,
+    write_bandwidth=180e6,
+    concurrency=4,
+)
+
+HDD_SPEC = DeviceSpec(
+    name="hdd",
+    read_latency=0.5e-3,
+    write_latency=0.5e-3,
+    read_bandwidth=100e6,
+    write_bandwidth=100e6,
+    concurrency=1,
+    seek_latency=6e-3,
+)
+
+
+class StorageDevice:
+    """A simulated device: a resource with spec-derived service times.
+
+    The device can be used in two modes:
+
+    * **Simulated** -- pass a :class:`Simulator`; :meth:`read` / :meth:`write`
+      return events that complete after queueing plus service time.
+    * **Immediate** -- no simulator; the access-time accounting still happens
+      (useful for analytic cost models) but calls return instantly.
+    """
+
+    def __init__(self, spec: DeviceSpec, sim: Optional[Simulator] = None, name: str = "") -> None:
+        self.spec = spec
+        self.sim = sim
+        self.name = name or spec.name
+        self.counters = Counter()
+        self.latency = LatencyRecorder(f"{self.name}.latency")
+        self.busy_time = 0.0
+        self._resource: Optional[Resource] = (
+            Resource(sim, capacity=spec.concurrency, name=f"{self.name}.queue") if sim else None
+        )
+
+    # -- cost model (always available) ---------------------------------------
+    def read_cost(self, size_bytes: int = 4096, random_access: bool = True) -> float:
+        """Pure service time of a read, excluding queueing."""
+        return self.spec.read_time(size_bytes, random_access)
+
+    def write_cost(self, size_bytes: int = 4096, random_access: bool = True) -> float:
+        """Pure service time of a write, excluding queueing."""
+        return self.spec.write_time(size_bytes, random_access)
+
+    # -- simulated access -----------------------------------------------------
+    def read(self, size_bytes: int = 4096, random_access: bool = True) -> Event:
+        """Perform a read; returns an event succeeding with the service time."""
+        return self._access("read", self.read_cost(size_bytes, random_access))
+
+    def write(self, size_bytes: int = 4096, random_access: bool = True) -> Event:
+        """Perform a write; returns an event succeeding with the service time."""
+        return self._access("write", self.write_cost(size_bytes, random_access))
+
+    def _access(self, kind: str, service_time: float) -> Event:
+        self.counters.increment(f"{kind}s")
+        self.counters.increment(f"{kind}_time_ns", int(service_time * 1e9))
+        self.busy_time += service_time
+        self.latency.record(service_time)
+        if self.sim is None or self._resource is None:
+            done = Event(sim=_ImmediateSim(), name=f"{self.name}.{kind}")
+            done.succeed(service_time)
+            return done
+        return self._simulated_access(service_time, kind)
+
+    def busy(self, duration: float) -> Event:
+        """Occupy the device for an externally computed ``duration``.
+
+        Used when a caller has already accounted for the individual accesses
+        (e.g. a batched lookup) and only needs the device's queue to reflect
+        the aggregate busy time.  The returned event succeeds with the
+        duration once the device has actually been held for it.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.busy_time += duration
+        if self.sim is None or self._resource is None:
+            done = Event(sim=_ImmediateSim(), name=f"{self.name}.busy")
+            done.succeed(duration)
+            return done
+        return self._simulated_access(duration, "busy")
+
+    def _simulated_access(self, service_time: float, kind: str) -> Event:
+        assert self.sim is not None and self._resource is not None
+        done = self.sim.event(f"{self.name}.{kind}")
+        grant = self._resource.request()
+
+        def _start(_grant_event: Event) -> None:
+            def _finish() -> None:
+                self._resource.release()
+                done.succeed(service_time)
+
+            self.sim.schedule(service_time, _finish)
+
+        grant.add_callback(_start)
+        return done
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def reads(self) -> int:
+        return self.counters.get("reads")
+
+    @property
+    def writes(self) -> int:
+        return self.counters.get("writes")
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over ``elapsed`` seconds of simulated time."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self.spec.concurrency))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StorageDevice {self.name} reads={self.reads} writes={self.writes}>"
+
+
+class _ImmediateSim:
+    """Minimal stand-in so :class:`Event` works without a real simulator."""
+
+    def schedule(self, _delay: float, callback, *args) -> None:
+        callback(*args)
+
+
+def make_ram(sim: Optional[Simulator] = None, name: str = "ram", **overrides) -> StorageDevice:
+    """RAM device with optional spec overrides (e.g. ``read_latency=...``)."""
+    return StorageDevice(_override(RAM_SPEC, overrides), sim, name)
+
+
+def make_ssd(sim: Optional[Simulator] = None, name: str = "ssd", **overrides) -> StorageDevice:
+    """SATA-II-class SSD device with optional spec overrides."""
+    return StorageDevice(_override(SSD_SPEC, overrides), sim, name)
+
+
+def make_hdd(sim: Optional[Simulator] = None, name: str = "hdd", **overrides) -> StorageDevice:
+    """7.2k-RPM HDD device with optional spec overrides."""
+    return StorageDevice(_override(HDD_SPEC, overrides), sim, name)
+
+
+def _override(spec: DeviceSpec, overrides: dict) -> DeviceSpec:
+    if not overrides:
+        return spec
+    valid = {f for f in spec.__dataclass_fields__}  # type: ignore[attr-defined]
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown device spec fields: {sorted(unknown)}")
+    params = {f: getattr(spec, f) for f in valid}
+    params.update(overrides)
+    return DeviceSpec(**params)

@@ -1,0 +1,128 @@
+"""LRU cache used as the RAM tier of a hybrid hash node.
+
+The paper's node keeps a least-recently-used list of fingerprints in RAM
+(Figure 4): hits move the entry to the MRU end; when the cache is full the
+LRU tail is destaged.  This implementation is an ``OrderedDict``-backed map
+with hit/miss/eviction accounting and an optional eviction callback so the
+node can hook destaging logic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A bounded map with least-recently-used eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; must be at least 1.
+    on_evict:
+        Optional callback ``(key, value) -> None`` invoked for every evicted
+        entry (the hash node uses this to count destages).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Optional[Callable[[Hashable, Any], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    # -- core operations --------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``; a hit refreshes its recency."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without affecting recency or hit/miss counters."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any = True) -> Optional[Tuple[Hashable, Any]]:
+        """Insert or refresh ``key``.  Returns the evicted ``(key, value)`` if any."""
+        evicted: Optional[Tuple[Hashable, Any]] = None
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+        else:
+            self.insertions += 1
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                evicted = self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(*evicted)
+        return evicted
+
+    def remove(self, key: Hashable) -> bool:
+        """Delete ``key`` if present; returns whether it was there."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every entry (does not fire eviction callbacks)."""
+        self._entries.clear()
+
+    # -- inspection --------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test *without* touching recency or counters."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate keys from least to most recently used."""
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lru_key(self) -> Optional[Hashable]:
+        """The key that would be evicted next (``None`` if empty)."""
+        return next(iter(self._entries), None)
+
+    def mru_key(self) -> Optional[Hashable]:
+        """The most recently used key (``None`` if empty)."""
+        return next(reversed(self._entries), None)
+
+    def hit_ratio(self) -> float:
+        """Hits divided by total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for reporting."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "hit_ratio": self.hit_ratio(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LRUCache size={len(self._entries)}/{self.capacity} hit_ratio={self.hit_ratio():.3f}>"

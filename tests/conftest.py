@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.simulation.engine import Simulator
+from repro.workloads.profiles import MAIL_SERVER, WEB_SERVER
+from repro.workloads.traces import TraceGenerator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def small_node_config() -> HashNodeConfig:
+    """Hash-node configuration sized for unit tests."""
+    return HashNodeConfig(
+        ram_cache_entries=256,
+        bloom_expected_items=10_000,
+        ssd_buckets=1 << 10,
+    )
+
+
+@pytest.fixture
+def small_cluster_config(small_node_config: HashNodeConfig) -> ClusterConfig:
+    """Four-node cluster configuration sized for unit tests."""
+    return ClusterConfig(num_nodes=4, node=small_node_config)
+
+
+@pytest.fixture
+def fingerprints_1k():
+    """1000 fingerprints over 600 identities (so ~400 duplicates)."""
+    return [synthetic_fingerprint(i % 600, 8192) for i in range(1000)]
+
+
+@pytest.fixture
+def unique_fingerprints_500():
+    """500 distinct fingerprints."""
+    return [synthetic_fingerprint(10_000 + i, 4096) for i in range(500)]
+
+
+@pytest.fixture(scope="session")
+def web_server_trace():
+    """A small web-server-profile trace shared across tests (read-only)."""
+    return TraceGenerator(WEB_SERVER.scaled(0.002), seed=3).materialize()
+
+
+@pytest.fixture(scope="session")
+def mail_server_trace():
+    """A small mail-server-profile trace shared across tests (read-only)."""
+    return TraceGenerator(MAIL_SERVER.scaled(0.0005), seed=3).materialize()

@@ -1,0 +1,58 @@
+"""Tests for the plain-text report rendering helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_fraction_bar, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "count"], [["alpha", 10], ["beta", 2000]])
+        assert "name" in text and "count" in text
+        assert "alpha" in text and "beta" in text
+        assert "2,000" in text  # thousands separator
+
+    def test_title_and_rule(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_columns_are_aligned(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-value"]])
+        data_lines = text.splitlines()[2:]
+        assert len(set(len(line) for line in data_lines)) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.12345], [12.3456], [12345.6]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "12.35" in text
+        assert "12,346" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_series_rendered_as_columns(self):
+        text = format_series("x", [1, 2, 3], {"linear": [1, 2, 3], "square": [1, 4, 9]})
+        assert "linear" in text and "square" in text
+        assert "9" in text
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2], {"partial": [10]})
+        assert "10" in text
+
+
+class TestFractionBar:
+    def test_bars_scale_with_fraction(self):
+        text = format_fraction_bar({"a": 0.75, "b": 0.25}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 15
+        assert lines[1].count("#") == 5
+        assert "75.0%" in lines[0]
+
+    def test_title_and_empty(self):
+        assert "headline" in format_fraction_bar({"a": 1.0}, title="headline")
+        assert "(empty)" in format_fraction_bar({})

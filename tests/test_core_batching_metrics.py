@@ -1,0 +1,193 @@
+"""Tests for query batching helpers and cluster metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batching import BatchAccumulator, reassemble_replies, split_batch_by_owner
+from repro.core.hash_node import NodeSnapshot
+from repro.core.metrics import ClusterMetrics, LoadBalanceReport
+from repro.core.partition import RangePartitioner
+from repro.core.protocol import BatchLookupReply, LookupReply, ServedFrom
+from repro.dedup.fingerprint import synthetic_fingerprint
+
+
+PARTITIONER = RangePartitioner(["n0", "n1", "n2", "n3"])
+FINGERPRINTS = [synthetic_fingerprint(i) for i in range(400)]
+
+
+class TestBatchAccumulator:
+    def test_batch_emitted_when_full(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=8)
+        ready = []
+        for fingerprint in FINGERPRINTS:
+            ready.extend(accumulator.add(fingerprint))
+        assert all(len(request) == 8 for _node, request in ready)
+        # Every emitted batch is addressed to the owner of all its fingerprints.
+        for node, request in ready:
+            assert all(PARTITIONER.owner(fp) == node for fp in request.fingerprints)
+
+    def test_flush_emits_partial_batches(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=1000)
+        accumulator.add_many(FINGERPRINTS[:10])
+        flushed = accumulator.flush()
+        total = sum(len(request) for _node, request in flushed)
+        assert total == 10
+        assert accumulator.pending_count() == 0
+
+    def test_batch_size_one_emits_immediately(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=1)
+        ready = accumulator.add(FINGERPRINTS[0])
+        assert len(ready) == 1
+        assert len(ready[0][1]) == 1
+
+    def test_callback_mode(self):
+        received = []
+        accumulator = BatchAccumulator(
+            PARTITIONER, batch_size=4, on_batch_ready=lambda node, request: received.append(node)
+        )
+        accumulator.add_many(FINGERPRINTS[:64])
+        assert len(received) == accumulator.batches_emitted
+        assert accumulator.fingerprints_added == 64
+
+    def test_poll_expired_respects_max_delay(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=1000, max_delay=5.0)
+        accumulator.add(FINGERPRINTS[0], now=0.0)
+        assert accumulator.poll_expired(now=3.0) == []
+        expired = accumulator.poll_expired(now=6.0)
+        assert len(expired) == 1
+
+    def test_poll_expired_without_max_delay_is_noop(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=10)
+        accumulator.add(FINGERPRINTS[0], now=0.0)
+        assert accumulator.poll_expired(now=100.0) == []
+
+    def test_pending_count_per_node(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=1000)
+        accumulator.add_many(FINGERPRINTS[:40])
+        per_node = sum(accumulator.pending_count(node) for node in PARTITIONER.nodes())
+        assert per_node == accumulator.pending_count() == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchAccumulator(PARTITIONER, batch_size=0)
+
+    def test_batch_ids_are_unique(self):
+        accumulator = BatchAccumulator(PARTITIONER, batch_size=2)
+        ready = accumulator.add_many(FINGERPRINTS[:64])
+        ids = [request.batch_id for _node, request in ready]
+        assert len(ids) == len(set(ids))
+
+
+class TestSplitAndReassemble:
+    def test_split_covers_all_positions_exactly_once(self):
+        split = split_batch_by_owner(FINGERPRINTS[:100], PARTITIONER)
+        positions = sorted(p for _req, pos in split.values() for p in pos)
+        assert positions == list(range(100))
+
+    def test_split_routes_to_owner(self):
+        split = split_batch_by_owner(FINGERPRINTS[:100], PARTITIONER)
+        for node, (request, _positions) in split.items():
+            assert all(PARTITIONER.owner(fp) == node for fp in request.fingerprints)
+
+    def test_reassemble_restores_original_order(self):
+        fingerprints = FINGERPRINTS[:50]
+        split = split_batch_by_owner(fingerprints, PARTITIONER)
+        per_node = []
+        for node, (request, positions) in split.items():
+            replies = [
+                LookupReply(fp, False, ServedFrom.NEW, node_id=node)
+                for fp in request.fingerprints
+            ]
+            per_node.append((BatchLookupReply(replies=replies, node_id=node), positions))
+        merged = reassemble_replies(len(fingerprints), per_node)
+        assert [reply.fingerprint for reply in merged] == fingerprints
+
+    def test_reassemble_detects_missing_positions(self):
+        fingerprints = FINGERPRINTS[:10]
+        split = split_batch_by_owner(fingerprints, PARTITIONER)
+        per_node = list(split.items())[:-1]  # drop one node's replies
+        partial = [
+            (
+                BatchLookupReply(
+                    replies=[LookupReply(fp, False, ServedFrom.NEW) for fp in request.fingerprints],
+                    node_id=node,
+                ),
+                positions,
+            )
+            for node, (request, positions) in per_node
+        ]
+        with pytest.raises(ValueError):
+            reassemble_replies(len(fingerprints), partial)
+
+    def test_reassemble_detects_length_mismatch(self):
+        fingerprints = FINGERPRINTS[:4]
+        reply = BatchLookupReply(
+            replies=[LookupReply(fingerprints[0], False, ServedFrom.NEW)], node_id="n0"
+        )
+        with pytest.raises(ValueError):
+            reassemble_replies(4, [(reply, [0, 1])])
+
+
+def snapshot(node_id: str, entries: int, lookups: int, ram_hits: int = 0) -> NodeSnapshot:
+    return NodeSnapshot(
+        node_id=node_id,
+        entries=entries,
+        ram_cached=0,
+        lookups=lookups,
+        ram_hits=ram_hits,
+        ssd_hits=0,
+        new_entries=entries,
+        destages=0,
+        bloom_negative_shortcuts=0,
+        bloom_false_positives=0,
+    )
+
+
+class TestLoadBalanceReport:
+    def test_fractions_sum_to_one(self):
+        report = LoadBalanceReport({"a": 25, "b": 25, "c": 25, "d": 25})
+        assert sum(report.fractions().values()) == pytest.approx(1.0)
+        assert report.coefficient_of_variation == pytest.approx(0.0)
+        assert report.max_over_mean == pytest.approx(1.0)
+        assert report.max_deviation_from_even() == pytest.approx(0.0)
+
+    def test_imbalance_detected(self):
+        report = LoadBalanceReport({"a": 70, "b": 10, "c": 10, "d": 10})
+        assert report.max_over_mean == pytest.approx(70 / 25)
+        assert report.coefficient_of_variation > 0.5
+        assert report.max_deviation_from_even() == pytest.approx(0.45)
+
+    def test_empty_report(self):
+        report = LoadBalanceReport({})
+        assert report.total == 0
+        assert report.fractions() == {}
+        assert report.max_over_mean == 1.0
+
+
+class TestClusterMetrics:
+    def test_totals_aggregate_across_snapshots(self):
+        metrics = ClusterMetrics(
+            snapshots=[snapshot("n0", 100, 150, ram_hits=50), snapshot("n1", 80, 100, ram_hits=20)]
+        )
+        assert metrics.total_entries == 180
+        assert metrics.total_lookups == 250
+        assert metrics.ram_hits == 70
+        assert metrics.total_new_entries == 180
+        assert metrics.duplicate_ratio() == pytest.approx(70 / 250)
+        assert metrics.ram_hit_ratio() == pytest.approx(70 / 250)
+
+    def test_distributions(self):
+        metrics = ClusterMetrics(snapshots=[snapshot("n0", 100, 1), snapshot("n1", 100, 3)])
+        assert metrics.storage_distribution().fractions() == {"n0": 0.5, "n1": 0.5}
+        assert metrics.lookup_distribution().counts == {"n0": 1, "n1": 3}
+        assert set(metrics.tier_breakdown()) == {"ram", "ssd", "new"}
+
+    def test_as_dict_keys(self):
+        metrics = ClusterMetrics(snapshots=[snapshot("n0", 10, 10)])
+        assert {"nodes", "lookups", "entries", "storage_cv"} <= set(metrics.as_dict())
+
+    def test_empty_metrics(self):
+        metrics = ClusterMetrics()
+        assert metrics.duplicate_ratio() == 0.0
+        assert metrics.total_lookups == 0

@@ -1,0 +1,179 @@
+"""Tests for the hybrid hash node (the paper's Figure 3/4 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HashNodeConfig
+from repro.core.hash_node import HybridHashNode
+from repro.core.protocol import BatchLookupRequest, ServedFrom
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.simulation.engine import Simulator
+
+
+def make_node(sim=None, **overrides) -> HybridHashNode:
+    defaults = dict(ram_cache_entries=64, bloom_expected_items=10_000, ssd_buckets=1 << 10)
+    defaults.update(overrides)
+    return HybridHashNode("node-0", HashNodeConfig(**defaults), sim=sim)
+
+
+class TestLookupFlow:
+    def test_unknown_fingerprint_is_unique_and_inserted(self):
+        node = make_node()
+        fingerprint = synthetic_fingerprint(1)
+        reply = node.lookup(fingerprint)
+        assert reply.is_duplicate is False
+        assert reply.served_from is ServedFrom.NEW
+        assert len(node) == 1
+        assert fingerprint in node
+
+    def test_repeat_lookup_is_ram_hit(self):
+        node = make_node()
+        fingerprint = synthetic_fingerprint(1)
+        node.lookup(fingerprint)
+        reply = node.lookup(fingerprint)
+        assert reply.is_duplicate is True
+        assert reply.served_from is ServedFrom.RAM
+
+    def test_evicted_fingerprint_served_from_ssd(self):
+        node = make_node(ram_cache_entries=4)
+        target = synthetic_fingerprint(0)
+        node.lookup(target)
+        # Push enough other fingerprints through to evict the target from RAM.
+        for index in range(1, 50):
+            node.lookup(synthetic_fingerprint(index))
+        assert target.digest not in node.cache
+        reply = node.lookup(target)
+        assert reply.is_duplicate is True
+        assert reply.served_from is ServedFrom.SSD
+        # The SSD hit promotes it back into RAM.
+        assert target.digest in node.cache
+
+    def test_destage_counter_increments_on_eviction(self):
+        node = make_node(ram_cache_entries=4)
+        for index in range(20):
+            node.lookup(synthetic_fingerprint(index))
+        assert node.snapshot().destages == 16
+
+    def test_bloom_negative_shortcut_avoids_ssd_read(self):
+        node = make_node()
+        before = node.store.page_reads
+        node.lookup(synthetic_fingerprint(123))
+        assert node.store.page_reads == before  # no SSD probe for a definite miss
+        assert node.snapshot().bloom_negative_shortcuts == 1
+
+    def test_ram_hit_is_cheaper_than_ssd_hit(self):
+        node = make_node(ram_cache_entries=4)
+        target = synthetic_fingerprint(0)
+        node.lookup(target)
+        ram_hit = node.lookup(target)
+        for index in range(1, 50):
+            node.lookup(synthetic_fingerprint(index))
+        ssd_hit = node.lookup(target)
+        assert ssd_hit.served_from is ServedFrom.SSD
+        assert ram_hit.service_time < ssd_hit.service_time
+
+    def test_lookup_batch_preserves_order_and_counts(self):
+        node = make_node()
+        fingerprints = [synthetic_fingerprint(i % 10) for i in range(30)]
+        replies = node.lookup_batch(fingerprints)
+        assert [r.fingerprint for r in replies] == fingerprints
+        assert sum(1 for r in replies if not r.is_duplicate) == 10
+        assert len(node) == 10
+
+    def test_counters_consistency(self):
+        node = make_node()
+        for index in range(40):
+            node.lookup(synthetic_fingerprint(index % 8))
+        snapshot = node.snapshot()
+        assert snapshot.lookups == 40
+        assert snapshot.new_entries == 8
+        assert snapshot.ram_hits + snapshot.ssd_hits + snapshot.new_entries == 40
+        assert snapshot.entries == 8
+
+    def test_contains_is_readonly(self):
+        node = make_node()
+        fingerprint = synthetic_fingerprint(5)
+        assert fingerprint not in node
+        assert len(node) == 0
+
+
+class TestImportExport:
+    def test_export_import_roundtrip(self):
+        source = make_node()
+        for index in range(25):
+            source.lookup(synthetic_fingerprint(index))
+        target = make_node()
+        added = target.import_entries(source.export_entries())
+        assert added == 25
+        assert len(target) == 25
+        for index in range(25):
+            assert synthetic_fingerprint(index) in target
+
+    def test_import_is_idempotent(self):
+        node = make_node()
+        node.lookup(synthetic_fingerprint(1))
+        entries = node.export_entries()
+        assert node.import_entries(entries) == 0
+
+    def test_imported_entries_pass_bloom_filter(self):
+        source = make_node()
+        source.lookup(synthetic_fingerprint(7))
+        target = make_node()
+        target.import_entries(source.export_entries())
+        reply = target.lookup(synthetic_fingerprint(7))
+        assert reply.is_duplicate is True
+
+    def test_remove_entry(self):
+        node = make_node()
+        fingerprint = synthetic_fingerprint(3)
+        node.lookup(fingerprint)
+        assert node.remove_entry(fingerprint.digest) is True
+        assert node.remove_entry(fingerprint.digest) is False
+        assert fingerprint not in node
+
+
+class TestSimulatedServing:
+    def test_serve_batch_requires_simulator(self):
+        node = make_node()
+        with pytest.raises(RuntimeError):
+            node.serve_batch(BatchLookupRequest([synthetic_fingerprint(1)]))
+
+    def test_serve_batch_returns_replies_after_service_time(self, sim):
+        node = make_node(sim)
+        request = BatchLookupRequest([synthetic_fingerprint(i) for i in range(16)])
+        results = []
+        node.serve_batch(request).add_callback(lambda e: results.append((sim.now, e.value)))
+        sim.run()
+        finish_time, reply = results[0]
+        assert len(reply.replies) == 16
+        assert reply.node_id == "node-0"
+        # At least the per-request plus per-fingerprint CPU time must elapse.
+        expected_cpu = node.config.cpu_per_request + 16 * node.config.cpu_per_lookup
+        assert finish_time >= expected_cpu
+
+    def test_serve_batches_queue_on_cpu(self, sim):
+        node = make_node(sim)
+        finish_times = []
+        for batch_index in range(3):
+            request = BatchLookupRequest(
+                [synthetic_fingerprint(batch_index * 100 + i) for i in range(10)]
+            )
+            node.serve_batch(request).add_callback(lambda _e: finish_times.append(sim.now))
+        sim.run()
+        assert finish_times == sorted(finish_times)
+        # With service_concurrency=1, batches must not all finish together.
+        assert finish_times[2] > finish_times[0]
+
+    def test_simulated_and_immediate_agree_on_verdicts(self, sim):
+        fingerprints = [synthetic_fingerprint(i % 6) for i in range(24)]
+        immediate_node = make_node()
+        immediate = [r.is_duplicate for r in immediate_node.lookup_batch(fingerprints)]
+
+        simulated_node = make_node(sim)
+        collected = []
+        simulated_node.serve_batch(BatchLookupRequest(fingerprints)).add_callback(
+            lambda e: collected.extend(r.is_duplicate for r in e.value.replies)
+        )
+        sim.run()
+        assert collected == immediate

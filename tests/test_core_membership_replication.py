@@ -1,0 +1,143 @@
+"""Tests for dynamic membership (scaling) and the replication controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.membership import MembershipManager
+from repro.core.replication import ReplicationController
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.storage.wal import WriteAheadLog
+
+
+def loaded_cluster(num_nodes=4, replication=1, virtual_nodes=0, entries=800) -> SHHCCluster:
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000, ssd_buckets=1 << 10),
+        replication_factor=replication,
+        virtual_nodes=virtual_nodes,
+    )
+    cluster = SHHCCluster(config)
+    cluster.lookup_batch([synthetic_fingerprint(i) for i in range(entries)])
+    return cluster
+
+
+class TestMembershipManager:
+    def test_add_node_preserves_every_fingerprint(self):
+        cluster = loaded_cluster()
+        manager = MembershipManager(cluster)
+        report = manager.add_node("hashnode-4")
+        assert report.action == "add"
+        assert len(cluster.nodes) == 5
+        assert len(cluster) == 800
+        for index in range(800):
+            assert cluster.lookup(synthetic_fingerprint(index)).is_duplicate is True
+
+    def test_add_node_places_entries_at_their_new_owner(self):
+        cluster = loaded_cluster()
+        MembershipManager(cluster).add_node("hashnode-4")
+        for index in range(0, 800, 7):
+            fingerprint = synthetic_fingerprint(index)
+            assert fingerprint in cluster.nodes[cluster.owner_of(fingerprint)]
+
+    def test_add_existing_node_rejected(self):
+        cluster = loaded_cluster()
+        with pytest.raises(ValueError):
+            MembershipManager(cluster).add_node("hashnode-0")
+
+    def test_remove_node_preserves_every_fingerprint(self):
+        cluster = loaded_cluster()
+        manager = MembershipManager(cluster)
+        report = manager.remove_node("hashnode-1")
+        assert report.action == "remove"
+        assert len(cluster.nodes) == 3
+        assert "hashnode-1" not in cluster.nodes
+        assert len(cluster) == 800
+        for index in range(800):
+            assert cluster.lookup(synthetic_fingerprint(index)).is_duplicate is True
+
+    def test_remove_unknown_or_last_node_rejected(self):
+        cluster = loaded_cluster(num_nodes=1)
+        manager = MembershipManager(cluster)
+        with pytest.raises(KeyError):
+            manager.remove_node("ghost")
+        with pytest.raises(ValueError):
+            manager.remove_node("hashnode-0")
+
+    def test_consistent_hashing_moves_fewer_entries_than_range(self):
+        range_cluster = loaded_cluster(virtual_nodes=0)
+        ring_cluster = loaded_cluster(virtual_nodes=128)
+        range_report = MembershipManager(range_cluster).add_node("hashnode-4")
+        ring_report = MembershipManager(ring_cluster).add_node("hashnode-4")
+        assert ring_report.moved_fraction < range_report.moved_fraction
+
+    def test_consistent_hashing_join_moves_roughly_one_fifth(self):
+        cluster = loaded_cluster(virtual_nodes=256)
+        report = MembershipManager(cluster).add_node("hashnode-4")
+        assert 0.05 < report.moved_fraction < 0.4
+
+    def test_migration_reports_accumulate(self):
+        cluster = loaded_cluster()
+        manager = MembershipManager(cluster)
+        manager.add_node("hashnode-4")
+        manager.remove_node("hashnode-4")
+        assert len(manager.reports) == 2
+        assert manager.total_moved() == sum(r.entries_moved for r in manager.reports)
+
+    def test_wal_records_membership_changes(self):
+        cluster = loaded_cluster()
+        wal = WriteAheadLog()
+        manager = MembershipManager(cluster, wal=wal)
+        manager.add_node("hashnode-4")
+        kinds = [record.kind for record in wal.replay()]
+        assert kinds == ["add_node", "add_node_done"]
+
+
+class TestReplicationController:
+    def test_healthy_cluster_reports_full_replication(self):
+        cluster = loaded_cluster(num_nodes=3, replication=2, entries=300)
+        report = ReplicationController(cluster).consistency_report()
+        assert report.is_healthy
+        assert report.total_fingerprints == 300
+        assert report.copies_histogram.get(2, 0) == 300
+
+    def test_node_failure_repair_restores_replication(self):
+        cluster = loaded_cluster(num_nodes=3, replication=2, entries=300)
+        controller = ReplicationController(cluster)
+        created = controller.handle_failure("hashnode-0")
+        assert created > 0
+        report = controller.consistency_report()
+        assert report.is_healthy
+        assert report.lost == 0
+        # All fingerprints still answerable.
+        for index in range(300):
+            assert cluster.lookup(synthetic_fingerprint(index)).is_duplicate is True
+
+    def test_no_data_loss_with_replication_after_single_failure(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, entries=400)
+        controller = ReplicationController(cluster)
+        cluster.mark_down("hashnode-2")
+        report = controller.consistency_report()
+        assert report.lost == 0
+
+    def test_without_replication_failure_loses_copies(self):
+        cluster = loaded_cluster(num_nodes=4, replication=1, entries=400)
+        controller = ReplicationController(cluster)
+        cluster.mark_down("hashnode-2")
+        report = controller.consistency_report()
+        # The failed node's entries have no surviving copy.
+        assert report.total_fingerprints < 400
+
+    def test_repair_is_idempotent(self):
+        cluster = loaded_cluster(num_nodes=3, replication=2, entries=200)
+        controller = ReplicationController(cluster)
+        assert controller.repair() == 0
+
+    def test_recovery_after_rejoin_keeps_health(self):
+        cluster = loaded_cluster(num_nodes=3, replication=2, entries=200)
+        controller = ReplicationController(cluster)
+        controller.handle_failure("hashnode-1")
+        controller.handle_recovery("hashnode-1")
+        assert controller.consistency_report().is_healthy

@@ -1,0 +1,177 @@
+"""Tests for fingerprints, chunkers and the rolling hash."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+
+import pytest
+
+from repro.dedup.chunking import Chunk, ContentDefinedChunker, FixedSizeChunker
+from repro.dedup.fingerprint import (
+    FINGERPRINT_BYTES,
+    Fingerprint,
+    fingerprint_data,
+    synthetic_fingerprint,
+)
+from repro.dedup.rabin import RabinRollingHash
+
+
+class TestFingerprint:
+    def test_fingerprint_matches_sha1(self):
+        data = b"some chunk of data"
+        fingerprint = fingerprint_data(data)
+        assert fingerprint.digest == hashlib.sha1(data).digest()
+        assert fingerprint.chunk_size == len(data)
+
+    def test_digest_length_validation(self):
+        with pytest.raises(ValueError):
+            Fingerprint(digest=b"too short", chunk_size=10)
+        with pytest.raises(ValueError):
+            Fingerprint(digest=b"\x00" * FINGERPRINT_BYTES, chunk_size=-1)
+
+    def test_hex_rendering(self):
+        fingerprint = fingerprint_data(b"abc")
+        assert fingerprint.hex == hashlib.sha1(b"abc").hexdigest()
+
+    def test_prefix_int_range_and_validation(self):
+        fingerprint = fingerprint_data(b"abc")
+        assert 0 <= fingerprint.prefix_int(16) < 2 ** 16
+        assert 0 <= fingerprint.prefix_int(64) < 2 ** 64
+        with pytest.raises(ValueError):
+            fingerprint.prefix_int(0)
+        with pytest.raises(ValueError):
+            fingerprint.prefix_int(161)
+
+    def test_prefix_int_matches_digest_bits(self):
+        fingerprint = fingerprint_data(b"abc")
+        full = int.from_bytes(fingerprint.digest, "big")
+        assert fingerprint.prefix_int(8) == full >> 152
+
+    def test_synthetic_fingerprint_deterministic_and_distinct(self):
+        assert synthetic_fingerprint(7) == synthetic_fingerprint(7)
+        assert synthetic_fingerprint(7) != synthetic_fingerprint(8)
+        assert synthetic_fingerprint(7, 4096).chunk_size == 4096
+
+    def test_fingerprints_are_hashable_and_frozen(self):
+        fingerprint = synthetic_fingerprint(1)
+        assert fingerprint in {fingerprint}
+        with pytest.raises(AttributeError):
+            fingerprint.chunk_size = 0  # type: ignore[misc]
+
+
+class TestFixedSizeChunker:
+    def test_exact_multiple(self):
+        chunker = FixedSizeChunker(4)
+        chunks = list(chunker.chunk(b"abcdefgh"))
+        assert [chunk.data for chunk in chunks] == [b"abcd", b"efgh"]
+        assert [chunk.offset for chunk in chunks] == [0, 4]
+
+    def test_trailing_partial_chunk(self):
+        chunks = list(FixedSizeChunker(4).chunk(b"abcdefg"))
+        assert chunks[-1].data == b"efg"
+        assert chunks[-1].size == 3
+
+    def test_empty_input_yields_nothing(self):
+        assert list(FixedSizeChunker(4).chunk(b"")) == []
+
+    def test_reconstruction(self):
+        data = os.urandom(10_000)
+        chunks = list(FixedSizeChunker(512).chunk(data))
+        assert b"".join(chunk.data for chunk in chunks) == data
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_chunk_stream_equivalent_to_concatenation(self):
+        blocks = [os.urandom(300) for _ in range(5)]
+        chunker = FixedSizeChunker(128)
+        streamed = [chunk.data for chunk in chunker.chunk_stream(blocks)]
+        direct = [chunk.data for chunk in chunker.chunk(b"".join(blocks))]
+        assert streamed == direct
+
+
+class TestContentDefinedChunker:
+    def test_reconstruction(self):
+        data = os.urandom(50_000)
+        chunker = ContentDefinedChunker(average_size=1024)
+        chunks = list(chunker.chunk(data))
+        assert b"".join(chunk.data for chunk in chunks) == data
+
+    def test_chunk_size_bounds_respected(self):
+        data = os.urandom(100_000)
+        chunker = ContentDefinedChunker(average_size=1024)
+        chunks = list(chunker.chunk(data))
+        for chunk in chunks[:-1]:  # the final chunk may be arbitrarily small
+            assert chunker.min_size <= chunk.size <= chunker.max_size
+
+    def test_average_size_in_right_ballpark(self):
+        rng = random.Random(5)
+        data = bytes(rng.randrange(256) for _ in range(200_000))
+        chunker = ContentDefinedChunker(average_size=1024)
+        sizes = chunker.chunk_sizes(data)
+        mean = sum(sizes) / len(sizes)
+        assert 512 <= mean <= 2048
+
+    def test_boundaries_stable_under_prefix_insertion(self):
+        rng = random.Random(11)
+        data = bytes(rng.randrange(256) for _ in range(30_000))
+        chunker = ContentDefinedChunker(average_size=512)
+        original = {chunk.data for chunk in chunker.chunk(data)}
+        shifted = {chunk.data for chunk in chunker.chunk(os.urandom(137) + data)}
+        # Most chunks should be identical despite the shifted offsets, which
+        # is the whole point of content-defined chunking.
+        assert len(original & shifted) >= len(original) * 0.6
+
+    def test_empty_input(self):
+        assert list(ContentDefinedChunker(average_size=256).chunk(b"")) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(average_size=100)  # not a power of two
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(average_size=32)   # too small
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(average_size=1024, min_size=2048)
+
+
+class TestRabinRollingHash:
+    def test_same_window_same_hash(self):
+        a = RabinRollingHash(window_size=16)
+        b = RabinRollingHash(window_size=16)
+        data = os.urandom(64)
+        a.update_bytes(data)
+        b.update_bytes(data)
+        assert a.value == b.value
+
+    def test_hash_depends_only_on_window(self):
+        window = 16
+        tail = os.urandom(window)
+        a = RabinRollingHash(window)
+        b = RabinRollingHash(window)
+        a.update_bytes(os.urandom(100) + tail)
+        b.update_bytes(os.urandom(50) + tail)
+        assert a.value == b.value
+
+    def test_window_filled_flag(self):
+        rolling = RabinRollingHash(window_size=4)
+        rolling.update_bytes(b"abc")
+        assert not rolling.window_filled
+        rolling.update(ord("d"))
+        assert rolling.window_filled
+
+    def test_reset(self):
+        rolling = RabinRollingHash(window_size=4)
+        rolling.update_bytes(b"abcd")
+        rolling.reset()
+        assert rolling.value == 0
+        assert not rolling.window_filled
+
+    def test_byte_validation(self):
+        rolling = RabinRollingHash()
+        with pytest.raises(ValueError):
+            rolling.update(300)
+        with pytest.raises(ValueError):
+            RabinRollingHash(window_size=0)

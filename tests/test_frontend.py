@@ -1,0 +1,256 @@
+"""Tests for the front-end tier: upload plans, web servers, clients, gateway."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.protocol import LookupReply, ServedFrom
+from repro.dedup.chunking import FixedSizeChunker
+from repro.dedup.fingerprint import fingerprint_data, synthetic_fingerprint
+from repro.frontend.client import BackupClient, SimulatedClient
+from repro.frontend.gateway import BackupService, build_simulated_service
+from repro.frontend.upload_plan import UploadPlan
+from repro.frontend.webserver import ClientBatchRequest, WebFrontEnd
+from repro.network.loadbalancer import LoadBalancer
+from repro.simulation.engine import Simulator
+from repro.storage.object_store import CloudObjectStore
+
+
+def small_cluster(num_nodes=2) -> SHHCCluster:
+    return SHHCCluster(
+        ClusterConfig(
+            num_nodes=num_nodes,
+            node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000, ssd_buckets=1 << 10),
+        )
+    )
+
+
+class TestUploadPlan:
+    def _replies(self, duplicates, uniques):
+        replies = []
+        for index in range(duplicates):
+            replies.append(LookupReply(synthetic_fingerprint(index, 100), True, ServedFrom.RAM))
+        for index in range(uniques):
+            replies.append(LookupReply(synthetic_fingerprint(1000 + index, 100), False, ServedFrom.NEW))
+        return replies
+
+    def test_from_replies_partitions_correctly(self):
+        plan = UploadPlan.from_replies("alice", self._replies(3, 2))
+        assert len(plan.already_stored) == 3
+        assert len(plan.to_upload) == 2
+        assert plan.total_chunks == 5
+
+    def test_byte_accounting_and_savings(self):
+        plan = UploadPlan.from_replies("alice", self._replies(3, 1))
+        assert plan.upload_bytes == 100
+        assert plan.logical_bytes == 400
+        assert plan.bandwidth_savings == pytest.approx(0.75)
+
+    def test_empty_plan_savings(self):
+        assert UploadPlan(client_id="x").bandwidth_savings == 0.0
+
+    def test_merge_same_client(self):
+        first = UploadPlan.from_replies("alice", self._replies(1, 1))
+        second = UploadPlan.from_replies("alice", self._replies(2, 0))
+        merged = first.merge(second)
+        assert merged.total_chunks == 4
+        assert len(merged.already_stored) == 3
+
+    def test_merge_different_clients_rejected(self):
+        with pytest.raises(ValueError):
+            UploadPlan(client_id="a").merge(UploadPlan(client_id="b"))
+
+
+class TestWebFrontEnd:
+    def test_handle_batch_builds_plan(self):
+        frontend = WebFrontEnd("web-0", small_cluster())
+        fingerprints = [synthetic_fingerprint(i % 5) for i in range(20)]
+        response = frontend.handle_batch(ClientBatchRequest("alice", fingerprints))
+        assert len(response.replies) == 20
+        assert len(response.plan.to_upload) == 5
+        assert len(response.plan.already_stored) == 15
+        assert frontend.stats()["fingerprints"] == 20
+
+    def test_replies_returned_in_request_order(self):
+        frontend = WebFrontEnd("web-0", small_cluster(num_nodes=4))
+        fingerprints = [synthetic_fingerprint(i) for i in range(64)]
+        response = frontend.handle_batch(ClientBatchRequest("alice", fingerprints))
+        assert [r.fingerprint for r in response.replies] == fingerprints
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ClientBatchRequest("alice", [])
+
+    def test_simulated_frontend_fans_out_and_responds(self, sim):
+        config = ClusterConfig(
+            num_nodes=2,
+            node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000, ssd_buckets=1 << 10),
+        )
+        deployment = build_simulated_service(sim, config, num_clients=1, num_web_servers=1)
+        fingerprints = [synthetic_fingerprint(i) for i in range(40)]
+        request = ClientBatchRequest("client-0", fingerprints)
+        responses = []
+        deployment.network.rpc.call(
+            "client-0", "web-0", request, request.payload_bytes
+        ).add_callback(lambda event: responses.append((sim.now, event.value)))
+        sim.run()
+        finish_time, response = responses[0]
+        assert finish_time > 0
+        assert [r.fingerprint for r in response.replies] == fingerprints
+        assert len(response.plan.to_upload) == 40
+        assert len(deployment.cluster) == 40
+
+
+class TestBackupClient:
+    def test_backup_uploads_only_unique_chunks(self):
+        cluster = small_cluster()
+        store = CloudObjectStore()
+        frontend = WebFrontEnd("web-0", cluster)
+        client = BackupClient("alice", frontend, store, FixedSizeChunker(128), batch_size=16)
+        data = os.urandom(128 * 20)
+        plan_first = client.backup(data)
+        plan_second = client.backup(data)
+        assert len(plan_first.to_upload) == 20
+        assert len(plan_second.to_upload) == 0
+        assert store.total_bytes() == len(data)
+
+    def test_uploaded_chunks_match_fingerprints(self):
+        cluster = small_cluster()
+        store = CloudObjectStore(verify_content=True)
+        frontend = WebFrontEnd("web-0", cluster)
+        client = BackupClient("alice", frontend, store, FixedSizeChunker(64), batch_size=8)
+        data = os.urandom(640)
+        client.backup(data)
+        for chunk_start in range(0, len(data), 64):
+            digest = fingerprint_data(data[chunk_start:chunk_start + 64]).digest
+            assert digest in store
+
+    def test_two_clients_share_the_dedup_domain(self):
+        cluster = small_cluster()
+        store = CloudObjectStore()
+        frontend = WebFrontEnd("web-0", cluster)
+        data = os.urandom(4096)
+        alice = BackupClient("alice", frontend, store, FixedSizeChunker(256))
+        bob = BackupClient("bob", frontend, store, FixedSizeChunker(256))
+        alice.backup(data)
+        plan = bob.backup(data)
+        assert len(plan.to_upload) == 0
+        assert plan.bandwidth_savings == pytest.approx(1.0)
+
+
+class TestSimulatedClient:
+    def _deployment(self, sim, num_nodes=2):
+        config = ClusterConfig(
+            num_nodes=num_nodes,
+            node=HashNodeConfig(ram_cache_entries=2048, bloom_expected_items=50_000, ssd_buckets=1 << 10),
+        )
+        return build_simulated_service(sim, config, num_clients=2, num_web_servers=2)
+
+    def test_trace_replay_completes_and_counts(self, sim):
+        deployment = self._deployment(sim)
+        fingerprints = [synthetic_fingerprint(i % 300) for i in range(1000)]
+        client = SimulatedClient(
+            "client-0",
+            deployment.network.rpc,
+            deployment.load_balancer,
+            fingerprints,
+            batch_size=64,
+            sim=sim,
+        )
+        client.start()
+        sim.run()
+        assert client.stats.fingerprints_sent == 1000
+        assert client.stats.batches_sent == pytest.approx(1000 / 64, abs=1)
+        assert client.stats.duplicates_found == 700
+        assert client.stats.elapsed > 0
+        assert client.stats.throughput > 0
+
+    def test_two_clients_run_concurrently(self, sim):
+        deployment = self._deployment(sim)
+        clients = []
+        for index in range(2):
+            fingerprints = [synthetic_fingerprint(index * 10_000 + i) for i in range(400)]
+            client = SimulatedClient(
+                f"client-{index}",
+                deployment.network.rpc,
+                deployment.load_balancer,
+                fingerprints,
+                batch_size=32,
+                sim=sim,
+            )
+            clients.append(client)
+            client.start()
+        sim.run()
+        assert all(c.stats.fingerprints_sent == 400 for c in clients)
+        # Concurrent execution: combined elapsed must be far less than serial.
+        serial_estimate = sum(c.stats.elapsed for c in clients)
+        assert max(c.stats.finished_at for c in clients) < serial_estimate
+
+    def test_batching_improves_throughput(self, sim):
+        fingerprints = [synthetic_fingerprint(i) for i in range(512)]
+        throughputs = {}
+        for batch_size in (1, 128):
+            local_sim = Simulator()
+            deployment = self._deployment(local_sim)
+            client = SimulatedClient(
+                "client-0",
+                deployment.network.rpc,
+                deployment.load_balancer,
+                fingerprints,
+                batch_size=batch_size,
+                sim=local_sim,
+            )
+            client.start()
+            local_sim.run()
+            throughputs[batch_size] = client.stats.throughput
+        assert throughputs[128] > throughputs[1] * 5
+
+    def test_window_validation(self, sim):
+        deployment = self._deployment(sim)
+        with pytest.raises(ValueError):
+            SimulatedClient(
+                "client-0",
+                deployment.network.rpc,
+                deployment.load_balancer,
+                [synthetic_fingerprint(1)],
+                window=0,
+                sim=sim,
+            )
+
+
+class TestBackupService:
+    def test_end_to_end_backup_dedup(self):
+        service = BackupService(
+            ClusterConfig(
+                num_nodes=4,
+                node=HashNodeConfig(ram_cache_entries=4096, bloom_expected_items=100_000),
+            ),
+            batch_size=32,
+        )
+        data = os.urandom(8192 * 8)
+        plan_alice = service.backup("alice", data)
+        plan_bob = service.backup("bob", data)
+        assert len(plan_alice.to_upload) == 8
+        assert len(plan_bob.to_upload) == 0
+        assert service.stored_fingerprints() == 8
+        assert service.physical_bytes() == len(data)
+
+    def test_client_is_sticky_to_a_web_server(self):
+        service = BackupService(num_web_servers=3)
+        first = service.client("alice")
+        second = service.client("alice")
+        assert first is second
+
+    def test_stats_structure(self):
+        service = BackupService()
+        service.backup("alice", os.urandom(8192))
+        stats = service.stats()
+        assert {"cluster", "storage_distribution", "object_store", "web_servers"} <= set(stats)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackupService(num_web_servers=0)

@@ -1,0 +1,200 @@
+"""Tests for generational workloads, the simulation monitor and the CLI."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.monitor import Monitor, TimeSeries
+from repro.simulation.process import run_process
+from repro.workloads.generations import GenerationConfig, GenerationalWorkload
+from repro.workloads.traces import measure_trace
+
+
+class TestGenerationalWorkload:
+    def test_generation_count_and_sizes(self):
+        workload = GenerationalWorkload(
+            GenerationConfig(initial_chunks=1000, generations=5, modify_fraction=0.05, growth_fraction=0.02)
+        )
+        assert len(workload) == 5
+        sizes = [len(generation) for generation in workload.generations]
+        assert sizes[0] == 1000
+        assert all(later >= earlier for earlier, later in zip(sizes, sizes[1:]))
+
+    def test_first_generation_is_all_new(self):
+        workload = GenerationalWorkload(GenerationConfig(initial_chunks=500, generations=3))
+        redundancy = workload.per_generation_redundancy()
+        assert redundancy[0] == 0.0
+
+    def test_later_generations_match_configured_churn(self):
+        config = GenerationConfig(
+            initial_chunks=2000, generations=4, modify_fraction=0.05, growth_fraction=0.01
+        )
+        workload = GenerationalWorkload(config)
+        redundancy = workload.per_generation_redundancy()
+        for generation_number in range(1, 4):
+            # ~5% modified + ~1% growth => ~94% of each generation is redundant.
+            assert redundancy[generation_number] == pytest.approx(0.94, abs=0.02)
+
+    def test_expected_dedup_ratio_reflects_generations(self):
+        workload = GenerationalWorkload(
+            GenerationConfig(initial_chunks=1000, generations=5, modify_fraction=0.0, growth_fraction=0.0)
+        )
+        # Identical full backups: logical = 5x physical.
+        assert workload.expected_dedup_ratio() == pytest.approx(5.0)
+
+    def test_fingerprint_stream_measured_redundancy(self):
+        config = GenerationConfig(
+            initial_chunks=800, generations=3, modify_fraction=0.1, growth_fraction=0.0
+        )
+        workload = GenerationalWorkload(config)
+        stats = measure_trace(workload.fingerprint_stream())
+        assert stats.fingerprints == workload.total_chunks()
+        assert stats.unique_fingerprints == workload.unique_chunks()
+
+    def test_deterministic_for_same_seed(self):
+        a = GenerationalWorkload(GenerationConfig(initial_chunks=300, generations=3, seed=9))
+        b = GenerationalWorkload(GenerationConfig(initial_chunks=300, generations=3, seed=9))
+        assert [g.identities for g in a.generations] == [g.identities for g in b.generations]
+
+    def test_cluster_sees_expected_cross_generation_redundancy(self):
+        config = GenerationConfig(
+            initial_chunks=500, generations=4, modify_fraction=0.05, growth_fraction=0.0
+        )
+        workload = GenerationalWorkload(config)
+        cluster = SHHCCluster(
+            ClusterConfig(
+                num_nodes=4,
+                node=HashNodeConfig(ram_cache_entries=4096, bloom_expected_items=100_000),
+            )
+        )
+        results = cluster.lookup_batch(list(workload.fingerprint_stream()))
+        duplicates = sum(1 for result in results if result.is_duplicate)
+        expected_duplicates = workload.total_chunks() - workload.unique_chunks()
+        assert duplicates == expected_duplicates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(initial_chunks=0)
+        with pytest.raises(ValueError):
+            GenerationConfig(generations=0)
+        with pytest.raises(ValueError):
+            GenerationConfig(modify_fraction=1.5)
+        with pytest.raises(ValueError):
+            GenerationConfig(growth_fraction=-0.1)
+
+
+class TestMonitor:
+    def test_samples_at_fixed_interval(self):
+        sim = Simulator()
+        counter = {"value": 0}
+
+        def worker():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+                counter["value"] += 1
+
+        run_process(sim, worker())
+        monitor = Monitor(sim, interval=1.0)
+        series = monitor.add_probe("count", lambda: counter["value"])
+        monitor.start()
+        sim.run()
+        assert len(series) >= 10
+        assert series.values()[-1] == pytest.approx(10)
+        assert series.maximum() == 10
+        assert series.times() == sorted(series.times())
+
+    def test_monitor_does_not_keep_simulation_alive(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        monitor = Monitor(sim, interval=0.1)
+        monitor.add_probe("constant", lambda: 1.0)
+        monitor.start()
+        sim.run(max_events=10_000)
+        # The calendar must drain (the monitor stops rescheduling itself).
+        assert sim.pending_events == 0
+
+    def test_stop_and_sample_now(self):
+        sim = Simulator()
+        monitor = Monitor(sim, interval=1.0)
+        series = monitor.add_probe("x", lambda: 42.0)
+        values = monitor.sample_now()
+        assert values == {"x": 42.0}
+        monitor.stop()
+        assert series.latest() == 42.0
+        assert series.mean() == 42.0
+
+    def test_duplicate_probe_rejected(self):
+        monitor = Monitor(Simulator(), interval=1.0)
+        monitor.add_probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            monitor.add_probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            Monitor(Simulator(), interval=0.0)
+
+    def test_empty_series_helpers(self):
+        series = TimeSeries("empty")
+        assert series.latest() is None
+        assert series.maximum() == 0.0
+        assert series.mean() == 0.0
+
+
+class TestCli:
+    def test_experiment_table1(self, capsys):
+        exit_code = cli_main(["experiment", "table1", "--scale", "0.002"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output and "mail-server" in output
+
+    def test_experiment_figure6(self, capsys):
+        exit_code = cli_main(["experiment", "figure6", "--scale", "0.002", "--nodes", "4"])
+        assert exit_code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_trace_generation_to_file(self, tmp_path, capsys):
+        output_path = str(tmp_path / "trace.txt")
+        exit_code = cli_main(
+            ["trace", "--workload", "web-server", "--scale", "0.0002", "--output", output_path]
+        )
+        assert exit_code == 0
+        lines = open(output_path, encoding="utf-8").read().splitlines()
+        assert len(lines) > 100
+        assert all(len(line) == 40 for line in lines[:10])  # hex SHA-1
+
+    def test_backup_restore_cycle(self, tmp_path, capsys):
+        source = tmp_path / "data"
+        source.mkdir()
+        payload = os.urandom(30_000)
+        (source / "file.bin").write_bytes(payload)
+        catalog = str(tmp_path / "catalog.json")
+        store = str(tmp_path / "chunkstore")
+
+        assert cli_main([
+            "backup", "--root", str(source), "--catalog", catalog, "--store", store,
+            "--snapshot", "snap-1",
+        ]) == 0
+        assert "snap-1" in capsys.readouterr().out
+
+        assert cli_main(["snapshots", "--catalog", catalog, "--store", store]) == 0
+        assert "snap-1" in capsys.readouterr().out
+
+        target = tmp_path / "restored"
+        assert cli_main([
+            "restore", "--snapshot", "snap-1", "--target", str(target),
+            "--catalog", catalog, "--store", store,
+        ]) == 0
+        assert (target / "file.bin").read_bytes() == payload
+
+    def test_restore_unknown_snapshot_fails(self, tmp_path, capsys):
+        catalog = str(tmp_path / "catalog.json")
+        store = str(tmp_path / "chunkstore")
+        exit_code = cli_main([
+            "restore", "--snapshot", "ghost", "--target", str(tmp_path / "out"),
+            "--catalog", catalog, "--store", store,
+        ])
+        assert exit_code == 1

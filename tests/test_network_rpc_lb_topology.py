@@ -1,0 +1,208 @@
+"""Tests for the RPC layer, load balancer policies and topology builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.loadbalancer import (
+    LeastConnectionsPolicy,
+    LoadBalancer,
+    RoundRobinPolicy,
+    SourceHashPolicy,
+    WeightedRoundRobinPolicy,
+)
+from repro.network.rpc import RpcError, RpcLayer
+from repro.network.switch import NetworkSwitch
+from repro.network.topology import ClusterTopology
+from repro.simulation.engine import Simulator
+from repro.simulation.process import run_process
+
+
+class TestRpcLayer:
+    def _layer(self, sim=None):
+        switch = NetworkSwitch(sim)
+        return RpcLayer(switch, sim)
+
+    def test_immediate_mode_call(self):
+        rpc = self._layer()
+        rpc.register("server", lambda payload: payload * 2)
+        result = rpc.call("client", "server", 21, payload_bytes=8)
+        assert result.triggered and result.value == 42
+
+    def test_call_to_unknown_service_raises(self):
+        rpc = self._layer()
+        with pytest.raises(RpcError):
+            rpc.call("client", "nowhere", None, payload_bytes=8)
+
+    def test_simulated_call_round_trip(self, sim):
+        rpc = self._layer(sim)
+        rpc.register("server", lambda payload: (payload + 1, 16))
+        responses = []
+        rpc.call("client", "server", 1, payload_bytes=64).add_callback(
+            lambda event: responses.append((sim.now, event.value))
+        )
+        sim.run()
+        assert responses[0][1] == 2
+        assert responses[0][0] > 0.0
+        assert rpc.pending_calls == 0
+
+    def test_handler_returning_event_defers_response(self, sim):
+        rpc = self._layer(sim)
+
+        def slow_handler(payload):
+            done = sim.event("slow")
+            sim.schedule(5.0, done.succeed, (payload, 8))
+            return done
+
+        rpc.register("server", slow_handler)
+        responses = []
+        rpc.call("client", "server", "x", payload_bytes=8).add_callback(
+            lambda event: responses.append(sim.now)
+        )
+        sim.run()
+        assert responses[0] > 5.0
+
+    def test_call_from_process(self, sim):
+        rpc = self._layer(sim)
+        rpc.register("echo", lambda payload: payload)
+
+        def caller():
+            reply = yield rpc.call("client", "echo", "ping", payload_bytes=16)
+            return (reply, sim.now)
+
+        process = run_process(sim, caller())
+        sim.run()
+        assert process.value[0] == "ping"
+        assert process.value[1] > 0
+
+    def test_services_listing(self):
+        rpc = self._layer()
+        rpc.register("b-service", lambda p: p)
+        rpc.register("a-service", lambda p: p)
+        assert rpc.services() == ["a-service", "b-service"]
+
+    def test_concurrent_calls_complete_independently(self, sim):
+        rpc = self._layer(sim)
+        rpc.register("server", lambda payload: payload)
+        results = []
+        for index in range(10):
+            rpc.call("client", "server", index, payload_bytes=16).add_callback(
+                lambda event: results.append(event.value)
+            )
+        sim.run()
+        assert sorted(results) == list(range(10))
+
+
+class TestLoadBalancerPolicies:
+    def test_round_robin_cycles(self):
+        policy = RoundRobinPolicy()
+        backends = ["a", "b", "c"]
+        picks = [policy.choose(backends, {}) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_round_robin_empty_backends(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy().choose([], {})
+
+    def test_least_connections_prefers_idle(self):
+        policy = LeastConnectionsPolicy()
+        assert policy.choose(["a", "b"], {"a": 3, "b": 1}) == "b"
+        assert policy.choose(["a", "b"], {"a": 0, "b": 0}) == "a"
+
+    def test_weighted_round_robin_respects_weights(self):
+        policy = WeightedRoundRobinPolicy({"big": 3, "small": 1})
+        picks = [policy.choose(["big", "small"], {}) for _ in range(8)]
+        assert picks.count("big") == 6
+        assert picks.count("small") == 2
+
+    def test_weighted_round_robin_validation(self):
+        with pytest.raises(ValueError):
+            WeightedRoundRobinPolicy({})
+        with pytest.raises(ValueError):
+            WeightedRoundRobinPolicy({"a": 0})
+
+    def test_source_hash_is_sticky(self):
+        policy = SourceHashPolicy()
+        backends = ["a", "b", "c", "d"]
+        first = policy.choose(backends, {}, source="client-42")
+        assert all(policy.choose(backends, {}, source="client-42") == first for _ in range(10))
+
+    def test_source_hash_without_source_defaults_to_first(self):
+        assert SourceHashPolicy().choose(["a", "b"], {}) == "a"
+
+
+class TestLoadBalancer:
+    def test_assign_and_release_track_connections(self):
+        balancer = LoadBalancer()
+        balancer.add_backend("web-0")
+        balancer.add_backend("web-1")
+        first = balancer.assign()
+        assert balancer.active_connections(first) == 1
+        balancer.release(first)
+        assert balancer.active_connections(first) == 0
+
+    def test_release_without_active_raises(self):
+        balancer = LoadBalancer()
+        balancer.add_backend("web-0")
+        with pytest.raises(ValueError):
+            balancer.release("web-0")
+
+    def test_duplicate_backend_rejected(self):
+        balancer = LoadBalancer()
+        balancer.add_backend("web-0")
+        with pytest.raises(ValueError):
+            balancer.add_backend("web-0")
+
+    def test_remove_backend(self):
+        balancer = LoadBalancer()
+        balancer.add_backend("web-0")
+        balancer.add_backend("web-1")
+        balancer.remove_backend("web-0")
+        assert balancer.backends == ["web-1"]
+        with pytest.raises(KeyError):
+            balancer.remove_backend("ghost")
+
+    def test_round_robin_assignments_are_balanced(self):
+        balancer = LoadBalancer()
+        for index in range(4):
+            balancer.add_backend(f"web-{index}")
+        for _ in range(400):
+            backend = balancer.assign()
+            balancer.release(backend)
+        assignments = balancer.assignments()
+        assert all(count == 100 for count in assignments.values())
+        assert balancer.imbalance() == pytest.approx(1.0)
+
+
+class TestClusterTopology:
+    def test_name_generation(self):
+        topology = ClusterTopology(num_clients=2, num_web_servers=3, num_hash_nodes=4)
+        assert topology.client_names == ["client-0", "client-1"]
+        assert topology.web_server_names == ["web-0", "web-1", "web-2"]
+        assert topology.hash_node_names == ["hashnode-0", "hashnode-1", "hashnode-2", "hashnode-3"]
+        assert len(topology.all_endpoints) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_clients=0)
+        with pytest.raises(ValueError):
+            ClusterTopology(num_web_servers=0)
+        with pytest.raises(ValueError):
+            ClusterTopology(num_hash_nodes=0)
+
+    def test_build_network_attaches_every_endpoint(self, sim):
+        topology = ClusterTopology(num_clients=1, num_web_servers=1, num_hash_nodes=2)
+        network = topology.build_network(sim)
+        for endpoint in topology.all_endpoints:
+            assert network.switch.is_attached(endpoint)
+
+    def test_built_network_supports_rpc(self, sim):
+        topology = ClusterTopology(num_clients=1, num_web_servers=1, num_hash_nodes=1)
+        network = topology.build_network(sim)
+        network.rpc.register("hashnode-0", lambda payload: payload.upper())
+        replies = []
+        network.rpc.call("client-0", "hashnode-0", "hi", payload_bytes=16).add_callback(
+            lambda event: replies.append(event.value)
+        )
+        sim.run()
+        assert replies == ["HI"]

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.hash_node import HybridHashNode
+from repro.core.partition import ConsistentHashRing, RangePartitioner
+from repro.dedup.chunking import ContentDefinedChunker, FixedSizeChunker
+from repro.dedup.fingerprint import fingerprint_data, synthetic_fingerprint
+from repro.dedup.index import InMemoryChunkIndex
+from repro.dedup.pipeline import DedupPipeline
+from repro.storage.bloom import BloomFilter
+from repro.storage.cuckoo import CuckooHashTable
+from repro.storage.hashstore import SSDHashStore
+from repro.storage.lru import LRUCache
+from repro.storage.object_store import CloudObjectStore
+
+# Keep generated examples small enough that the whole module stays fast.
+FAST = settings(max_examples=40, deadline=None)
+
+keys = st.binary(min_size=1, max_size=24)
+key_lists = st.lists(keys, min_size=1, max_size=120)
+
+
+class TestBloomProperties:
+    @FAST
+    @given(key_lists)
+    def test_no_false_negatives_ever(self, inserted):
+        bloom = BloomFilter(expected_items=512, false_positive_rate=0.01)
+        for key in inserted:
+            bloom.add(key)
+        assert all(key in bloom for key in inserted)
+
+    @FAST
+    @given(key_lists, key_lists)
+    def test_union_contains_both_sides(self, left_keys, right_keys):
+        left = BloomFilter(expected_items=256, num_bits=4096, num_hashes=5)
+        right = BloomFilter(expected_items=256, num_bits=4096, num_hashes=5)
+        for key in left_keys:
+            left.add(key)
+        for key in right_keys:
+            right.add(key)
+        merged = left.union(right)
+        assert all(key in merged for key in left_keys + right_keys)
+
+
+class TestLRUProperties:
+    @FAST
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers()), max_size=200), st.integers(1, 16))
+    def test_size_never_exceeds_capacity_and_matches_reference(self, operations, capacity):
+        cache = LRUCache(capacity)
+        reference: dict = {}
+        order: list = []
+        for key, value in operations:
+            cache.put(key, value)
+            if key in reference:
+                order.remove(key)
+            reference[key] = value
+            order.append(key)
+            if len(order) > capacity:
+                evicted = order.pop(0)
+                del reference[evicted]
+            assert len(cache) <= capacity
+        assert set(iter(cache)) == set(reference)
+        for key, value in reference.items():
+            assert cache.peek(key) == value
+
+    @FAST
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200), st.integers(1, 8))
+    def test_most_recently_touched_key_is_never_the_next_eviction(self, touches, capacity):
+        cache = LRUCache(capacity)
+        for key in touches:
+            cache.put(key)
+            assert cache.mru_key() == key
+            if len(cache) > 1:
+                assert cache.lru_key() != key
+
+
+class TestHashStoreProperties:
+    @FAST
+    @given(st.dictionaries(keys, st.integers(), max_size=150))
+    def test_behaves_like_a_dict(self, mapping):
+        store = SSDHashStore(num_buckets=64)
+        table = CuckooHashTable(initial_buckets=16)
+        for key, value in mapping.items():
+            store.put(key, value)
+            table.put(key, value)
+        assert len(store) == len(mapping)
+        assert len(table) == len(mapping)
+        for key, value in mapping.items():
+            assert store.get(key) == value
+            assert table.get(key) == value
+        assert dict(store.items()) == mapping
+        assert dict(table.items()) == mapping
+
+    @FAST
+    @given(st.lists(keys, min_size=1, max_size=100), st.data())
+    def test_removal_really_removes(self, inserted, data):
+        store = SSDHashStore(num_buckets=32)
+        for key in inserted:
+            store.put(key, True)
+        victim = data.draw(st.sampled_from(inserted))
+        store.remove(victim)
+        assert victim not in store
+
+
+class TestChunkingProperties:
+    @FAST
+    @given(st.binary(max_size=30_000))
+    def test_fixed_chunks_reconstruct_input(self, data):
+        chunks = list(FixedSizeChunker(512).chunk(data))
+        assert b"".join(chunk.data for chunk in chunks) == data
+        assert all(chunk.size <= 512 for chunk in chunks)
+
+    @FAST
+    @given(st.binary(max_size=30_000))
+    def test_content_defined_chunks_reconstruct_input(self, data):
+        chunker = ContentDefinedChunker(average_size=512)
+        chunks = list(chunker.chunk(data))
+        assert b"".join(chunk.data for chunk in chunks) == data
+        for chunk in chunks[:-1]:
+            assert chunk.size <= chunker.max_size
+
+    @FAST
+    @given(st.binary(min_size=1, max_size=5_000))
+    def test_fingerprints_are_deterministic(self, data):
+        assert fingerprint_data(data) == fingerprint_data(data)
+
+
+class TestPartitionProperties:
+    @FAST
+    @given(st.integers(1, 12), st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+    def test_every_fingerprint_has_one_owner_in_the_cluster(self, num_nodes, identities):
+        nodes = [f"n{i}" for i in range(num_nodes)]
+        range_partitioner = RangePartitioner(nodes)
+        ring = ConsistentHashRing(nodes, virtual_nodes=16)
+        for identity in identities:
+            fingerprint = synthetic_fingerprint(identity)
+            assert range_partitioner.owner(fingerprint) in nodes
+            assert ring.owner(fingerprint) in nodes
+
+    @FAST
+    @given(st.integers(2, 8), st.lists(st.integers(0, 10_000), min_size=1, max_size=60), st.integers(1, 4))
+    def test_replica_sets_are_distinct_and_led_by_the_owner(self, num_nodes, identities, factor):
+        nodes = [f"n{i}" for i in range(num_nodes)]
+        ring = ConsistentHashRing(nodes, virtual_nodes=16)
+        for identity in identities:
+            fingerprint = synthetic_fingerprint(identity)
+            owners = ring.owners(fingerprint, factor)
+            assert owners[0] == ring.owner(fingerprint)
+            assert len(owners) == len(set(owners)) == min(factor, num_nodes)
+
+
+class TestDedupProperties:
+    @FAST
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+    def test_cluster_agrees_with_oracle_on_every_lookup(self, identities):
+        cluster = SHHCCluster(
+            ClusterConfig(
+                num_nodes=3,
+                node=HashNodeConfig(ram_cache_entries=64, bloom_expected_items=5_000, ssd_buckets=256),
+            )
+        )
+        oracle = InMemoryChunkIndex()
+        for identity in identities:
+            fingerprint = synthetic_fingerprint(identity)
+            assert (
+                cluster.lookup(fingerprint).is_duplicate
+                == oracle.lookup(fingerprint).is_duplicate
+            )
+        assert len(cluster) == len(oracle)
+
+    @FAST
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200), st.integers(2, 64))
+    def test_node_verdicts_independent_of_cache_size(self, identities, cache_entries):
+        reference = HybridHashNode(
+            "ref", HashNodeConfig(ram_cache_entries=10_000, bloom_expected_items=5_000, ssd_buckets=256)
+        )
+        node = HybridHashNode(
+            "n", HashNodeConfig(ram_cache_entries=cache_entries, bloom_expected_items=5_000, ssd_buckets=256)
+        )
+        for identity in identities:
+            fingerprint = synthetic_fingerprint(identity)
+            assert node.lookup(fingerprint).is_duplicate == reference.lookup(fingerprint).is_duplicate
+
+    @FAST
+    @given(st.lists(st.binary(min_size=1, max_size=600), min_size=1, max_size=12))
+    def test_pipeline_restores_exactly_what_was_backed_up(self, objects):
+        pipeline = DedupPipeline(InMemoryChunkIndex(), CloudObjectStore(), FixedSizeChunker(64))
+        for index, data in enumerate(objects):
+            pipeline.backup(f"object-{index}", data)
+        for index, data in enumerate(objects):
+            assert pipeline.restore(f"object-{index}") == data
+
+    @FAST
+    @given(st.binary(min_size=1, max_size=2_000), st.integers(2, 6))
+    def test_repeated_backups_never_grow_physical_storage(self, data, copies):
+        pipeline = DedupPipeline(InMemoryChunkIndex(), CloudObjectStore(), FixedSizeChunker(128))
+        pipeline.backup("copy-0", data)
+        physical = pipeline.stats.physical_bytes
+        for index in range(1, copies):
+            pipeline.backup(f"copy-{index}", data)
+            assert pipeline.stats.physical_bytes == physical

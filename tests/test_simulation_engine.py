@@ -1,0 +1,217 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import SimulationError, Simulator, StopSimulation
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_run_in_time_order(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(3.0, lambda: fired.append("middle"))
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_same_time_events_run_fifo(self, sim):
+        fired = []
+        for index in range(10):
+            sim.schedule(1.0, fired.append, index)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_priority_breaks_ties(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "low", priority=5)
+        sim.schedule(1.0, fired.append, "high", priority=-5)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule_at(4.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        entry = sim.schedule(1.0, fired.append, "x")
+        entry.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        sim.schedule(1.0, lambda: None)
+        entry = sim.schedule(2.0, lambda: None)
+        entry.cancel()
+        assert sim.pending_events == 1
+
+    def test_callback_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+
+    def test_run_until_resumable(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_with_max_events(self, sim):
+        for _ in range(100):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+    def test_empty_run_reaches_until(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_stop_simulation_exception_stops_cleanly(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            raise StopSimulation()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, fired.append, "never")
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_step_executes_single_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+
+
+class TestEvents:
+    def test_event_succeed_value(self, sim):
+        event = sim.event("e")
+        event.succeed(42)
+        assert event.triggered and event.ok
+        assert event.value == 42
+
+    def test_event_fail(self, sim):
+        event = sim.event("e")
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.triggered and not event.ok
+        assert event.exception is error
+        with pytest.raises(ValueError):
+            _ = event.value
+
+    def test_value_of_pending_event_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callback_runs_on_trigger(self, sim):
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        assert seen == ["payload"]
+
+    def test_callback_added_after_trigger_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed(7)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_timeout_event(self, sim):
+        event = sim.timeout(3.0, value="done")
+        seen = []
+        event.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(3.0, "done")]
+
+    def test_all_of_collects_values_in_order(self, sim):
+        a = sim.timeout(2.0, "a")
+        b = sim.timeout(1.0, "b")
+        combined = sim.all_of([a, b])
+        seen = []
+        combined.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen == [(2.0, ["a", "b"])]
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        assert sim.all_of([]).triggered
+
+    def test_all_of_propagates_failure(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = sim.all_of([good, bad])
+        bad.fail(RuntimeError("x"))
+        sim.run()
+        assert combined.triggered and not combined.ok
+
+    def test_any_of_first_wins(self, sim):
+        slow = sim.timeout(5.0, "slow")
+        fast = sim.timeout(1.0, "fast")
+        combined = sim.any_of([slow, fast])
+        seen = []
+        combined.add_callback(lambda e: seen.append((sim.now, e.value)))
+        sim.run()
+        assert seen[0] == (1.0, "fast")

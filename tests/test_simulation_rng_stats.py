@@ -1,0 +1,210 @@
+"""Tests for the random-stream and statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulation.rng import (
+    RandomStreams,
+    derive_seed,
+    exponential,
+    weighted_choice,
+    zipf_weights,
+)
+from repro.simulation.stats import (
+    Counter,
+    LatencyRecorder,
+    ReservoirSample,
+    SummaryStats,
+    TimeWeightedValue,
+    histogram,
+    percentile,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("workload")
+        b = RandomStreams(7).stream("workload")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        streams = RandomStreams(7)
+        first = [streams.stream("a").random() for _ in range(5)]
+        second = [streams.stream("b").random() for _ in range(5)]
+        assert first != second
+
+    def test_adding_stream_does_not_disturb_existing(self):
+        streams = RandomStreams(7)
+        stream_a = streams.stream("a")
+        first_draw = stream_a.random()
+        streams.stream("new-consumer")
+        reference = RandomStreams(7).stream("a")
+        reference.random()
+        assert stream_a.random() == reference.random()
+
+    def test_reset_restores_initial_state(self):
+        streams = RandomStreams(3)
+        draws = [streams.stream("x").random() for _ in range(3)]
+        streams.reset()
+        assert [streams.stream("x").random() for _ in range(3)] == draws
+
+    def test_spawn_creates_distinct_family(self):
+        parent = RandomStreams(3)
+        child = parent.spawn("child")
+        assert child.master_seed != parent.master_seed
+
+    def test_derive_seed_is_stable_and_distinct(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_exponential_mean(self):
+        rng = RandomStreams(5).stream("exp")
+        samples = [exponential(rng, 2.0) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.05)
+        assert exponential(rng, 0.0) == 0.0
+
+    def test_zipf_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(10, skew=1.0)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+        assert zipf_weights(0) == []
+
+    def test_weighted_choice_respects_weights(self):
+        rng = RandomStreams(9).stream("choice")
+        picks = [weighted_choice(rng, ["a", "b"], [0.9, 0.1]) for _ in range(5000)]
+        assert picks.count("a") > picks.count("b") * 4
+
+    def test_weighted_choice_validation(self):
+        rng = RandomStreams(9).stream("choice")
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+
+
+class TestSummaryStats:
+    def test_mean_min_max_total(self):
+        stats = SummaryStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.total == pytest.approx(10.0)
+
+    def test_variance_matches_definition(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = SummaryStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.variance == pytest.approx(expected)
+        assert stats.stddev == pytest.approx(math.sqrt(expected))
+
+    def test_merge_equals_combined(self):
+        left, right, combined = SummaryStats(), SummaryStats(), SummaryStats()
+        data_left = [1.0, 5.0, 2.0]
+        data_right = [10.0, 0.5]
+        left.extend(data_left)
+        right.extend(data_right)
+        combined.extend(data_left + data_right)
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        stats = SummaryStats()
+        stats.add(3.0)
+        assert stats.merge(SummaryStats()).mean == 3.0
+        assert SummaryStats().merge(stats).mean == 3.0
+
+    def test_as_dict_keys(self):
+        stats = SummaryStats()
+        stats.add(1.0)
+        assert set(stats.as_dict()) == {"count", "mean", "stddev", "min", "max", "total"}
+
+
+class TestPercentilesAndReservoir:
+    def test_percentile_interpolation(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+        assert percentile(data, 0.5) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_reservoir_keeps_all_when_small(self):
+        reservoir = ReservoirSample(capacity=100)
+        for value in range(50):
+            reservoir.add(float(value))
+        assert sorted(reservoir.values()) == [float(v) for v in range(50)]
+        assert reservoir.seen == 50
+
+    def test_reservoir_bounded_and_representative(self):
+        reservoir = ReservoirSample(capacity=500, seed=1)
+        for value in range(50_000):
+            reservoir.add(float(value))
+        assert len(reservoir.values()) == 500
+        # The median of a uniform 0..50k stream should be near 25k.
+        assert reservoir.percentile(0.5) == pytest.approx(25_000, rel=0.15)
+
+    def test_latency_recorder(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.count == 100
+        assert recorder.mean == pytest.approx(50.5)
+        assert recorder.percentile(0.99) >= 95.0
+        assert set(recorder.as_dict()) >= {"count", "mean", "p50", "p95", "p99"}
+
+
+class TestTimeWeightedAndCounters:
+    def test_time_weighted_average(self):
+        tracker = TimeWeightedValue()
+        tracker.update(0.0, 0.0)
+        tracker.update(10.0, 4.0)   # value 0 for 10s
+        tracker.update(20.0, 2.0)   # value 4 for 10s
+        assert tracker.average(30.0) == pytest.approx((0 * 10 + 4 * 10 + 2 * 10) / 30)
+        assert tracker.maximum == 4.0
+        assert tracker.current == 2.0
+
+    def test_time_weighted_rejects_time_going_backwards(self):
+        tracker = TimeWeightedValue()
+        tracker.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.update(4.0, 2.0)
+
+    def test_counter_increment_and_merge(self):
+        a = Counter()
+        a.increment("x")
+        a.increment("x", 4)
+        b = Counter()
+        b.increment("x")
+        b.increment("y", 2)
+        merged = a.merge(b)
+        assert merged.get("x") == 6
+        assert merged.get("y") == 2
+        assert a.get("missing") == 0
+
+    def test_histogram_bins_cover_all_values(self):
+        values = [float(v) for v in range(100)]
+        bins = histogram(values, bins=10)
+        assert len(bins) == 10
+        assert sum(count for _low, _high, count in bins) == 100
+
+    def test_histogram_degenerate_cases(self):
+        assert histogram([], bins=5) == []
+        assert histogram([3.0, 3.0], bins=5) == [(3.0, 3.0, 2)]
+        with pytest.raises(ValueError):
+            histogram([1.0, 2.0], bins=0)

@@ -1,0 +1,186 @@
+"""Tests for the bloom filter and the LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.bloom import BloomFilter, optimal_parameters
+from repro.storage.lru import LRUCache
+
+
+class TestBloomParameters:
+    def test_optimal_parameters_reasonable(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        # Classic formula: ~9.6 bits/key and ~7 hashes at 1% FP.
+        assert 9 * 1000 <= bits <= 11 * 1000
+        assert 6 <= hashes <= 8
+
+    def test_optimal_parameters_validation(self):
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(100, 1.5)
+
+    def test_explicit_sizing_overrides(self):
+        bloom = BloomFilter(expected_items=100, num_bits=1024, num_hashes=3)
+        assert bloom.num_bits == 1024
+        assert bloom.num_hashes == 3
+
+
+class TestBloomBehaviour:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=5000, false_positive_rate=0.01)
+        keys = [f"key-{i}".encode() for i in range(5000)]
+        bloom.update(keys)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(expected_items=10_000, false_positive_rate=0.01)
+        bloom.update(f"member-{i}".encode() for i in range(10_000))
+        probes = 20_000
+        false_positives = sum(
+            1 for i in range(probes) if f"absent-{i}".encode() in bloom
+        )
+        rate = false_positives / probes
+        assert rate < 0.03  # target 1%, generous bound to avoid flakiness
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_items=100)
+        assert b"anything" not in bloom
+        assert bloom.fill_ratio() == 0.0
+
+    def test_clear(self):
+        bloom = BloomFilter(expected_items=100)
+        bloom.add(b"x")
+        assert b"x" in bloom
+        bloom.clear()
+        assert b"x" not in bloom
+        assert bloom.count == 0
+
+    def test_string_keys_accepted(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add("hello")
+        assert "hello" in bloom
+
+    def test_union(self):
+        a = BloomFilter(expected_items=100, num_bits=2048, num_hashes=3)
+        b = BloomFilter(expected_items=100, num_bits=2048, num_hashes=3)
+        a.add(b"only-a")
+        b.add(b"only-b")
+        merged = a.union(b)
+        assert b"only-a" in merged and b"only-b" in merged
+
+    def test_union_requires_matching_parameters(self):
+        a = BloomFilter(expected_items=100, num_bits=2048, num_hashes=3)
+        b = BloomFilter(expected_items=100, num_bits=4096, num_hashes=3)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_estimated_false_positive_rate_grows_with_fill(self):
+        bloom = BloomFilter(expected_items=100, false_positive_rate=0.01)
+        empty_estimate = bloom.estimated_false_positive_rate()
+        bloom.update(f"k{i}".encode() for i in range(100))
+        assert bloom.estimated_false_positive_rate() > empty_estimate
+
+    def test_memory_footprint_matches_bits(self):
+        bloom = BloomFilter(expected_items=100, num_bits=800, num_hashes=3)
+        assert bloom.memory_bytes == 100
+
+
+class TestLRUCache:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_put_basic(self):
+        cache = LRUCache(4)
+        cache.put(b"a", 1)
+        assert cache.get(b"a") == 1
+        assert cache.get(b"missing") is None
+        assert cache.get(b"missing", "default") == "default"
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(3)
+        for key in (b"a", b"b", b"c"):
+            cache.put(key)
+        cache.get(b"a")          # refresh a
+        cache.put(b"d")          # evicts b (the LRU)
+        assert b"b" not in cache
+        assert all(key in cache for key in (b"a", b"c", b"d"))
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put(b"a")
+        cache.put(b"b")
+        cache.put(b"a")          # refresh
+        cache.put(b"c")          # evicts b
+        assert b"a" in cache and b"b" not in cache
+
+    def test_put_returns_evicted_entry(self):
+        cache = LRUCache(1)
+        assert cache.put(b"a", 1) is None
+        assert cache.put(b"b", 2) == (b"a", 1)
+
+    def test_eviction_callback_invoked(self):
+        evicted = []
+        cache = LRUCache(2, on_evict=lambda key, value: evicted.append(key))
+        for key in (b"a", b"b", b"c", b"d"):
+            cache.put(key)
+        assert evicted == [b"a", b"b"]
+        assert cache.evictions == 2
+
+    def test_hit_miss_counters_and_ratio(self):
+        cache = LRUCache(2)
+        cache.put(b"a")
+        cache.get(b"a")
+        cache.get(b"a")
+        cache.get(b"x")
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_ratio() == pytest.approx(2 / 3)
+
+    def test_contains_and_peek_do_not_touch_counters(self):
+        cache = LRUCache(2)
+        cache.put(b"a", 1)
+        assert b"a" in cache
+        assert cache.peek(b"a") == 1
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_lru_and_mru_keys(self):
+        cache = LRUCache(3)
+        for key in (b"a", b"b", b"c"):
+            cache.put(key)
+        assert cache.lru_key() == b"a"
+        assert cache.mru_key() == b"c"
+        cache.get(b"a")
+        assert cache.lru_key() == b"b"
+        assert cache.mru_key() == b"a"
+
+    def test_remove_and_clear(self):
+        cache = LRUCache(3)
+        cache.put(b"a")
+        assert cache.remove(b"a") is True
+        assert cache.remove(b"a") is False
+        cache.put(b"b")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_iteration_order_lru_to_mru(self):
+        cache = LRUCache(3)
+        for key in (b"a", b"b", b"c"):
+            cache.put(key)
+        cache.get(b"a")
+        assert list(cache) == [b"b", b"c", b"a"]
+
+    def test_never_exceeds_capacity(self):
+        cache = LRUCache(10)
+        for index in range(1000):
+            cache.put(index)
+            assert len(cache) <= 10
+        assert cache.is_full
+
+    def test_stats_snapshot(self):
+        cache = LRUCache(2)
+        cache.put(b"a")
+        cache.get(b"a")
+        stats = cache.stats()
+        assert stats["size"] == 1 and stats["hits"] == 1 and stats["capacity"] == 2

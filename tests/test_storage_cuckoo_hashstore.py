@@ -1,0 +1,219 @@
+"""Tests for the cuckoo hash table and the SSD/file hash stores."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.cuckoo import CuckooHashTable
+from repro.storage.hashstore import FileHashStore, IOOperation, SSDHashStore
+
+
+class TestCuckooHashTable:
+    def test_put_get_roundtrip(self):
+        table = CuckooHashTable(initial_buckets=16)
+        table.put(b"key", 123)
+        assert table.get(b"key") == 123
+        assert b"key" in table
+        assert len(table) == 1
+
+    def test_get_missing_returns_default(self):
+        table = CuckooHashTable()
+        assert table.get(b"missing") is None
+        assert table.get(b"missing", "fallback") == "fallback"
+        assert b"missing" not in table
+
+    def test_update_in_place_does_not_grow_size(self):
+        table = CuckooHashTable()
+        table.put(b"key", 1)
+        table.put(b"key", 2)
+        assert len(table) == 1
+        assert table.get(b"key") == 2
+
+    def test_remove(self):
+        table = CuckooHashTable()
+        table.put(b"key", 1)
+        assert table.remove(b"key") is True
+        assert table.remove(b"key") is False
+        assert len(table) == 0
+
+    def test_many_inserts_with_growth(self):
+        table = CuckooHashTable(initial_buckets=8, slots_per_bucket=2)
+        items = {f"key-{i}".encode(): i for i in range(5000)}
+        for key, value in items.items():
+            table.put(key, value)
+        assert len(table) == 5000
+        assert table.resizes > 0
+        for key, value in items.items():
+            assert table.get(key) == value
+
+    def test_items_and_keys_cover_everything(self):
+        table = CuckooHashTable(initial_buckets=16)
+        keys = {f"k{i}".encode() for i in range(200)}
+        for key in keys:
+            table.put(key, True)
+        assert set(table.keys()) == keys
+        assert {k for k, _v in table.items()} == keys
+
+    def test_load_factor_bounded(self):
+        table = CuckooHashTable(initial_buckets=8, slots_per_bucket=4)
+        for i in range(1000):
+            table.put(f"k{i}".encode(), i)
+        assert 0.0 < table.load_factor() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(initial_buckets=0)
+        with pytest.raises(ValueError):
+            CuckooHashTable(slots_per_bucket=0)
+
+    def test_string_keys_accepted(self):
+        table = CuckooHashTable()
+        table.put("string-key", "value")
+        assert table.get("string-key") == "value"
+
+
+class TestSSDHashStore:
+    def test_put_get_contains(self):
+        store = SSDHashStore(num_buckets=64)
+        assert store.put(b"a" * 20, 8192) is True
+        assert store.put(b"a" * 20, 8192) is False  # already present
+        assert store.get(b"a" * 20) == 8192
+        assert (b"a" * 20) in store
+        assert len(store) == 1
+
+    def test_remove(self):
+        store = SSDHashStore(num_buckets=64)
+        store.put(b"x", 1)
+        assert store.remove(b"x") is True
+        assert store.remove(b"x") is False
+        assert len(store) == 0
+
+    def test_items_iterates_everything(self):
+        store = SSDHashStore(num_buckets=16)
+        keys = {os.urandom(20) for _ in range(300)}
+        for key in keys:
+            store.put(key, True)
+        assert {k for k, _v in store.items()} == keys
+        assert set(store.keys()) == keys
+
+    def test_bucket_of_is_stable_and_in_range(self):
+        store = SSDHashStore(num_buckets=128)
+        key = os.urandom(20)
+        assert store.bucket_of(key) == store.bucket_of(key)
+        assert 0 <= store.bucket_of(key) < 128
+
+    def test_lookup_io_is_single_page_when_not_overflowing(self):
+        store = SSDHashStore(num_buckets=1 << 12, page_size=4096, entry_size=48)
+        key = os.urandom(20)
+        store.put(key, True)
+        operations = store.lookup_io(key)
+        assert len(operations) == 1
+        assert operations[0] == IOOperation("read", 4096)
+
+    def test_lookup_io_grows_with_overflowing_bucket(self):
+        store = SSDHashStore(num_buckets=1, page_size=256, entry_size=64)
+        for i in range(20):  # 20 entries, 4 per page -> 5 pages
+            store.put(os.urandom(20), i)
+        assert len(store.lookup_io(os.urandom(20))) == 5
+
+    def test_insert_io_amortises_writes(self):
+        store = SSDHashStore(num_buckets=64, page_size=4096, entry_size=64)
+        writes = []
+        for i in range(200):
+            key = os.urandom(20)
+            store.put(key, True)
+            writes.extend(store.insert_io(key))
+        # 200 inserts at 64 entries per page -> about 3 page writes.
+        assert 2 <= len(writes) <= 5
+        assert all(op.kind == "write" for op in writes)
+
+    def test_insert_io_immediate_mode(self):
+        store = SSDHashStore(num_buckets=64, write_buffer_pages=0)
+        key = os.urandom(20)
+        store.put(key, True)
+        operations = store.insert_io(key)
+        assert len(operations) == 1 and operations[0].kind == "write"
+
+    def test_flush_io_drains_buffer(self):
+        store = SSDHashStore(num_buckets=64, page_size=4096, entry_size=64)
+        for _ in range(10):
+            store.put(os.urandom(20), True)
+        flush_ops = store.flush_io()
+        assert len(flush_ops) == 1
+        assert store.flush_io() == []
+
+    def test_stats_keys(self):
+        store = SSDHashStore(num_buckets=64)
+        store.put(b"k", 1)
+        assert set(store.stats()) >= {"entries", "buckets", "page_reads", "page_writes"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSDHashStore(num_buckets=0)
+        with pytest.raises(ValueError):
+            SSDHashStore(page_size=16, entry_size=64)
+        with pytest.raises(ValueError):
+            IOOperation("bogus", 4096)
+        with pytest.raises(ValueError):
+            IOOperation("read", 0)
+
+
+class TestFileHashStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            store.put(b"key", b"value")
+            assert store.get(b"key") == b"value"
+            assert b"key" in store
+            assert len(store) == 1
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            store.put(b"alpha", b"1")
+            store.put(b"beta", b"2")
+            store.delete(b"alpha")
+        with FileHashStore(path) as reopened:
+            assert reopened.get(b"alpha") is None
+            assert reopened.get(b"beta") == b"2"
+            assert len(reopened) == 1
+
+    def test_overwrite_keeps_latest_value(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            store.put(b"key", b"old")
+            store.put(b"key", b"new")
+        with FileHashStore(path) as reopened:
+            assert reopened.get(b"key") == b"new"
+
+    def test_truncated_tail_record_ignored(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            store.put(b"good", b"value")
+        with open(path, "ab") as log:
+            log.write(b"\x01\x00\x00")  # garbage partial record
+        with FileHashStore(path) as reopened:
+            assert reopened.get(b"good") == b"value"
+            assert len(reopened) == 1
+
+    def test_compact_shrinks_log(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            for i in range(50):
+                store.put(b"key", f"value-{i}".encode())
+            size_before = os.path.getsize(path)
+            store.compact()
+            size_after = os.path.getsize(path)
+            assert size_after < size_before
+            assert store.get(b"key") == b"value-49"
+
+    def test_delete_missing_returns_false(self, tmp_path):
+        with FileHashStore(str(tmp_path / "s.log")) as store:
+            assert store.delete(b"nope") is False
+
+    def test_string_keys_and_values(self, tmp_path):
+        with FileHashStore(str(tmp_path / "s.log")) as store:
+            store.put("key", "value")
+            assert store.get("key") == b"value"
