@@ -15,6 +15,7 @@ from .ablations import (
     run_scaling_ablation,
     run_tier_ablation,
 )
+from .failover import FailoverResult, run_failover
 from .figure1 import Figure1Point, Figure1Result, run_figure1
 from .generational import GenerationalResult, GenerationRow, run_generational_backup
 from .figure5 import Figure5Point, Figure5Result, run_figure5
@@ -30,6 +31,8 @@ __all__ = [
     "run_batch_tradeoff",
     "run_scaling_ablation",
     "run_tier_ablation",
+    "FailoverResult",
+    "run_failover",
     "Figure1Point",
     "Figure1Result",
     "run_figure1",

@@ -275,8 +275,12 @@ def run_scaling_ablation(
     # Replication overhead (storage and latency) relative to no replication.
     single = _loaded_cluster(num_nodes, fingerprints, virtual_nodes=0, replication=1)
     replicated = _loaded_cluster(num_nodes, fingerprints, virtual_nodes=0, replication=2)
-    single_entries = len(single)
-    result.replication_entry_overhead = len(replicated) / single_entries if single_entries else 1.0
+    # Storage overhead is a capacity question, so compare stored *copies*
+    # (len() deduplicates replicas and would always report 1.0x).
+    single_entries = single.total_stored
+    result.replication_entry_overhead = (
+        replicated.total_stored / single_entries if single_entries else 1.0
+    )
     single_latency = single.mean_lookup_latency()
     result.replication_latency_overhead = (
         replicated.mean_lookup_latency() / single_latency if single_latency else 1.0

@@ -1,0 +1,247 @@
+"""Failover experiment -- dedup accuracy and latency under injected failures.
+
+The paper presents SHHC as a hash cluster that keeps serving lookups through
+node failures; this experiment turns that claim into a measured scenario.
+A mixed backup workload is streamed through the cluster in client-sized
+batches while a :class:`~repro.core.fault_injection.FaultSchedule` crashes
+and recovers nodes one at a time (the regime a replication factor of 2 must
+survive without losing a single verdict).  Every verdict is checked against
+an exact oracle (a set of previously seen digests), so the headline number
+is *dedup accuracy under failures*; the run also reports read repairs,
+failovers, replica-repair traffic and the latency overhead versus a
+fault-free run of the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.cluster import SHHCCluster
+from ...core.config import ClusterConfig, HashNodeConfig
+from ...core.fault_injection import FaultInjector, FaultSchedule, rolling_outage_schedule
+from ...core.replication import ReplicationController
+from ...dedup.fingerprint import Fingerprint
+from ...workloads.mixer import WorkloadMix, table_i_mix
+from ..reporting import format_table
+
+__all__ = ["FailoverResult", "run_failover"]
+
+
+@dataclass
+class FailoverResult:
+    """Outcome of one failover run (plus its fault-free baseline)."""
+
+    num_nodes: int
+    replication_factor: int
+    virtual_nodes: int
+    batch_size: int
+    fingerprints_processed: int = 0
+    batches: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    false_uniques: int = 0  # duplicates misreported as new (replica pollution)
+    false_duplicates: int = 0  # new fingerprints misreported as duplicates (data loss!)
+    read_repairs: int = 0
+    failovers: int = 0
+    replica_inserts: int = 0
+    repaired_copies: int = 0
+    distinct: int = 0
+    total_stored: int = 0
+    fully_replicated: int = 0
+    under_replicated: int = 0
+    lost: int = 0
+    mean_latency_faulty: float = 0.0
+    mean_latency_baseline: float = 0.0
+    events: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def dedup_errors(self) -> int:
+        """Verdicts that differ from the exact oracle."""
+        return self.false_uniques + self.false_duplicates
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of verdicts matching the oracle (1.0 = no loss)."""
+        if not self.fingerprints_processed:
+            return 1.0
+        return 1.0 - self.dedup_errors / self.fingerprints_processed
+
+    @property
+    def latency_overhead(self) -> float:
+        """Relative mean-latency cost of running through failures."""
+        if self.mean_latency_baseline <= 0.0:
+            return 0.0
+        return self.mean_latency_faulty / self.mean_latency_baseline - 1.0
+
+    def render(self) -> str:
+        rows = [
+            ["nodes", self.num_nodes],
+            ["replication factor", self.replication_factor],
+            ["virtual nodes", self.virtual_nodes],
+            ["batch size", self.batch_size],
+            ["fingerprints", self.fingerprints_processed],
+            ["batches", self.batches],
+            ["crashes injected", self.crashes],
+            ["recoveries", self.recoveries],
+            ["dedup errors", self.dedup_errors],
+            ["  false uniques", self.false_uniques],
+            ["  false duplicates", self.false_duplicates],
+            ["dedup accuracy %", round(self.accuracy * 100.0, 4)],
+            ["read repairs", self.read_repairs],
+            ["failovers", self.failovers],
+            ["replica inserts", self.replica_inserts],
+            ["repaired copies", self.repaired_copies],
+            ["distinct fingerprints", self.distinct],
+            ["total stored copies", self.total_stored],
+            ["fully replicated", self.fully_replicated],
+            ["under-replicated", self.under_replicated],
+            ["lost", self.lost],
+            ["mean latency (faulty) us", round(self.mean_latency_faulty * 1e6, 2)],
+            ["mean latency (baseline) us", round(self.mean_latency_baseline * 1e6, 2)],
+            ["latency overhead %", round(self.latency_overhead * 100.0, 2)],
+        ]
+        table = format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Failover: dedup accuracy under injected node failures "
+                f"({self.num_nodes} nodes, k={self.replication_factor})"
+            ),
+        )
+        timeline = ", ".join(f"t={t:g} {action} {node}" for t, action, node in self.events)
+        return table + ("\n\nschedule: " + timeline if timeline else "")
+
+
+def _run_stream(
+    cluster: SHHCCluster,
+    batches: Sequence[Sequence[Fingerprint]],
+    injector: Optional[FaultInjector],
+    oracle_seen: set,
+    result: Optional[FailoverResult],
+) -> float:
+    """Replay ``batches``; returns the mean per-fingerprint latency.
+
+    When ``result`` is given, every verdict is checked against the oracle
+    and mismatches are tallied; ``oracle_seen`` is mutated as the stream's
+    digest history.
+    """
+    total_latency = 0.0
+    count = 0
+    for index, batch in enumerate(batches):
+        if injector is not None:
+            injector.advance(index)
+        lookups = cluster.lookup_batch(batch)
+        for outcome in lookups:
+            expected = outcome.fingerprint.digest in oracle_seen
+            oracle_seen.add(outcome.fingerprint.digest)
+            total_latency += outcome.latency
+            count += 1
+            if result is not None and outcome.is_duplicate != expected:
+                if expected:
+                    result.false_uniques += 1
+                else:
+                    result.false_duplicates += 1
+    return total_latency / count if count else 0.0
+
+
+def run_failover(
+    scale: float = 0.002,
+    num_nodes: int = 4,
+    replication_factor: int = 2,
+    virtual_nodes: int = 64,
+    batch_size: int = 256,
+    mix: Optional[WorkloadMix] = None,
+    schedule: Optional[FaultSchedule] = None,
+    node_config: Optional[HashNodeConfig] = None,
+    repair_on_recovery: bool = True,
+    seed: int = 0,
+) -> FailoverResult:
+    """Measure dedup accuracy and latency while nodes crash and recover.
+
+    The default schedule rolls a single-node outage across the cluster
+    (crash, serve degraded, recover, repair, next node) on a logical time
+    axis of batch indices; pass ``schedule`` for custom scenarios.  With
+    ``replication_factor >= 2`` and one node down at a time the expected
+    dedup error count is exactly zero.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if replication_factor < 2 and schedule is None:
+        # Fail before the (expensive) baseline run: an unreplicated cluster
+        # cannot serve fingerprints whose owner the default rolling-outage
+        # schedule has crashed.
+        raise ValueError(
+            "replication_factor must be >= 2 to survive the default rolling outage "
+            "schedule; pass an explicit FaultSchedule for unreplicated runs"
+        )
+    workload = mix if mix is not None else table_i_mix(seed=seed)
+    fingerprints: List[Fingerprint] = list(workload.interleaved(scale=scale))
+    batches = [
+        fingerprints[start:start + batch_size]
+        for start in range(0, len(fingerprints), batch_size)
+    ]
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
+    )
+
+    def make_cluster() -> SHHCCluster:
+        return SHHCCluster(
+            ClusterConfig(
+                num_nodes=num_nodes,
+                node=config,
+                virtual_nodes=virtual_nodes,
+                replication_factor=replication_factor,
+            )
+        )
+
+    # -- fault-free baseline (latency reference; oracle discarded) ------------------
+    baseline_latency = _run_stream(make_cluster(), batches, None, set(), None)
+
+    # -- faulty run -----------------------------------------------------------------
+    cluster = make_cluster()
+    controller = ReplicationController(cluster)
+    result = FailoverResult(
+        num_nodes=num_nodes,
+        replication_factor=replication_factor,
+        virtual_nodes=virtual_nodes,
+        batch_size=batch_size,
+        fingerprints_processed=len(fingerprints),
+        batches=len(batches),
+        mean_latency_baseline=baseline_latency,
+    )
+
+    def _on_recovery(_node: str) -> None:
+        if repair_on_recovery:
+            result.repaired_copies += controller.repair()
+
+    if schedule is None:
+        period = max(2, len(batches) // max(1, num_nodes))
+        downtime = max(1, period // 2)
+        schedule = rolling_outage_schedule(
+            cluster.node_names, period=period, downtime=downtime, start=1.0
+        )
+    injector = FaultInjector(cluster, schedule, on_recovery=_on_recovery)
+
+    result.mean_latency_faulty = _run_stream(cluster, batches, injector, set(), result)
+    injector.drain()  # recover any node still down past the last batch
+
+    result.crashes = injector.crashes
+    result.recoveries = injector.recoveries
+    result.read_repairs = cluster.read_repairs
+    result.failovers = cluster.failovers
+    result.replica_inserts = sum(
+        node.counters.get("replica_inserts") for node in cluster.nodes.values()
+    )
+    result.distinct = cluster.distinct_fingerprints()
+    result.total_stored = cluster.total_stored
+    result.events = [(e.time, e.action, e.node) for e in injector.applied]
+
+    report = controller.consistency_report()
+    result.fully_replicated = report.fully_replicated
+    result.under_replicated = report.under_replicated
+    result.lost = report.lost
+    return result

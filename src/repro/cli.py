@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment figure6
     python -m repro.cli experiment table1
     python -m repro.cli experiment ablations
+    python -m repro.cli experiment failover --replication 2 --nodes 4
     python -m repro.cli trace --workload mail-server --scale 0.001 --output trace.txt
     python -m repro.cli backup  --root ./mydata --catalog catalog.json --store ./chunkstore
     python -m repro.cli restore --catalog catalog.json --store ./chunkstore \
@@ -26,6 +27,7 @@ from typing import Optional, Sequence
 
 from .analysis.experiments import (
     run_batch_tradeoff,
+    run_failover,
     run_figure1,
     run_figure5,
     run_figure6,
@@ -59,6 +61,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.render())
     elif name == "table1":
         result = run_table1(scale=args.scale)
+        print(result.render())
+    elif name == "failover":
+        try:
+            result = run_failover(
+                scale=args.scale,
+                num_nodes=args.nodes,
+                replication_factor=args.replication,
+                virtual_nodes=args.virtual_nodes,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(result.render())
     elif name == "ablations":
         print(run_tier_ablation(scale=args.scale).render())
@@ -172,11 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
-        "name", choices=["figure1", "figure5", "figure6", "table1", "ablations"]
+        "name", choices=["figure1", "figure5", "figure6", "table1", "ablations", "failover"]
     )
     experiment.add_argument("--requests", type=int, default=6_000, help="figure1 request count")
     experiment.add_argument("--scale", type=float, default=0.002, help="workload scale factor")
-    experiment.add_argument("--nodes", type=int, default=4, help="cluster size (figure6)")
+    experiment.add_argument("--nodes", type=int, default=4, help="cluster size (figure6, failover)")
+    experiment.add_argument(
+        "--replication", type=int, default=2, help="replication factor (failover)"
+    )
+    experiment.add_argument(
+        "--virtual-nodes", type=int, default=64,
+        help="consistent-hash tokens per node, 0 = range partitioner (failover)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     trace = subparsers.add_parser("trace", help="generate a synthetic fingerprint trace")

@@ -1,8 +1,22 @@
 """SHHC core: the scalable hybrid hash cluster (the paper's contribution)."""
 
-from .batching import BatchAccumulator, reassemble_replies, split_batch_by_owner
+from .batching import (
+    BatchAccumulator,
+    reassemble_replies,
+    split_batch_by_owner,
+    split_batch_by_replica_set,
+)
 from .cluster import SHHCCluster
 from .config import ClusterConfig, HashNodeConfig
+from .fault_injection import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FlakyNode,
+    NodeUnavailableError,
+    make_flaky,
+    rolling_outage_schedule,
+)
 from .hash_node import HybridHashNode, NodeSnapshot
 from .membership import MembershipManager, MigrationReport
 from .metrics import ClusterMetrics, LoadBalanceReport
@@ -20,6 +34,14 @@ __all__ = [
     "BatchAccumulator",
     "reassemble_replies",
     "split_batch_by_owner",
+    "split_batch_by_replica_set",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FlakyNode",
+    "NodeUnavailableError",
+    "make_flaky",
+    "rolling_outage_schedule",
     "SHHCCluster",
     "ClusterConfig",
     "HashNodeConfig",

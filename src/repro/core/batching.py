@@ -11,6 +11,12 @@ spatial locality of backup streams.  Two helpers implement this:
 * :func:`split_batch_by_owner` -- takes an already-formed client batch and
   splits it into per-node sub-batches while remembering the original order so
   replies can be reassembled for the client.
+* :func:`split_batch_by_replica_set` -- the replication-aware variant: each
+  fingerprint is grouped under the first *live* node of its own replica set,
+  so batches keep being answered by nodes that actually store (or are
+  responsible for) the fingerprint when nodes fail.  Grouping a whole batch
+  under one failover target is wrong for consistent hashing, where successor
+  sets differ per key.
 """
 
 from __future__ import annotations
@@ -23,7 +29,12 @@ from ..dedup.fingerprint import Fingerprint
 from .partition import Partitioner
 from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply
 
-__all__ = ["BatchAccumulator", "split_batch_by_owner", "reassemble_replies"]
+__all__ = [
+    "BatchAccumulator",
+    "split_batch_by_owner",
+    "split_batch_by_replica_set",
+    "reassemble_replies",
+]
 
 
 @dataclass
@@ -139,11 +150,52 @@ def split_batch_by_owner(
     ``original_positions[i]`` is the index in ``fingerprints`` of the i-th
     fingerprint in that node's request, so replies can be reassembled in the
     client's order with :func:`reassemble_replies`.
+
+    Equivalent to :func:`split_batch_by_replica_set` with a replica set of
+    one and every node live.
     """
+    return split_batch_by_replica_set(
+        fingerprints, partitioner, 1, is_down=None, client_id=client_id, batch_id=batch_id
+    )
+
+
+def split_batch_by_replica_set(
+    fingerprints: Sequence[Fingerprint],
+    partitioner: Partitioner,
+    replication_factor: int = 1,
+    is_down: Optional[Callable[[str], bool]] = None,
+    client_id: str = "",
+    batch_id: int = 0,
+) -> Dict[str, Tuple[BatchLookupRequest, List[int]]]:
+    """Split a client batch into per-*serving-node* requests.
+
+    Unlike :func:`split_batch_by_owner`, each fingerprint is routed to the
+    first live node of **its own** replica set (``partitioner.owners``), so a
+    failed primary fails over per fingerprint rather than per batch.  With
+    every node up and ``replication_factor == 1`` the result is identical to
+    :func:`split_batch_by_owner`.
+
+    Parameters
+    ----------
+    replication_factor:
+        Size of each fingerprint's replica set (primary plus successors).
+    is_down:
+        Liveness predicate ``node_name -> bool``; ``None`` means every node
+        is up.  Raises :class:`RuntimeError` if a fingerprint has no live
+        replica at all.
+    """
+    if replication_factor < 1:
+        raise ValueError("replication_factor must be >= 1")
     groups: Dict[str, List[int]] = {}
     for position, fingerprint in enumerate(fingerprints):
-        node = partitioner.owner(fingerprint)
-        groups.setdefault(node, []).append(position)
+        replicas = partitioner.owners(fingerprint, replication_factor)
+        if is_down is not None:
+            replicas = [node for node in replicas if not is_down(node)]
+        if not replicas:
+            raise RuntimeError(
+                f"no live replica available for fingerprint at position {position}"
+            )
+        groups.setdefault(replicas[0], []).append(position)
     result: Dict[str, Tuple[BatchLookupRequest, List[int]]] = {}
     for node, positions in groups.items():
         request = BatchLookupRequest(

@@ -11,22 +11,58 @@ offers the combined fingerprint store/lookup service of the paper:
   :class:`~repro.core.protocol.BatchLookupRequest` messages to individual
   nodes over the simulated fabric.
 
-Replication (``ClusterConfig.replication_factor > 1``) is implemented by
-writing new fingerprints to the owner and its successors on the partition
-map; lookups go to the primary and fail over to replicas when the primary is
-marked down (see :mod:`repro.core.replication`).
+Replication and failover semantics
+----------------------------------
+With ``ClusterConfig.replication_factor = k`` every fingerprint has a
+*replica set* of ``k`` nodes: its partition owner plus the next ``k - 1``
+distinct successors (Chord style, per partitioner).  The routing layer
+maintains three invariants, failures included:
+
+* **Serving**: a lookup (single or batched) is always answered by the first
+  *live* node of the fingerprint's own replica set.  Batches are split with
+  :func:`~repro.core.batching.split_batch_by_replica_set`, so each
+  fingerprint fails over independently -- crucial for consistent hashing,
+  where two fingerprints sharing a primary generally have different
+  successors.
+* **Write propagation**: a fingerprint judged new by its serving node is
+  copied to the remaining live replicas through
+  :meth:`~repro.core.hash_node.HybridHashNode.insert_replica`, a pure write
+  path that does not touch the replicas' lookup counters or latency
+  recorders, so per-node load statistics and ``duplicate_ratio`` reflect
+  client traffic only.
+* **Read repair**: when a serving node misses but another live replica
+  holds the fingerprint (typically a primary that was down when the write
+  happened and has since recovered), the verdict is corrected to duplicate
+  (``ServedFrom.REPAIR``), the serving node keeps the copy it just wrote,
+  and any other live replica missing the fingerprint is backfilled.
+
+Transient failures are handled too: a node raising
+:class:`~repro.core.fault_injection.NodeUnavailableError` (e.g. a
+:class:`~repro.core.fault_injection.FlakyNode` wrapper) causes the affected
+lookups to fail over to the next live replica.  Background machinery for
+re-replication after permanent failures lives in
+:mod:`repro.core.replication`; scripted crash/recovery scenarios in
+:mod:`repro.core.fault_injection`.
+
+Size accounting distinguishes ``len(cluster)`` /
+:meth:`SHHCCluster.distinct_fingerprints` (unique fingerprints, what a
+client cares about) from :attr:`SHHCCluster.total_stored` (copies including
+replicas, what capacity planning cares about).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import itertools
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dedup.fingerprint import Fingerprint
 from ..dedup.index import ChunkIndex, ChunkLocation, LookupResult
 from ..network.rpc import RpcLayer
 from ..simulation.engine import Simulator
-from .batching import reassemble_replies, split_batch_by_owner
+from .batching import reassemble_replies, split_batch_by_replica_set
 from .config import ClusterConfig
+from .fault_injection import NodeUnavailableError
 from .hash_node import HybridHashNode
 from .metrics import ClusterMetrics, LoadBalanceReport
 from .partition import ConsistentHashRing, Partitioner, RangePartitioner
@@ -59,6 +95,10 @@ class SHHCCluster(ChunkIndex):
         self._down: set = set()
         self.lookups = 0
         self.duplicates = 0
+        self.read_repairs = 0
+        self.failovers = 0
+        self._batch_ids = itertools.count(1)
+        self.last_batch_id = 0
 
     # ------------------------------------------------------------------ membership
     @property
@@ -119,13 +159,71 @@ class SHHCCluster(ChunkIndex):
 
     def lookup_reply(self, fingerprint: Fingerprint) -> LookupReply:
         """Protocol-level single lookup (exposes tier information)."""
-        nodes = self._serving_nodes(fingerprint)
-        primary_reply = self.nodes[nodes[0]].lookup(fingerprint)
-        # Propagate new fingerprints to the remaining replicas.
-        if not primary_reply.is_duplicate:
-            for replica in nodes[1:]:
-                self.nodes[replica].lookup(fingerprint)
-        return primary_reply
+        return self._lookup_with_failover(fingerprint)
+
+    #: Attempts per replica before a transiently failing node is given up on.
+    #: Sized so realistic grey-failure rates (<~10% drops) practically never
+    #: abort even with a single replica; a node refusing this many attempts
+    #: is effectively dead and the lookup errors loudly.
+    MAX_NODE_ATTEMPTS = 5
+
+    def _lookup_with_failover(
+        self, fingerprint: Fingerprint, exclude: Tuple[str, ...] = ()
+    ) -> LookupReply:
+        """Serve one fingerprint from its replica set, retrying flaky nodes.
+
+        Marked-down nodes are skipped outright.  A node that raises
+        :class:`NodeUnavailableError` mid-request is a *transient* failure:
+        the lookup moves to the least-recently-failed live replica first but
+        may come back and retry the same node (up to ``MAX_NODE_ATTEMPTS``
+        times each), so a single dropped request never aborts a run that
+        still has a responsive replica.  ``exclude`` pre-charges one failed
+        attempt (used when a whole sub-batch was refused).
+        """
+        attempts = {name: 1 for name in exclude}
+        while True:
+            live = self._serving_nodes(fingerprint)
+            candidates = [n for n in live if attempts.get(n, 0) < self.MAX_NODE_ATTEMPTS]
+            if not candidates:
+                raise RuntimeError(
+                    "no live replica available for fingerprint "
+                    f"(every replica refused {self.MAX_NODE_ATTEMPTS} attempts)"
+                )
+            # Stable sort: fewest failures first, replica-set order on ties.
+            candidates.sort(key=lambda name: attempts.get(name, 0))
+            serving = candidates[0]
+            try:
+                reply = self.nodes[serving].lookup(fingerprint)
+            except NodeUnavailableError:
+                attempts[serving] = attempts.get(serving, 0) + 1
+                self.failovers += 1
+                continue
+            return self._resolve_reply(reply, serving)
+
+    def _resolve_reply(self, reply: LookupReply, serving: str) -> LookupReply:
+        """Apply replication semantics to a serving node's verdict.
+
+        Duplicates stand as-is.  For a reported-new fingerprint the other
+        live replicas are consulted: if any already holds it the verdict is
+        corrected to duplicate (read repair -- the serving node keeps the
+        copy it just wrote, becoming consistent again) and missing replicas
+        are backfilled; otherwise the new fingerprint is propagated to every
+        other live replica via the stats-neutral ``insert_replica`` path.
+        """
+        if reply.is_duplicate or self.config.replication_factor == 1:
+            return reply
+        fingerprint = reply.fingerprint
+        others = [
+            n for n in self.replica_set(fingerprint) if n != serving and n not in self._down
+        ]
+        holders = [n for n in others if fingerprint in self.nodes[n]]
+        for node_name in others:
+            if node_name not in holders:
+                self.nodes[node_name].insert_replica(fingerprint)
+        if holders:
+            self.read_repairs += 1
+            return replace(reply, is_duplicate=True, served_from=ServedFrom.REPAIR)
+        return reply
 
     def lookup_batch(self, fingerprints: Iterable[Fingerprint]) -> List[LookupResult]:
         """Batch lookup preserving input order (immediate mode)."""
@@ -148,26 +246,61 @@ class SHHCCluster(ChunkIndex):
         return results
 
     def lookup_batch_replies(self, fingerprints: Sequence[Fingerprint]) -> List[LookupReply]:
-        """Protocol-level batch lookup: split by owner, query nodes, reassemble."""
+        """Protocol-level batch lookup: split by replica set, query, reassemble.
+
+        Each fingerprint is grouped under the first live node of *its own*
+        replica set, so a downed node's share of the batch fans out to the
+        correct per-fingerprint successors instead of one blanket failover
+        target.  The per-fingerprint replication semantics are exactly those
+        of :meth:`lookup_reply`, which is what keeps batch verdicts identical
+        to the sequential path under failures.
+        """
         fingerprints = list(fingerprints)
         if not fingerprints:
             return []
-        per_node = split_batch_by_owner(fingerprints, self.partitioner)
+        batch_id = next(self._batch_ids)
+        self.last_batch_id = batch_id
+        per_node = split_batch_by_replica_set(
+            fingerprints,
+            self.partitioner,
+            self.config.replication_factor,
+            is_down=self.is_down,
+            batch_id=batch_id,
+        )
         gathered = []
-        for node_name, (request, positions) in per_node.items():
-            serving = node_name if node_name not in self._down else self._serving_nodes(request.fingerprints[0])[0]
-            node_replies = self.nodes[serving].lookup_batch(request.fingerprints)
-            if self.config.replication_factor > 1:
-                for reply in node_replies:
-                    if not reply.is_duplicate:
-                        for replica in self.replica_set(reply.fingerprint)[1:]:
-                            if replica != serving and replica not in self._down:
-                                self.nodes[replica].lookup(reply.fingerprint)
-            gathered.append((BatchLookupReply(replies=node_replies, node_id=serving), positions))
+        for serving, (request, positions) in per_node.items():
+            batch = list(request.fingerprints)
+            try:
+                raw_replies = self.nodes[serving].lookup_batch(batch)
+            except NodeUnavailableError:
+                # The whole sub-batch was refused (flaky node): retry each
+                # fingerprint individually on its remaining replicas.
+                self.failovers += 1
+                replies = [self._lookup_with_failover(fp, exclude=(serving,)) for fp in batch]
+            else:
+                replies = [self._resolve_reply(reply, serving) for reply in raw_replies]
+            gathered.append(
+                (BatchLookupReply(replies=replies, node_id=serving, batch_id=batch_id), positions)
+            )
         return reassemble_replies(len(fingerprints), gathered)
 
     def __len__(self) -> int:
-        """Distinct fingerprints stored across all nodes (primaries + replicas)."""
+        """Distinct fingerprints stored in the cluster (replicas deduplicated)."""
+        return self.distinct_fingerprints()
+
+    def distinct_fingerprints(self) -> int:
+        """Number of unique fingerprints, counting each replica group once."""
+        if self.config.replication_factor == 1:
+            # Without replication every copy is unique; skip the digest scan.
+            return self.total_stored
+        digests = set()
+        for node in self.nodes.values():
+            digests.update(node.store.keys())
+        return len(digests)
+
+    @property
+    def total_stored(self) -> int:
+        """Stored copies across all nodes, replicas included (capacity view)."""
         return sum(len(node) for node in self.nodes.values())
 
     def __contains__(self, fingerprint: Fingerprint) -> bool:
@@ -181,28 +314,77 @@ class SHHCCluster(ChunkIndex):
             rpc.register(name, self._make_handler(node))
 
     def _make_handler(self, node: HybridHashNode):
+        node_id = node.node_id
+
+        def _finalize(raw: BatchLookupReply) -> BatchLookupReply:
+            # Replica propagation / read repair for RPC-served batches.  In
+            # simulated mode the replica writes happen at the reply instant
+            # and cost no simulated time (replication bandwidth is not
+            # modelled, matching immediate mode).
+            replies = [self._resolve_reply(reply, node_id) for reply in raw.replies]
+            return BatchLookupReply(replies=replies, node_id=node_id, batch_id=raw.batch_id)
+
+        def _failover_batch(request: BatchLookupRequest) -> BatchLookupReply:
+            # The node refused the whole batch (flaky / grey failure): answer
+            # each fingerprint from its remaining replicas.  In simulated
+            # mode the retries cost no simulated time -- only clean crashes
+            # (FaultSchedule) model timing; grey failures model correctness.
+            self.failovers += 1
+            replies = [
+                self._lookup_with_failover(fp, exclude=(node_id,))
+                for fp in request.fingerprints
+            ]
+            return BatchLookupReply(replies=replies, node_id=node_id, batch_id=request.batch_id)
+
         def _handle(request: BatchLookupRequest):
+            # Resolved per call (not captured) so wrappers installed after
+            # registration -- e.g. fault_injection.make_flaky -- take effect.
+            target = self.nodes[node_id]
             if self.sim is None:
-                replies = node.lookup_batch(list(request.fingerprints))
-                reply = BatchLookupReply(replies=replies, node_id=node.node_id, batch_id=request.batch_id)
+                try:
+                    reply = _finalize(
+                        BatchLookupReply(
+                            replies=target.lookup_batch(list(request.fingerprints)),
+                            node_id=node_id,
+                            batch_id=request.batch_id,
+                        )
+                    )
+                except NodeUnavailableError:
+                    reply = _failover_batch(request)
                 return reply, reply.payload_bytes
-            completion = node.serve_batch(request)
+            try:
+                completion = target.serve_batch(request)
+            except NodeUnavailableError:
+                reply = _failover_batch(request)
+                failed_over = self.sim.event(f"{node_id}.reply")
+                failed_over.succeed((reply, reply.payload_bytes))
+                return failed_over
             wrapped = self.sim.event(f"{node.node_id}.reply")
-            completion.add_callback(
-                lambda event: wrapped.succeed((event.value, event.value.payload_bytes))
-            )
+
+            def _complete(event) -> None:
+                finished = _finalize(event.value)
+                wrapped.succeed((finished, finished.payload_bytes))
+
+            completion.add_callback(_complete)
             return wrapped
 
         return _handle
 
     # ------------------------------------------------------------------ reporting
     def metrics(self) -> ClusterMetrics:
-        """Aggregated per-node statistics."""
-        return ClusterMetrics.from_nodes(list(self.nodes.values()))
+        """Aggregated per-node statistics (plus the distinct/total split).
+
+        With ``replication_factor > 1`` the distinct count requires a scan
+        over every node's stored digests, so treat this as a reporting call,
+        not a hot-path one.
+        """
+        metrics = ClusterMetrics.from_nodes(list(self.nodes.values()))
+        metrics.distinct_entries = self.distinct_fingerprints()
+        return metrics
 
     def storage_distribution(self) -> LoadBalanceReport:
-        """Hash entries stored per node (Figure 6)."""
-        return self.metrics().storage_distribution()
+        """Hash entries stored per node (Figure 6); skips the distinct scan."""
+        return ClusterMetrics.from_nodes(list(self.nodes.values())).storage_distribution()
 
     def duplicate_ratio(self) -> float:
         """Fraction of cluster lookups that found an existing fingerprint."""
@@ -216,4 +398,5 @@ class SHHCCluster(ChunkIndex):
         return total / count if count else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<SHHCCluster nodes={self.num_nodes} entries={len(self)}>"
+        # total_stored, not len(self): a repr must not trigger the distinct scan.
+        return f"<SHHCCluster nodes={self.num_nodes} stored={self.total_stored}>"

@@ -1,0 +1,280 @@
+"""Fault injection: scripted node failures and flaky-node wrappers.
+
+The paper claims the hash cluster keeps serving lookups through node
+failures; this module turns that claim into a testable scenario family.
+Three pieces compose the harness:
+
+* :class:`FaultSchedule` -- a declarative script of crash/recover events
+  against a time axis.  The axis is whatever clock the caller advances:
+  the simulated clock (seconds) in the simulated deployment, or a logical
+  clock (e.g. batch index) in immediate mode.
+* :class:`FaultInjector` -- applies a schedule to a cluster, either by
+  polling (:meth:`FaultInjector.advance`, immediate mode) or by scheduling
+  every event on a :class:`~repro.simulation.engine.Simulator`
+  (:meth:`FaultInjector.attach`, simulated mode).  An optional
+  ``on_recovery`` hook lets callers run anti-entropy repair (see
+  :class:`~repro.core.replication.ReplicationController`) when a node
+  rejoins.
+* :class:`FlakyNode` -- a transparent wrapper around a
+  :class:`~repro.core.hash_node.HybridHashNode` that makes individual
+  lookups fail with :class:`NodeUnavailableError` at a configured
+  probability, modelling grey failures (timeouts, packet loss) rather than
+  clean crashes.  The cluster's routing layer treats such failures as a
+  signal to fail the lookup over to the next live replica.
+
+The injector only needs ``mark_down`` / ``mark_up`` / node-name lookup from
+its target, so it works on :class:`~repro.core.cluster.SHHCCluster` without
+importing it (no circular dependency: the cluster imports this module for
+:class:`NodeUnavailableError`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "NodeUnavailableError",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "FlakyNode",
+    "make_flaky",
+    "rolling_outage_schedule",
+]
+
+#: Actions a fault event may carry.
+CRASH = "crash"
+RECOVER = "recover"
+_ACTIONS = (CRASH, RECOVER)
+
+
+class NodeUnavailableError(RuntimeError):
+    """A node (or its RPC endpoint) refused to serve a request."""
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scripted membership change: ``node`` crashes or recovers at ``time``."""
+
+    time: float
+    action: str
+    node: str
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, got {self.action!r}")
+        if self.time < 0:
+            raise ValueError("fault event time must be >= 0")
+
+
+class FaultSchedule:
+    """An ordered script of :class:`FaultEvent` entries.
+
+    Builder methods return ``self`` so schedules read fluently::
+
+        schedule = FaultSchedule().crash("hashnode-1", at=2.0).recover("hashnode-1", at=5.0)
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: List[FaultEvent] = sorted(events)
+
+    # -- building ---------------------------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self._events.append(event)
+        self._events.sort()
+        return self
+
+    def crash(self, node: str, at: float) -> "FaultSchedule":
+        """Schedule ``node`` to fail (stop serving) at time ``at``."""
+        return self.add(FaultEvent(time=at, action=CRASH, node=node))
+
+    def recover(self, node: str, at: float) -> "FaultSchedule":
+        """Schedule ``node`` to rejoin at time ``at``."""
+        return self.add(FaultEvent(time=at, action=RECOVER, node=node))
+
+    def outage(self, node: str, start: float, duration: float) -> "FaultSchedule":
+        """Convenience: crash at ``start``, recover ``duration`` later."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        return self.crash(node, at=start).recover(node, at=start + duration)
+
+    # -- inspection -------------------------------------------------------------------
+    @property
+    def events(self) -> List[FaultEvent]:
+        """All events in time order."""
+        return list(self._events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled event (0.0 for an empty schedule)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultSchedule events={len(self._events)} horizon={self.horizon}>"
+
+
+def rolling_outage_schedule(
+    node_names: Sequence[str],
+    period: float,
+    downtime: float,
+    start: float = 0.0,
+    rounds: int = 1,
+) -> FaultSchedule:
+    """One-node-at-a-time rolling outages across ``node_names``.
+
+    Node *i* crashes at ``start + i * period`` (plus one full sweep per
+    round) and recovers ``downtime`` later.  With ``downtime < period`` at
+    most one node is ever down, the regime in which a cluster with
+    ``replication_factor >= 2`` must not lose a single dedup verdict.
+    """
+    if period <= 0 or downtime <= 0:
+        raise ValueError("period and downtime must be positive")
+    if downtime >= period:
+        raise ValueError("downtime must be smaller than period (one node down at a time)")
+    schedule = FaultSchedule()
+    for round_index in range(rounds):
+        sweep_start = start + round_index * period * len(node_names)
+        for index, node in enumerate(node_names):
+            schedule.outage(node, start=sweep_start + index * period, duration=downtime)
+    return schedule
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Anything exposing ``mark_down(name)`` / ``mark_up(name)`` (an
+        :class:`~repro.core.cluster.SHHCCluster`).
+    schedule:
+        The script to apply.
+    on_crash / on_recovery:
+        Optional hooks ``(node_name) -> None`` invoked *after* the
+        membership change; ``on_recovery`` is where anti-entropy repair
+        belongs (e.g. ``ReplicationController.repair``).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        schedule: FaultSchedule,
+        on_crash: Optional[Callable[[str], None]] = None,
+        on_recovery: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.schedule = schedule
+        self.on_crash = on_crash
+        self.on_recovery = on_recovery
+        self._pending: List[FaultEvent] = schedule.events
+        self.applied: List[FaultEvent] = []
+        self.crashes = 0
+        self.recoveries = 0
+
+    # -- immediate mode ---------------------------------------------------------------
+    def advance(self, now: float) -> List[FaultEvent]:
+        """Apply every event whose time is ``<= now``; returns those events."""
+        fired: List[FaultEvent] = []
+        while self._pending and self._pending[0].time <= now:
+            event = self._pending.pop(0)
+            self._apply(event)
+            fired.append(event)
+        return fired
+
+    def drain(self) -> List[FaultEvent]:
+        """Apply every remaining event (end of an immediate-mode run)."""
+        return self.advance(float("inf"))
+
+    # -- simulated mode ---------------------------------------------------------------
+    def attach(self, sim) -> None:
+        """Schedule every remaining event on ``sim``'s calendar."""
+        pending, self._pending = self._pending, []
+        for event in pending:
+            sim.schedule_at(event.time, self._apply, event)
+
+    # -- shared -----------------------------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        if event.action == CRASH:
+            self.cluster.mark_down(event.node)
+            self.crashes += 1
+            if self.on_crash is not None:
+                self.on_crash(event.node)
+        else:
+            self.cluster.mark_up(event.node)
+            self.recoveries += 1
+            if self.on_recovery is not None:
+                self.on_recovery(event.node)
+        self.applied.append(event)
+
+    @property
+    def pending(self) -> int:
+        """Events not yet applied (immediate mode only)."""
+        return len(self._pending)
+
+
+class FlakyNode:
+    """Wrap a hash node so individual lookups fail with a given probability.
+
+    Only the serving entry points (:meth:`lookup`, :meth:`lookup_batch`,
+    :meth:`serve_batch`) are intercepted; state inspection and maintenance
+    paths (``insert_replica``, ``export_entries``, ``__contains__``, ...)
+    pass straight through, because replication traffic in this codebase is
+    an internal bookkeeping call, not a network request.
+
+    Failures are deterministic given ``seed``, so experiments are
+    reproducible.
+    """
+
+    def __init__(self, node, failure_rate: float, seed: int = 0) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
+        self._node = node
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self.injected_failures = 0
+
+    def _maybe_fail(self) -> None:
+        if self._rng.random() < self.failure_rate:
+            self.injected_failures += 1
+            raise NodeUnavailableError(f"node {self._node.node_id!r} dropped the request")
+
+    # -- intercepted serving paths ----------------------------------------------------
+    def lookup(self, fingerprint):
+        self._maybe_fail()
+        return self._node.lookup(fingerprint)
+
+    def lookup_batch(self, fingerprints):
+        self._maybe_fail()
+        return self._node.lookup_batch(fingerprints)
+
+    def serve_batch(self, request):
+        self._maybe_fail()
+        return self._node.serve_batch(request)
+
+    # -- transparent delegation -------------------------------------------------------
+    def __getattr__(self, name):
+        return getattr(self._node, name)
+
+    def __len__(self) -> int:
+        return len(self._node)
+
+    def __contains__(self, fingerprint) -> bool:
+        return fingerprint in self._node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlakyNode rate={self.failure_rate} wrapping {self._node!r}>"
+
+
+def make_flaky(cluster, node_name: str, failure_rate: float, seed: int = 0) -> FlakyNode:
+    """Replace ``cluster.nodes[node_name]`` with a :class:`FlakyNode` wrapper."""
+    wrapper = FlakyNode(cluster.nodes[node_name], failure_rate, seed=seed)
+    cluster.nodes[node_name] = wrapper
+    return wrapper

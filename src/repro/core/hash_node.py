@@ -197,6 +197,24 @@ class HybridHashNode:
         )
         return reply, ssd_time
 
+    def insert_replica(self, fingerprint: Fingerprint) -> bool:
+        """Store a replica copy of ``fingerprint`` without serving a lookup.
+
+        This is the cluster's replica *write* path: it must not touch the
+        ``lookups`` counter or the latency recorder (a replication write is
+        not a client lookup, and counting it would inflate per-node load and
+        skew ``duplicate_ratio``).  The copy goes into the SSD store and the
+        bloom filter but deliberately not into the RAM LRU, which is reserved
+        for fingerprints this node actually served.  Returns ``True`` if the
+        fingerprint was new on this node.
+        """
+        digest = fingerprint.digest
+        if not self.store.put(digest, fingerprint.chunk_size):
+            return False
+        self.bloom.add(digest)
+        self.counters.increment("replica_inserts")
+        return True
+
     def _insert_new(self, fingerprint: Fingerprint) -> float:
         """Record a previously unseen fingerprint; returns the SSD write time."""
         digest = fingerprint.digest

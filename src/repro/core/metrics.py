@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .hash_node import NodeSnapshot
 
@@ -66,6 +66,10 @@ class ClusterMetrics:
     """Aggregated view over a set of node snapshots."""
 
     snapshots: List[NodeSnapshot] = field(default_factory=list)
+    #: Unique fingerprints across the cluster (replicas deduplicated).  Set
+    #: by :meth:`SHHCCluster.metrics`; ``None`` when only snapshots are
+    #: available, in which case ``total_entries`` is the best estimate.
+    distinct_entries: Optional[int] = None
 
     @classmethod
     def from_nodes(cls, nodes: Sequence) -> "ClusterMetrics":
@@ -80,6 +84,16 @@ class ClusterMetrics:
     @property
     def total_entries(self) -> int:
         return sum(s.entries for s in self.snapshots)
+
+    @property
+    def total_stored(self) -> int:
+        """Stored copies across all nodes, replicas included."""
+        return self.total_entries
+
+    @property
+    def distinct(self) -> int:
+        """Unique fingerprints; falls back to the copy count without replication info."""
+        return self.distinct_entries if self.distinct_entries is not None else self.total_entries
 
     @property
     def total_duplicates(self) -> int:
@@ -132,7 +146,11 @@ class ClusterMetrics:
         return {
             "nodes": len(self.snapshots),
             "lookups": self.total_lookups,
+            # "entries" is the legacy name for the copies count; "distinct" /
+            # "total_stored" are the canonical replication-aware pair.
             "entries": self.total_entries,
+            "distinct": self.distinct,
+            "total_stored": self.total_stored,
             "duplicates": self.total_duplicates,
             "duplicate_ratio": self.duplicate_ratio(),
             "ram_hits": self.ram_hits,

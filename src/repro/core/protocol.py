@@ -39,6 +39,7 @@ class ServedFrom(str, Enum):
     RAM = "ram"
     SSD = "ssd"
     NEW = "new"  # fingerprint was not present anywhere; inserted as unique
+    REPAIR = "repair"  # serving node missed, but a replica held the fingerprint (read repair)
 
 
 @dataclass(frozen=True)

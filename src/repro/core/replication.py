@@ -1,13 +1,25 @@
-"""Fault tolerance: fingerprint replication and failure handling.
+"""Fault tolerance: anti-entropy repair on top of the cluster's replication.
 
-The paper lists fault tolerance as future work (§V).  The cluster already
-supports ``replication_factor > 1`` (new fingerprints are written to the
-owner and its successors); this module adds the surrounding machinery:
+The paper lists fault tolerance as future work (§V).  The routing layer in
+:mod:`repro.core.cluster` already provides the *synchronous* half: every new
+fingerprint is written to all live members of its replica set, lookups fail
+over per fingerprint to the first live replica, and read repair backfills a
+recovered primary on first touch.  This module provides the *asynchronous*
+half -- the background sweep a real deployment runs after membership events:
 
 * :class:`ReplicationController` -- verifies and repairs replica sets,
   handles node failure (fail over + re-replication) and rejoin.
 * :class:`ReplicaConsistencyReport` -- how many fingerprints are fully
   replicated, under-replicated, or lost.
+
+Why both halves are needed: a fingerprint first written while one of its
+replicas was down starts life under-replicated (the cluster cannot write to
+a dead node).  Read repair fixes the verdict as soon as any live replica is
+consulted, but only an anti-entropy sweep (:meth:`ReplicationController.repair`,
+typically triggered from a fault-injection recovery hook or an operator
+runbook) restores the full copy count -- without it, a *second* failure that
+takes out the singular copy loses the duplicate verdict.  The ``failover``
+experiment demonstrates both regimes.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.cluster import SHHCCluster
 from ..core.config import ClusterConfig
+from ..core.fault_injection import FaultInjector, FaultSchedule
 from ..dedup.chunking import Chunker, FixedSizeChunker
 from ..network.loadbalancer import LoadBalancer, RoundRobinPolicy
 from ..network.topology import BuiltNetwork, ClusterTopology
@@ -79,8 +80,16 @@ class BackupService:
 
     # -- reporting ------------------------------------------------------------------------
     def stored_fingerprints(self) -> int:
-        """Distinct fingerprints known to the hash cluster."""
+        """Distinct fingerprints known to the hash cluster.
+
+        Replica copies are deduplicated; use :meth:`total_stored_copies` for
+        the capacity view.
+        """
         return len(self.cluster)
+
+    def total_stored_copies(self) -> int:
+        """Stored fingerprint copies across all nodes, replicas included."""
+        return self.cluster.total_stored
 
     def physical_bytes(self) -> int:
         """Bytes actually stored in the cloud back-end."""
@@ -110,6 +119,11 @@ class SimulatedDeployment:
     object_store: CloudObjectStore
     extras: dict = field(default_factory=dict)
 
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The attached fault injector, if the deployment was built with one."""
+        return self.extras.get("fault_injector")
+
 
 def build_simulated_service(
     sim: Simulator,
@@ -117,12 +131,21 @@ def build_simulated_service(
     num_clients: int = 2,
     num_web_servers: int = 3,
     topology: Optional[ClusterTopology] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> SimulatedDeployment:
     """Construct the simulated Figure-2 deployment on ``sim``.
 
     Every tier is attached to the same switched fabric: clients call web
     servers, web servers call hash nodes, and all transfers pay the modelled
     network cost.
+
+    When ``fault_schedule`` is given, a
+    :class:`~repro.core.fault_injection.FaultInjector` is attached to the
+    simulator: scripted crash/recover events flip the cluster's liveness map
+    (web servers route batches around down nodes per replica set) and the
+    RPC layer rejects calls to crashed hash nodes with
+    :class:`~repro.network.rpc.ServiceUnavailableError`.  The injector is
+    exposed as ``deployment.fault_injector``.
     """
     config = cluster_config if cluster_config is not None else ClusterConfig()
     topo = topology if topology is not None else ClusterTopology(
@@ -143,6 +166,15 @@ def build_simulated_service(
         web_servers[server_id] = server
         load_balancer.add_backend(server_id)
 
+    extras: dict = {}
+    if fault_schedule is not None:
+        injector = FaultInjector(cluster, fault_schedule)
+        injector.attach(sim)
+        network.rpc.set_availability(
+            lambda endpoint: endpoint not in cluster.nodes or not cluster.is_down(endpoint)
+        )
+        extras["fault_injector"] = injector
+
     return SimulatedDeployment(
         sim=sim,
         topology=topo,
@@ -151,4 +183,5 @@ def build_simulated_service(
         web_servers=web_servers,
         load_balancer=load_balancer,
         object_store=CloudObjectStore(sim=sim),
+        extras=extras,
     )

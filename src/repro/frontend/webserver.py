@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..core.batching import reassemble_replies, split_batch_by_owner
+from ..core.batching import reassemble_replies, split_batch_by_replica_set
 from ..core.cluster import SHHCCluster
 from ..core.protocol import BatchLookupReply, BatchLookupRequest, LookupReply
 from ..dedup.fingerprint import FINGERPRINT_BYTES, Fingerprint
@@ -114,9 +114,8 @@ class WebFrontEnd:
         started = self.sim.now
         done = self.sim.event(f"{self.server_id}.response")
         fingerprints = list(request.fingerprints)
-        per_node = split_batch_by_owner(fingerprints, self.cluster.partitioner, request.client_id)
 
-        pending = {"count": len(per_node)}
+        pending = {"count": 0}
         gathered: List[Tuple[BatchLookupReply, Sequence[int]]] = []
 
         def _on_node_reply(positions: Sequence[int]):
@@ -141,6 +140,21 @@ class WebFrontEnd:
             done.succeed((response, response.payload_bytes))
 
         def _dispatch() -> None:
+            # Route each fingerprint to the first live node of its own
+            # replica set so batches keep finding their data while nodes are
+            # down, and stamp the client's request id on the sub-batches so
+            # node replies can be correlated with this request.  The split
+            # runs here, at the same simulated instant as the calls, so no
+            # crash event can land between sampling liveness and dispatching.
+            per_node = split_batch_by_replica_set(
+                fingerprints,
+                self.cluster.partitioner,
+                self.cluster.config.replication_factor,
+                is_down=self.cluster.is_down,
+                client_id=request.client_id,
+                batch_id=request.request_id if request.request_id else next(self._request_ids),
+            )
+            pending["count"] = len(per_node)
             for node_name, (node_request, positions) in per_node.items():
                 call = self.rpc.call(
                     source=self.server_id,

@@ -10,7 +10,7 @@ from .loadbalancer import (
     WeightedRoundRobinPolicy,
 )
 from .message import MESSAGE_HEADER_BYTES, Message
-from .rpc import RpcError, RpcLayer
+from .rpc import RpcError, RpcLayer, ServiceUnavailableError
 from .switch import NetworkSwitch
 from .topology import BuiltNetwork, ClusterTopology
 
@@ -28,6 +28,7 @@ __all__ = [
     "Message",
     "RpcError",
     "RpcLayer",
+    "ServiceUnavailableError",
     "NetworkSwitch",
     "BuiltNetwork",
     "ClusterTopology",

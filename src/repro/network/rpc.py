@@ -4,6 +4,13 @@ Components register a *service handler*; callers invoke :meth:`RpcLayer.call`
 and receive an event that succeeds with the response payload once the request
 has crossed the network, been processed (handler may return an event for
 asynchronous processing) and the response has crossed back.
+
+Fault injection: :meth:`RpcLayer.set_availability` installs a liveness probe
+(typically backed by the cluster's down-set, see
+:mod:`repro.core.fault_injection`).  A call addressed to an unavailable
+service fails immediately with :class:`ServiceUnavailableError` -- the
+crashed node simply does not answer, and the caller is expected to have
+routed around it (the web front-end splits batches by live replica set).
 """
 
 from __future__ import annotations
@@ -15,13 +22,17 @@ from ..simulation.stats import LatencyRecorder
 from .message import Message
 from .switch import NetworkSwitch
 
-__all__ = ["RpcLayer", "RpcError"]
+__all__ = ["RpcLayer", "RpcError", "ServiceUnavailableError"]
 
 Handler = Callable[[Any], Union[Any, "tuple[Any, int]", Event]]
 
 
 class RpcError(RuntimeError):
     """Raised when an RPC is addressed to an unknown service."""
+
+
+class ServiceUnavailableError(RpcError):
+    """Raised when an RPC targets a service marked down by fault injection."""
 
 
 class RpcLayer:
@@ -32,6 +43,8 @@ class RpcLayer:
         self.sim = sim if sim is not None else switch.sim
         self._services: Dict[str, Handler] = {}
         self._pending: Dict[int, Event] = {}
+        self._availability: Optional[Callable[[str], bool]] = None
+        self.unavailable_calls = 0
         self.call_latency = LatencyRecorder("rpc.call_latency")
 
     # -- registration -----------------------------------------------------------------
@@ -59,6 +72,19 @@ class RpcLayer:
     def services(self) -> list:
         return sorted(self._services)
 
+    # -- fault injection --------------------------------------------------------------
+    def set_availability(self, probe: Optional[Callable[[str], bool]]) -> None:
+        """Install ``probe(endpoint) -> bool``; ``False`` makes calls fail fast.
+
+        Pass ``None`` to remove the probe.  Endpoints the probe does not
+        know about should return ``True``.
+        """
+        self._availability = probe
+
+    def is_available(self, endpoint: str) -> bool:
+        """Whether ``endpoint`` currently accepts new requests."""
+        return self._availability is None or self._availability(endpoint)
+
     # -- calling ---------------------------------------------------------------------
     def call(
         self,
@@ -70,6 +96,9 @@ class RpcLayer:
         """Issue an RPC; the returned event succeeds with the response payload."""
         if destination not in self._services:
             raise RpcError(f"no service registered at {destination!r}")
+        if not self.is_available(destination):
+            self.unavailable_calls += 1
+            raise ServiceUnavailableError(f"service {destination!r} is down")
         if not self.switch.is_attached(source):
             self.register_client(source)
         now = self.sim.now if self.sim is not None else 0.0

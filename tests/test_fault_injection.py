@@ -1,0 +1,281 @@
+"""Tests for the fault-injection harness and the failover experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_failover
+from repro.cli import main as cli_main
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.fault_injection import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FlakyNode,
+    NodeUnavailableError,
+    make_flaky,
+    rolling_outage_schedule,
+)
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.frontend.gateway import build_simulated_service
+from repro.network.rpc import ServiceUnavailableError
+from repro.simulation.engine import Simulator
+
+
+def make_cluster(num_nodes=4, replication=2, virtual_nodes=0) -> SHHCCluster:
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000, ssd_buckets=1 << 10),
+        replication_factor=replication,
+        virtual_nodes=virtual_nodes,
+    )
+    return SHHCCluster(config)
+
+
+class TestFaultSchedule:
+    def test_builder_orders_events(self):
+        schedule = FaultSchedule().recover("n1", at=5.0).crash("n1", at=2.0)
+        assert [(e.time, e.action) for e in schedule] == [(2.0, "crash"), (5.0, "recover")]
+        assert schedule.horizon == 5.0
+        assert len(schedule) == 2
+
+    def test_outage_expands_to_crash_and_recover(self):
+        schedule = FaultSchedule().outage("n0", start=1.0, duration=3.0)
+        assert [(e.time, e.action, e.node) for e in schedule] == [
+            (1.0, "crash", "n0"),
+            (4.0, "recover", "n0"),
+        ]
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=1.0, action="explode", node="n0")
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, action="crash", node="n0")
+        with pytest.raises(ValueError):
+            FaultSchedule().outage("n0", start=0.0, duration=0.0)
+
+    def test_rolling_outage_keeps_one_node_down_at_a_time(self):
+        schedule = rolling_outage_schedule(["a", "b", "c"], period=10.0, downtime=4.0)
+        down = set()
+        max_down = 0
+        for event in schedule:
+            if event.action == "crash":
+                down.add(event.node)
+            else:
+                down.discard(event.node)
+            max_down = max(max_down, len(down))
+        assert max_down == 1
+        assert not down
+        with pytest.raises(ValueError):
+            rolling_outage_schedule(["a"], period=2.0, downtime=2.0)
+
+
+class TestFaultInjector:
+    def test_advance_applies_due_events(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule().outage("hashnode-1", start=2.0, duration=2.0)
+        injector = FaultInjector(cluster, schedule)
+        assert injector.advance(1.0) == []
+        assert cluster.is_down("hashnode-1") is False
+        fired = injector.advance(2.5)
+        assert [e.action for e in fired] == ["crash"]
+        assert cluster.is_down("hashnode-1") is True
+        injector.drain()
+        assert cluster.is_down("hashnode-1") is False
+        assert injector.crashes == 1 and injector.recoveries == 1
+        assert injector.pending == 0
+
+    def test_recovery_hook_runs_after_mark_up(self):
+        cluster = make_cluster()
+        seen = []
+        schedule = FaultSchedule().outage("hashnode-0", start=0.0, duration=1.0)
+        injector = FaultInjector(
+            cluster,
+            schedule,
+            on_recovery=lambda node: seen.append((node, cluster.is_down(node))),
+        )
+        injector.drain()
+        assert seen == [("hashnode-0", False)]
+
+    def test_attach_schedules_on_simulator(self):
+        sim = Simulator()
+        cluster = make_cluster()
+        schedule = FaultSchedule().crash("hashnode-2", at=1.0).recover("hashnode-2", at=3.0)
+        injector = FaultInjector(cluster, schedule)
+        injector.attach(sim)
+        observed = []
+        sim.schedule_at(2.0, lambda: observed.append(cluster.is_down("hashnode-2")))
+        sim.run()
+        assert observed == [True]
+        assert cluster.is_down("hashnode-2") is False
+        assert len(injector.applied) == 2
+
+
+class TestFlakyNode:
+    def test_always_failing_node_raises(self):
+        cluster = make_cluster()
+        flaky = make_flaky(cluster, "hashnode-0", failure_rate=1.0)
+        with pytest.raises(NodeUnavailableError):
+            flaky.lookup(synthetic_fingerprint(1))
+        assert flaky.injected_failures == 1
+
+    def test_cluster_fails_over_around_flaky_node(self):
+        cluster = make_cluster(num_nodes=3, replication=2)
+        fingerprints = [synthetic_fingerprint(i) for i in range(60)]
+        cluster.lookup_batch(fingerprints)
+
+        victim = cluster.node_names[0]
+        make_flaky(cluster, victim, failure_rate=1.0)
+        verdicts = [r.is_duplicate for r in cluster.lookup_batch(fingerprints)]
+        assert verdicts == [True] * len(fingerprints)
+        assert cluster.failovers > 0
+        served_by = {r.served_by for r in cluster.lookup_batch(fingerprints)}
+        assert victim not in served_by
+
+    def test_simulated_rpc_fails_over_around_flaky_node(self, sim):
+        # A grey failure on an RPC-served node must not crash the simulation:
+        # the handler answers the batch from the remaining replicas.
+        from repro.frontend.client import SimulatedClient
+
+        config = ClusterConfig(
+            num_nodes=3,
+            node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000),
+            replication_factor=2,
+        )
+        trace = [synthetic_fingerprint(i % 40) for i in range(240)]
+        deployment = build_simulated_service(sim, config, num_clients=1, num_web_servers=1)
+        make_flaky(deployment.cluster, "hashnode-0", failure_rate=1.0, seed=5)
+        client = SimulatedClient(
+            client_id="client-0",
+            rpc=deployment.network.rpc,
+            load_balancer=deployment.load_balancer,
+            fingerprints=trace,
+            batch_size=16,
+        )
+        client.start()
+        sim.run()
+        assert client.stats.fingerprints_sent == len(trace)
+        assert deployment.cluster.failovers > 0
+
+    def test_zero_rate_wrapper_is_transparent(self):
+        cluster = make_cluster(num_nodes=2, replication=1)
+        fingerprint = synthetic_fingerprint(3)
+        cluster.lookup(fingerprint)
+        owner = cluster.owner_of(fingerprint)
+        wrapper = make_flaky(cluster, owner, failure_rate=0.0)
+        assert wrapper.node_id == owner
+        assert fingerprint in wrapper
+        assert len(wrapper) >= 1
+        assert cluster.lookup(fingerprint).is_duplicate is True
+
+
+class TestRpcAvailability:
+    def test_calls_to_down_service_fail_fast(self, sim):
+        deployment = build_simulated_service(
+            sim,
+            ClusterConfig(
+                num_nodes=2,
+                node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000),
+                replication_factor=2,
+            ),
+            num_clients=1,
+            num_web_servers=1,
+            fault_schedule=FaultSchedule().crash("hashnode-0", at=0.5),
+        )
+        sim.run()
+        assert deployment.fault_injector is not None
+        assert deployment.fault_injector.crashes == 1
+        assert deployment.cluster.is_down("hashnode-0")
+        rpc = deployment.network.rpc
+        with pytest.raises(ServiceUnavailableError):
+            rpc.call("client-0", "hashnode-0", object(), 64)
+        assert rpc.unavailable_calls == 1
+        # Live services keep answering.
+        assert rpc.is_available("hashnode-1")
+
+    def test_simulated_frontend_routes_around_crashed_node(self, sim):
+        from repro.frontend.client import SimulatedClient
+
+        config = ClusterConfig(
+            num_nodes=3,
+            node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000),
+            replication_factor=2,
+        )
+        trace = [synthetic_fingerprint(i % 40) for i in range(160)]
+        deployment = build_simulated_service(
+            sim,
+            config,
+            num_clients=1,
+            num_web_servers=1,
+            fault_schedule=FaultSchedule().crash("hashnode-1", at=0.002),
+        )
+        client = SimulatedClient(
+            client_id="client-0",
+            rpc=deployment.network.rpc,
+            load_balancer=deployment.load_balancer,
+            fingerprints=trace,
+            batch_size=16,
+        )
+        client.start()
+        sim.run()
+        assert client.stats.fingerprints_sent == len(trace)
+        assert deployment.cluster.is_down("hashnode-1")
+
+
+class TestFailoverExperiment:
+    def test_zero_dedup_errors_with_replication(self):
+        result = run_failover(scale=0.0005, num_nodes=4, replication_factor=2, batch_size=128)
+        assert result.crashes == 4 and result.recoveries == 4
+        assert result.dedup_errors == 0
+        assert result.accuracy == 1.0
+        assert result.distinct <= result.total_stored
+        rendered = result.render()
+        assert "dedup accuracy" in rendered
+        assert "crash hashnode-0" in rendered
+
+    def test_single_outage_needs_no_anti_entropy_repair(self):
+        # For a single crash/recover cycle, read repair alone keeps every
+        # verdict correct: fingerprints written while the primary was down
+        # are found on their (never-failing) failover node and the recovered
+        # primary is backfilled on first touch.  Rolling outages are the
+        # scenario that *requires* the anti-entropy sweep, because a copy
+        # written degraded is singular until repaired and a later crash of
+        # its holder would lose the verdict.
+        result = run_failover(
+            scale=0.0005,
+            num_nodes=4,
+            replication_factor=2,
+            batch_size=128,
+            schedule=FaultSchedule().outage("hashnode-0", start=20.0, duration=60.0),
+            repair_on_recovery=False,
+        )
+        assert result.crashes == 1 and result.recoveries == 1
+        assert result.dedup_errors == 0
+        assert result.repaired_copies == 0
+        assert result.read_repairs > 0
+        # Degraded-mode writes leave single copies behind without the sweep.
+        assert result.under_replicated > 0
+
+    def test_unreplicated_run_rejected_before_baseline(self):
+        with pytest.raises(ValueError, match="replication_factor must be >= 2"):
+            run_failover(scale=0.0005, replication_factor=1)
+        # An explicit schedule (e.g. no faults at all) makes k=1 legitimate.
+        result = run_failover(
+            scale=0.0005, replication_factor=1, schedule=FaultSchedule()
+        )
+        assert result.crashes == 0 and result.dedup_errors == 0
+
+    def test_cli_failover_rejects_bad_replication(self, capsys):
+        assert cli_main(["experiment", "failover", "--replication", "1"]) == 2
+        assert "replication_factor" in capsys.readouterr().err
+
+    def test_cli_failover_subcommand(self, capsys):
+        exit_code = cli_main([
+            "experiment", "failover", "--scale", "0.0005", "--nodes", "4",
+            "--replication", "2", "--virtual-nodes", "64",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Failover" in out
+        assert "dedup errors" in out
