@@ -1,0 +1,351 @@
+"""Benchmark: data-plane hot paths, with a machine-readable perf trajectory.
+
+Unlike the figure/table benchmarks (which reproduce the paper's *simulated*
+results), this suite measures the real wall-clock throughput of the code
+paths every byte of backup data funnels through:
+
+* content-defined chunking MB/s -- the Rabin reference oracle vs. the
+  table-driven gear engine (``baseline`` vs. ``fast`` series);
+* bloom filter probes/s -- re-hash-per-probe (SHA-256) vs. the digest-key
+  fast path with batched probes;
+* cuckoo hash ops/s -- BLAKE2b-per-op vs. the digest-key fast path;
+* simulation kernel events/s (schedule + dispatch, plus a cancel-heavy
+  round exercising calendar compaction);
+* end-to-end immediate-mode cluster lookups (figure-1 style chunk/s),
+  recording replica-write counts so the replication tax can be quantified.
+
+Besides the usual rendered table under ``benchmarks/results/``, the run
+writes ``BENCH_hotpath.json`` at the repository root.  The JSON carries both
+the ``baseline`` and ``fast`` series from the same process on the same data,
+so every future PR can be compared against the recorded trajectory (CI
+uploads the file as an artifact).  ``REPRO_BENCH_SCALE`` scales every
+workload size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import time
+from pathlib import Path
+
+from conftest import record_result
+
+from repro.analysis.reporting import format_table
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.dedup.chunking import ContentDefinedChunker
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.simulation.engine import Simulator
+from repro.storage.bloom import BloomFilter
+from repro.storage.cuckoo import CuckooHashTable
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_hotpath.json"
+
+
+class _SeedBloomFilter:
+    """The seed repository's bloom-filter data path, pinned verbatim.
+
+    This is the pre-fast-path implementation (SHA-256 per operation, the
+    ``_indexes`` generator, one ``_set_bit``/``_get_bit`` method call per
+    index) kept here as the benchmark's *baseline* so the before/after
+    comparison stays honest as the library version evolves.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        import hashlib
+
+        self._sha256 = hashlib.sha256
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+
+    def _indexes(self, key: bytes):
+        digest = self._sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def _set_bit(self, index: int) -> None:
+        self._bits[index >> 3] |= 1 << (index & 7)
+
+    def _get_bit(self, index: int) -> bool:
+        return bool(self._bits[index >> 3] & (1 << (index & 7)))
+
+    def add(self, key: bytes) -> None:
+        for index in self._indexes(key):
+            self._set_bit(index)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(self._get_bit(index) for index in self._indexes(key))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _timed_best(fn, repeats: int = 3):
+    """Best-of-N timing for *read-only* phases (standard microbenchmark
+    noise reduction; both sides of every speedup ratio get it equally)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        elapsed, result = _timed(fn)
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _bench_chunking(scale: float) -> dict:
+    size = max(262_144, int(1_200_000 * scale))
+    data = random.Random(1234).randbytes(size)
+    gear = ContentDefinedChunker(average_size=8192, engine="gear")
+    rabin = ContentDefinedChunker(average_size=8192, engine="rabin")
+    # Warm-up (table construction, allocator) outside the timed region.
+    sum(chunk.size for chunk in gear.chunk(data[:65_536]))
+    gear_time, gear_chunks = _timed_best(lambda: sum(1 for _ in gear.chunk(data)))
+    rabin_time, rabin_chunks = _timed_best(lambda: sum(1 for _ in rabin.chunk(data)))
+    return {
+        "unit": "MB/s",
+        "baseline": {
+            "engine": "rabin",
+            "mb_per_s": size / 1e6 / rabin_time,
+            "chunks": rabin_chunks,
+            "input_bytes": size,
+        },
+        "fast": {
+            "engine": "gear",
+            "mb_per_s": size / 1e6 / gear_time,
+            "chunks": gear_chunks,
+            "input_bytes": size,
+        },
+        "speedup": rabin_time / gear_time,
+    }
+
+
+def _bench_bloom(scale: float) -> dict:
+    count = max(5_000, int(50_000 * scale))
+    present = [synthetic_fingerprint(i).digest for i in range(count)]
+    absent = [synthetic_fingerprint(10_000_000 + i).digest for i in range(count)]
+    probes = present + absent
+
+    fast = BloomFilter(expected_items=count, digest_keys=True)
+    baseline = _SeedBloomFilter(num_bits=fast.num_bits, num_hashes=fast.num_hashes)
+
+    def _baseline_add():
+        add = baseline.add
+        for key in present:
+            add(key)
+
+    def _baseline_probe():
+        return sum(1 for key in probes if key in baseline)
+
+    baseline_add_time, _ = _timed(_baseline_add)
+    baseline_time, baseline_hits = _timed_best(_baseline_probe)
+    fast_add_time, _ = _timed(lambda: fast.add_many(present))
+    fast_time, fast_hits = _timed_best(lambda: sum(fast.contains_many(probes)))
+    assert baseline_hits >= count and fast_hits >= count  # no false negatives
+    return {
+        "unit": "probes/s",
+        "baseline": {
+            "hashing": "sha256-per-probe",
+            "ops_per_s": len(probes) / baseline_time,
+            "add_ops_per_s": len(present) / baseline_add_time,
+            "probes": len(probes),
+        },
+        "fast": {
+            "hashing": "digest-key+batched",
+            "ops_per_s": len(probes) / fast_time,
+            "add_ops_per_s": len(present) / fast_add_time,
+            "probes": len(probes),
+        },
+        "speedup": baseline_time / fast_time,
+        "add_speedup": baseline_add_time / fast_add_time,
+    }
+
+
+def _bench_cuckoo(scale: float) -> dict:
+    count = max(5_000, int(30_000 * scale))
+    keys = [synthetic_fingerprint(i).digest for i in range(count)]
+    probes = keys + [synthetic_fingerprint(20_000_000 + i).digest for i in range(count)]
+
+    baseline = CuckooHashTable(initial_buckets=1024, digest_keys=False)
+    fast = CuckooHashTable(initial_buckets=1024, digest_keys=True)
+
+    for index, key in enumerate(keys):  # build outside the timed probe phase
+        baseline.put(key, index)
+    fast.put_many((key, index) for index, key in enumerate(keys))
+    baseline_time, baseline_hits = _timed_best(
+        lambda: sum(1 for key in probes if baseline.get(key) is not None)
+    )
+    fast_time, fast_hits = _timed_best(
+        lambda: sum(1 for value in fast.get_many(probes) if value is not None)
+    )
+    assert baseline_hits == fast_hits == count
+    ops = len(probes)
+    return {
+        "unit": "gets/s",
+        "baseline": {"hashing": "blake2b-per-op", "ops_per_s": ops / baseline_time, "ops": ops},
+        "fast": {"hashing": "digest-key", "ops_per_s": ops / fast_time, "ops": ops},
+        "speedup": baseline_time / fast_time,
+    }
+
+
+def _bench_engine(scale: float) -> dict:
+    events = max(5_000, int(60_000 * scale))
+    rng = random.Random(99)
+    sim = Simulator()
+
+    def _schedule_and_run():
+        for _ in range(events):
+            sim.schedule(rng.random() * 100.0, _noop)
+        sim.run()
+        return sim.events_processed
+
+    elapsed, processed = _timed(_schedule_and_run)
+    assert processed == events
+
+    # Cancel-heavy round: schedules 2x events, cancels half before running,
+    # exercising the O(1) cancel accounting and calendar compaction.
+    sim2 = Simulator()
+
+    def _cancel_heavy():
+        entries = [sim2.schedule(rng.random() * 100.0, _noop) for _ in range(events)]
+        for entry in entries[::2]:
+            entry.cancel()
+        sim2.run()
+        return sim2.events_processed
+
+    cancel_elapsed, cancel_processed = _timed(_cancel_heavy)
+    assert cancel_processed == events - (events + 1) // 2
+    return {
+        "unit": "events/s",
+        "fast": {
+            "events_per_s": events / elapsed,
+            "events": events,
+            "cancel_heavy_events_per_s": events / cancel_elapsed,
+        },
+    }
+
+
+def _noop() -> None:
+    return None
+
+
+def _bench_cluster(scale: float) -> dict:
+    requests = max(2_000, int(16_000 * scale))
+    batch_size = 128
+    replication_factor = 2
+    config = ClusterConfig(
+        num_nodes=4,
+        replication_factor=replication_factor,
+        node=HashNodeConfig(
+            ram_cache_entries=4_096,
+            bloom_expected_items=max(20_000, requests),
+            ssd_buckets=1 << 12,
+        ),
+    )
+    cluster = SHHCCluster(config)
+    rng = random.Random(7)
+    fingerprints = [
+        synthetic_fingerprint(rng.randrange(max(1, requests // 2))) for _ in range(requests)
+    ]
+
+    def _run():
+        duplicates = 0
+        for start in range(0, len(fingerprints), batch_size):
+            for result in cluster.lookup_batch(fingerprints[start:start + batch_size]):
+                duplicates += result.is_duplicate
+        return duplicates
+
+    elapsed, duplicates = _timed(_run)
+    replica_writes = sum(
+        node.counters.get("replica_inserts") for node in cluster.nodes.values()
+    )
+    return {
+        "unit": "fingerprints/s",
+        "fast": {
+            "fingerprints_per_s": requests / elapsed,
+            "requests": requests,
+            "batch_size": batch_size,
+            "duplicates": duplicates,
+            "nodes": config.num_nodes,
+            # Replication-tax accounting: replica copies written per client
+            # lookup, the input for the ROADMAP "simulated-mode replication
+            # cost" item.
+            "replication_factor": replication_factor,
+            "replica_writes": replica_writes,
+            "replica_writes_per_lookup": replica_writes / requests,
+        },
+    }
+
+
+def test_bench_hotpath(results_dir, scale):
+    series = {
+        "chunking": _bench_chunking(scale),
+        "bloom_probe": _bench_bloom(scale),
+        "cuckoo_ops": _bench_cuckoo(scale),
+        "engine_events": _bench_engine(scale),
+        "cluster_lookup": _bench_cluster(scale),
+    }
+
+    payload = {
+        "schema": "repro-shhc-bench/1",
+        "generated_by": "benchmarks/test_bench_hotpath.py",
+        "generated_at_unix": round(time.time(), 3),
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "series": series,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    rows = []
+    for name, entry in series.items():
+        baseline = entry.get("baseline")
+        fast = entry["fast"]
+
+        def _headline(record):
+            if record is None:
+                return "-"
+            for key in ("mb_per_s", "ops_per_s", "events_per_s", "fingerprints_per_s"):
+                if key in record:
+                    return round(record[key], 2)
+            return "-"
+
+        rows.append(
+            [
+                name,
+                entry["unit"],
+                _headline(baseline),
+                _headline(fast),
+                round(entry["speedup"], 2) if "speedup" in entry else "-",
+            ]
+        )
+    rendered = format_table(
+        ["hot path", "unit", "baseline", "fast", "speedup"],
+        rows,
+        title=f"Data-plane hot-path throughput (scale={scale})",
+    )
+    record_result(results_dir, "hotpath", rendered)
+
+    # Speedup floors.  This file is also collected by the functional tier-1
+    # run (`pytest -x -q`), where a wall-clock assertion must never fail a
+    # code gate -- tracing (--cov, debuggers) or a throttled machine can
+    # compress timing ratios without any code defect.  The floors are
+    # therefore only enforced when REPRO_BENCH_STRICT=1, which the dedicated
+    # CI perf job sets (measured margins there: chunking ~6-7x vs the 5x
+    # floor, bloom ~3.8-4x vs 3x; both sides of each ratio run in the same
+    # process on the same data, so the ratios are machine-independent).
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        floors = {"chunking": 5.0, "bloom_probe": 3.0, "cuckoo_ops": 1.2}
+        for name, floor in floors.items():
+            assert series[name]["speedup"] >= floor, (name, floor, series[name])
+    # The JSON must carry both series of the before/after comparison.
+    on_disk = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    assert on_disk["series"]["chunking"]["baseline"] and on_disk["series"]["chunking"]["fast"]

@@ -21,6 +21,7 @@ real file-level deduplicating archiver backed by an on-disk chunk store.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
@@ -128,6 +129,33 @@ class _PersistentObjectStore(CloudObjectStore):
         self._backing.close()
 
 
+def _catalog_chunking(catalog_path: str) -> dict:
+    """Chunker parameters an existing catalogue's chunk store was built with.
+
+    Backups must keep chunking the way the catalogue's chunk store was
+    built -- same engine *and* same size bounds -- or nothing deduplicates;
+    flags not given explicitly adopt the recorded parameters over the
+    built-in defaults.  A readable catalogue with *no* chunking record
+    predates engine selection, when the only CDC implementation was the
+    Rabin one, so legacy catalogues resolve to the rabin engine.  Returns
+    ``{}`` when there is no (readable) catalogue.
+
+    The catalogue is parsed again by :class:`DirectoryArchiver` right after;
+    one redundant parse of a per-user snapshot index per one-shot CLI
+    invocation is accepted to keep the archiver API free of preloaded-state
+    plumbing.
+    """
+    try:
+        with open(catalog_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    recorded = payload.get("chunking")
+    if recorded is None:
+        return {"engine": "rabin"}
+    return recorded if isinstance(recorded, dict) else {}
+
+
 def _make_archiver(args: argparse.Namespace) -> DirectoryArchiver:
     cluster = SHHCCluster(
         ClusterConfig(
@@ -136,10 +164,25 @@ def _make_archiver(args: argparse.Namespace) -> DirectoryArchiver:
         )
     )
     store = _PersistentObjectStore(args.store)
+    recorded = _catalog_chunking(args.catalog)
+    engine = args.chunk_engine or recorded.get("engine")
+    if engine not in ("gear", "rabin"):
+        engine = "gear"
+    # An explicit --chunk-size is passed through untouched so an invalid
+    # value fails loudly (ContentDefinedChunker's own validation); only the
+    # *recorded* size is sanity-checked before adoption, since a foreign or
+    # corrupt catalogue must not crash the default path.
+    chunk_size = args.chunk_size
+    if chunk_size is None:
+        recorded_size = recorded.get("average_size")
+        if isinstance(recorded_size, int) and recorded_size >= 64 and not recorded_size & (recorded_size - 1):
+            chunk_size = recorded_size
+        else:
+            chunk_size = 8192
     return DirectoryArchiver(
         index=cluster,
         object_store=store,
-        chunker=ContentDefinedChunker(average_size=args.chunk_size),
+        chunker=ContentDefinedChunker(average_size=chunk_size, engine=engine),
         catalog_path=args.catalog,
     )
 
@@ -212,7 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--catalog", required=True, help="snapshot catalogue JSON path")
         sub.add_argument("--store", required=True, help="chunk store directory")
         sub.add_argument("--nodes", type=int, default=4)
-        sub.add_argument("--chunk-size", type=int, default=8192)
+        sub.add_argument("--chunk-size", type=int, default=None,
+                         help="target average chunk size in bytes; defaults to "
+                              "the size recorded in the catalog, else 8192")
+        sub.add_argument("--chunk-engine", choices=("gear", "rabin"), default=None,
+                         help="CDC boundary engine (gear is the fast path, rabin "
+                              "the reference oracle); defaults to the engine "
+                              "recorded in the catalog, else gear")
 
     backup = subparsers.add_parser("backup", help="back up a directory tree")
     backup.add_argument("--root", required=True, help="directory to back up")

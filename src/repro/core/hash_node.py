@@ -128,16 +128,68 @@ class HybridHashNode:
         return reply
 
     def lookup_batch(self, fingerprints: Sequence[Fingerprint]) -> List[LookupReply]:
-        """Process a batch of fingerprints in order (immediate mode)."""
-        return [self.lookup(fp) for fp in fingerprints]
+        """Process a batch of fingerprints in order (immediate mode).
 
-    def _lookup_core(self, fingerprint: Fingerprint) -> Tuple[LookupReply, float]:
+        Verdicts, counters and service times are identical to looping over
+        :meth:`lookup`; the batch path only amortises the bloom-filter probes
+        across the batch (see :meth:`_lookup_batch_core`).
+        """
+        replies, _total_ssd_time = self._lookup_batch_core(fingerprints)
+        record = self.lookup_latency.record
+        for reply in replies:
+            record(reply.service_time)
+        return replies
+
+    def _lookup_batch_core(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Tuple[List[LookupReply], float]:
+        """Batch lookup core shared by immediate and simulated mode.
+
+        The bloom filter is probed once for the whole batch up front via
+        :meth:`~repro.storage.bloom.BloomFilter.contains_many`.  Bloom bits
+        are monotone (inserts only ever set bits), so a pre-computed ``True``
+        can never go stale; a pre-computed ``False`` is only trusted until
+        the first insert of the batch mutates the filter (``_insert_new``
+        could have set any of the digest's probe bits), after which negative
+        hints are dropped and those digests are re-probed live.  This keeps
+        the batch path verdict-, counter- and service-time-identical to the
+        sequential one, including around LRU evictions and bloom
+        false-positive flips within the batch.
+        """
+        # Only digests that will miss the RAM cache can reach the bloom
+        # filter, so the prefetch skips currently cached ones (a peek, no
+        # LRU mutation) -- the sequential path never probes the bloom on a
+        # RAM hit and the batch path must not pay for it either.  A digest
+        # evicted mid-batch simply finds no hint and probes live.
+        cache = self.cache
+        digests = [fp.digest for fp in fingerprints if fp.digest not in cache]
+        prefetched = dict(zip(digests, self.bloom.contains_many(digests)))
+        bloom_mutated = False
+        replies: List[LookupReply] = []
+        total_ssd_time = 0.0
+        lookup_core = self._lookup_core
+        for fingerprint in fingerprints:
+            hint = prefetched.get(fingerprint.digest)
+            if hint is False and bloom_mutated:
+                hint = None  # stale negative: re-probe live
+            reply, ssd_time = lookup_core(fingerprint, bloom_hint=hint)
+            if reply.served_from is ServedFrom.NEW:
+                bloom_mutated = True
+            replies.append(reply)
+            total_ssd_time += ssd_time
+        return replies, total_ssd_time
+
+    def _lookup_core(
+        self, fingerprint: Fingerprint, bloom_hint: Optional[bool] = None
+    ) -> Tuple[LookupReply, float]:
         """Shared lookup logic: updates state, returns the reply and SSD time.
 
         The returned ``service_time`` is the analytic (unloaded) cost:
         CPU + RAM + any SSD page accesses.  The second tuple element is the
         SSD-only portion, which the simulated path replays against the SSD
-        device to model queueing.
+        device to model queueing.  ``bloom_hint``, when not ``None``, is a
+        still-valid pre-computed bloom verdict for this digest (batch path);
+        it must reflect every insert that happened before this call.
         """
         digest = fingerprint.digest
         self.counters.increment("lookups")
@@ -158,7 +210,8 @@ class HybridHashNode:
             return reply, ssd_time
 
         # 2. Bloom filter guard.
-        if digest not in self.bloom:
+        in_bloom = (digest in self.bloom) if bloom_hint is None else bloom_hint
+        if not in_bloom:
             self.counters.increment("bloom_negative_shortcuts")
             ssd_time += self._insert_new(fingerprint)
             reply = LookupReply(
@@ -251,14 +304,11 @@ class HybridHashNode:
         grant = self._cpu.request()
         yield grant
         try:
-            replies: List[LookupReply] = []
-            total_ssd_time = 0.0
-            cpu_time = self.config.cpu_per_request
-            for fingerprint in request.fingerprints:
-                reply, ssd_time = self._lookup_core(fingerprint)
-                replies.append(reply)
-                total_ssd_time += ssd_time
-                cpu_time += self.config.cpu_per_lookup
+            replies, total_ssd_time = self._lookup_batch_core(request.fingerprints)
+            cpu_time = (
+                self.config.cpu_per_request
+                + self.config.cpu_per_lookup * len(request.fingerprints)
+            )
             if cpu_time > 0:
                 yield self.sim.timeout(cpu_time)
         finally:
@@ -297,12 +347,9 @@ class HybridHashNode:
 
     def import_entries(self, entries: Sequence[Tuple[bytes, object]]) -> int:
         """Bulk-load entries (e.g. during rebalancing); returns how many were new."""
-        added = 0
-        for digest, value in entries:
-            if self.store.put(digest, value):
-                added += 1
-                self.bloom.add(digest)
-        return added
+        new_digests = [digest for digest, value in entries if self.store.put(digest, value)]
+        self.bloom.add_many(new_digests)
+        return len(new_digests)
 
     def remove_entry(self, digest: bytes) -> bool:
         """Drop a fingerprint from the node (bloom bits remain set, by design)."""

@@ -8,6 +8,7 @@ from .fingerprint import (
     fingerprint_data,
     synthetic_fingerprint,
 )
+from .gear import GEAR_TABLE, GearChunker, gear_cut, gear_threshold
 from .index import ChunkIndex, ChunkLocation, InMemoryChunkIndex, LookupResult
 from .pipeline import BackupManifest, DedupPipeline, DedupStatistics
 from .rabin import RabinRollingHash
@@ -26,6 +27,10 @@ __all__ = [
     "Fingerprint",
     "fingerprint_data",
     "synthetic_fingerprint",
+    "GEAR_TABLE",
+    "GearChunker",
+    "gear_cut",
+    "gear_threshold",
     "ChunkIndex",
     "ChunkLocation",
     "InMemoryChunkIndex",

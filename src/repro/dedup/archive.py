@@ -12,15 +12,43 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..storage.object_store import CloudObjectStore
-from .chunking import Chunker, FixedSizeChunker
+from .chunking import Chunker, ContentDefinedChunker, FixedSizeChunker
 from .fingerprint import Fingerprint, fingerprint_data
 from .index import ChunkIndex
 
-__all__ = ["FileEntry", "Snapshot", "ArchiveStats", "DirectoryArchiver"]
+__all__ = ["FileEntry", "Snapshot", "ArchiveStats", "DirectoryArchiver", "describe_chunker"]
+
+
+def describe_chunker(chunker: Chunker) -> dict:
+    """A JSON-serialisable description of a chunker's boundary parameters.
+
+    Two archivers whose descriptions differ will generally produce different
+    chunk boundaries -- and therefore different fingerprints -- for the same
+    data, which silently destroys deduplication against an existing chunk
+    store.  The description is persisted in the snapshot catalogue so the
+    mismatch can be detected (and the CLI can adopt the recorded engine).
+    """
+    if isinstance(chunker, ContentDefinedChunker):
+        description = {
+            "strategy": "cdc",
+            "engine": chunker.engine,
+            "average_size": chunker.average_size,
+            "min_size": chunker.min_size,
+            "max_size": chunker.max_size,
+        }
+        if chunker.engine == "rabin":
+            # The rolling-hash window changes rabin boundaries; gear ignores
+            # it, so recording it there would create spurious mismatches.
+            description["window_size"] = chunker.window_size
+        return description
+    if isinstance(chunker, FixedSizeChunker):
+        return {"strategy": "fixed", "chunk_size": chunker.chunk_size}
+    return {"strategy": type(chunker).__name__}
 
 
 @dataclass
@@ -130,6 +158,9 @@ class DirectoryArchiver:
         self.catalog_path = catalog_path
         self.snapshots: Dict[str, Snapshot] = {}
         self.stats_by_snapshot: Dict[str, ArchiveStats] = {}
+        #: Chunker description recorded in the loaded catalogue (None when no
+        #: catalogue was loaded or it predates chunker pinning).
+        self.catalog_chunking: Optional[dict] = None
         if catalog_path and os.path.exists(catalog_path):
             self._load_catalog()
 
@@ -252,7 +283,10 @@ class DirectoryArchiver:
     # ------------------------------------------------------------------ catalogue persistence
     def _save_catalog(self) -> None:
         assert self.catalog_path is not None
-        payload = {"snapshots": [snapshot.to_json() for snapshot in self.snapshots.values()]}
+        payload = {
+            "chunking": describe_chunker(self.chunker),
+            "snapshots": [snapshot.to_json() for snapshot in self.snapshots.values()],
+        }
         directory = os.path.dirname(os.path.abspath(self.catalog_path))
         os.makedirs(directory, exist_ok=True)
         temp_path = self.catalog_path + ".tmp"
@@ -264,6 +298,16 @@ class DirectoryArchiver:
         assert self.catalog_path is not None
         with open(self.catalog_path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
+        self.catalog_chunking = payload.get("chunking")
+        if self.catalog_chunking is not None:
+            current = describe_chunker(self.chunker)
+            if current != self.catalog_chunking:
+                warnings.warn(
+                    "chunker mismatch: catalog was written with "
+                    f"{self.catalog_chunking}, this archiver uses {current}; "
+                    "new backups will not deduplicate against existing chunks",
+                    stacklevel=2,
+                )
         for snapshot_payload in payload.get("snapshots", []):
             snapshot = Snapshot.from_json(snapshot_payload)
             self.snapshots[snapshot.snapshot_id] = snapshot

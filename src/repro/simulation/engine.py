@@ -52,7 +52,7 @@ class ScheduledEvent:
     scheduled at the same instant.
     """
 
-    __slots__ = ("time", "priority", "sequence", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "cancelled", "sim", "_in_calendar")
 
     def __init__(
         self,
@@ -61,6 +61,7 @@ class ScheduledEvent:
         sequence: int,
         callback: Callable[..., Any],
         args: tuple = (),
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -68,10 +69,25 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
+        self._in_calendar = False
 
     def cancel(self) -> None:
-        """Prevent the callback from running when its time arrives."""
+        """Prevent the callback from running when its time arrives.
+
+        Cancelling is idempotent and O(1): the entry stays in the calendar
+        heap (removing from a heap middle is O(n)) but is counted out of
+        ``Simulator.pending_events`` immediately and skipped -- or compacted
+        away wholesale -- before it would fire.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None and self._in_calendar:
+            sim._pending_count -= 1
+            sim._stale_count += 1
+            sim._maybe_compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ScheduledEvent t={self.time} cb={getattr(self.callback, '__name__', self.callback)!r}>"
@@ -173,6 +189,10 @@ class Simulator:
         Initial value of the simulated clock, in seconds.
     """
 
+    #: Compaction trigger: once at least this many cancelled entries linger in
+    #: the calendar *and* they outnumber the live ones, the heap is rebuilt.
+    COMPACTION_MIN_STALE = 512
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         # The calendar stores (time, priority, sequence, ScheduledEvent)
@@ -181,6 +201,11 @@ class Simulator:
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        # Live bookkeeping so pending_events is O(1) instead of an O(n) scan:
+        # _pending_count counts non-cancelled calendar entries, _stale_count
+        # the cancelled ones still occupying heap slots.
+        self._pending_count = 0
+        self._stale_count = 0
 
     # -- clock --------------------------------------------------------------
     @property
@@ -195,8 +220,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of (non-cancelled) events still on the calendar."""
-        return sum(1 for _t, _p, _s, entry in self._calendar if not entry.cancelled)
+        """Number of (non-cancelled) events still on the calendar.
+
+        Maintained as a live counter (monitors poll this every tick), so it
+        is O(1) rather than a scan of the calendar.
+        """
+        return self._pending_count
 
     # -- scheduling ---------------------------------------------------------
     def schedule(
@@ -220,8 +249,11 @@ class Simulator:
             sequence=sequence,
             callback=callback,
             args=args,
+            sim=self,
         )
+        entry._in_calendar = True
         heapq.heappush(self._calendar, (entry.time, priority, sequence, entry))
+        self._pending_count += 1
         return entry
 
     def schedule_at(
@@ -245,15 +277,38 @@ class Simulator:
         return event
 
     # -- execution ----------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rebuild the calendar heap when cancelled entries dominate it.
+
+        Keeps heap operations O(log live) under cancel-heavy workloads
+        (timeout races cancel most of what they schedule).  The rebuild is
+        in place (slice assignment) because ``run`` holds a local alias to
+        the calendar list.
+        """
+        calendar = self._calendar
+        if self._stale_count < self.COMPACTION_MIN_STALE or self._stale_count * 2 < len(calendar):
+            return
+        live = [item for item in calendar if not item[3].cancelled]
+        for item in calendar:
+            if item[3].cancelled:
+                item[3]._in_calendar = False
+        calendar[:] = live
+        heapq.heapify(calendar)
+        self._stale_count = 0
+
     def step(self) -> bool:
         """Execute the next calendar event.  Returns ``False`` if none left."""
-        while self._calendar:
-            _time, _priority, _sequence, entry = heapq.heappop(self._calendar)
+        calendar = self._calendar
+        while calendar:
+            time, _priority, _sequence, entry = heapq.heappop(calendar)
+            entry._in_calendar = False
             if entry.cancelled:
+                self._stale_count -= 1
                 continue
-            if entry.time < self._now:
+            self._pending_count -= 1
+            if time < self._now:
                 raise SimulationError("event calendar corrupted: time went backwards")
-            self._now = entry.time
+            self._now = time
             self._events_processed += 1
             entry.callback(*entry.args)
             return True
@@ -271,29 +326,47 @@ class Simulator:
             Safety valve: stop after this many events.
 
         Returns the simulated time at which the run stopped.
+
+        This is the simulation's hottest loop (a figure-5 run pops millions
+        of events), so the pop/dispatch sequence from :meth:`step` is
+        inlined here with the heap and ``heappop`` bound to locals.
+        Callbacks may mutate the calendar, but always through ``schedule`` /
+        ``cancel`` / ``_maybe_compact``, all of which keep the same list
+        object -- the local alias stays valid.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
         executed = 0
+        calendar = self._calendar
+        heappop = heapq.heappop
         try:
-            while self._calendar:
-                entry = self._calendar[0][3]
+            while calendar:
+                time, _priority, _sequence, entry = calendar[0]
                 if entry.cancelled:
-                    heapq.heappop(self._calendar)
+                    heappop(calendar)
+                    entry._in_calendar = False
+                    self._stale_count -= 1
                     continue
-                if until is not None and entry.time > until:
+                if until is not None and time > until:
                     self._now = max(self._now, until)
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                heappop(calendar)
+                entry._in_calendar = False
+                self._pending_count -= 1
+                if time < self._now:
+                    raise SimulationError("event calendar corrupted: time went backwards")
+                self._now = time
+                self._events_processed += 1
+                entry.callback(*entry.args)
                 executed += 1
         except StopSimulation:
             pass
         finally:
             self._running = False
-        if until is not None and not self._calendar:
+        if until is not None and not calendar:
             self._now = max(self._now, until)
         return self._now
 

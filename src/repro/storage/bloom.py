@@ -5,15 +5,101 @@ table so that lookups for fingerprints that are definitely not stored avoid
 the flash read entirely (paper §III.B).  This implementation is a standard
 partitioned-by-hash bloom filter over a Python ``bytearray`` bit vector, sized
 from a target false-positive rate.
+
+Zero-rehash fast path
+---------------------
+The keys this filter guards in SHHC are SHA-1 fingerprints: 20 bytes that are
+already uniformly distributed.  Hashing a cryptographic digest *again* (the
+classic SHA-256 double-hashing setup) costs more than every other operation
+on the probe path combined, so byte keys of at least 16 bytes take a
+digest-key fast path that reads ``h1``/``h2`` for Kirsch-Mitzenmacher double
+hashing straight out of the key material.  Short keys and strings keep the
+SHA-256 path, which is also available explicitly via ``digest_keys=False``
+for callers whose long keys are *not* uniform (e.g. file paths).
+
+Batch APIs (:meth:`BloomFilter.add_many` / :meth:`BloomFilter.contains_many`)
+run the probe loop with every attribute bound to a local, amortising
+per-call overhead across a batch; the hash cluster's batched lookups use
+them.
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["BloomFilter", "optimal_parameters"]
+
+#: Byte keys at least this long are treated as uniform digests by default.
+_DIGEST_KEY_MIN_BYTES = 16
+
+#: Unrolled batch kernels are generated for hash counts up to this; larger
+#: (unusual) configurations fall back to the generic probe loop.
+_MAX_UNROLLED_HASHES = 16
+
+#: Cache of generated batch kernels keyed by (num_bits, num_hashes):
+#: nodes in a cluster share parameters, so each shape compiles once.
+_KERNEL_CACHE: dict = {}
+
+
+def _batch_kernels(num_bits: int, num_hashes: int):
+    """Return ``(contains_many, add_many)`` kernels for the given shape.
+
+    The kernels are specialised with ``exec`` (the ``namedtuple`` technique):
+    ``num_bits`` is baked in as a constant and the Kirsch-Mitzenmacher probe
+    walk is fully unrolled, which removes the per-index loop machinery that
+    otherwise dominates a pure-Python probe.  20-byte keys (SHA-1
+    fingerprints, the hot case) derive both hash words from one
+    ``int.from_bytes``; every other key goes through the caller-supplied
+    ``hash_pair`` (which honours ``digest_keys``).  Returns ``None`` for
+    shapes too large to unroll.
+    """
+    if num_hashes > _MAX_UNROLLED_HASHES:
+        return None
+    shape = (num_bits, num_hashes)
+    kernels = _KERNEL_CACHE.get(shape)
+    if kernels is not None:
+        return kernels
+
+    def _header(name: str) -> list:
+        return [
+            f"def {name}(keys, bits, emit, hash_pair, digest_keys):",
+            "    from_bytes = int.from_bytes",
+            f"    nb = {num_bits}",
+            "    for key in keys:",
+            "        if digest_keys and type(key) is bytes and len(key) == 20:",
+            "            whole = from_bytes(key, 'big')",
+            "            index = (whole >> 96) % nb",
+            "            step = (((whole >> 32) & 0xFFFFFFFFFFFFFFFF) | 1) % nb",
+            "        else:",
+            "            h1, h2 = hash_pair(key)",
+            "            index = h1 % nb",
+            "            step = h2 % nb",
+        ]
+
+    probe_lines = _header("contains_kernel")
+    for i in range(num_hashes):
+        probe_lines.append("        if not bits[index >> 3] & (1 << (index & 7)):")
+        probe_lines.append("            emit(False); continue")
+        if i < num_hashes - 1:
+            probe_lines.append("        index += step")
+            probe_lines.append("        if index >= nb: index -= nb")
+    probe_lines.append("        emit(True)")
+
+    add_lines = _header("add_kernel")
+    for i in range(num_hashes):
+        add_lines.append("        bits[index >> 3] |= 1 << (index & 7)")
+        if i < num_hashes - 1:
+            add_lines.append("        index += step")
+            add_lines.append("        if index >= nb: index -= nb")
+
+    namespace: dict = {}
+    exec("\n".join(probe_lines), namespace)  # noqa: S102 - static template, no user input
+    exec("\n".join(add_lines), namespace)  # noqa: S102
+    kernels = (namespace["contains_kernel"], namespace["add_kernel"])
+    _KERNEL_CACHE[shape] = kernels
+    return kernels
 
 
 def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
@@ -38,6 +124,11 @@ class BloomFilter:
         Target false-positive probability at ``expected_items`` insertions.
     num_bits / num_hashes:
         Explicit sizing; overrides the derived parameters when given.
+    digest_keys:
+        When ``True`` (the default), byte keys of >= 16 bytes are assumed to
+        be uniformly distributed digests and ``h1``/``h2`` are read directly
+        from the key bytes instead of re-hashing with SHA-256.  Set to
+        ``False`` when long keys may be structured (non-uniform).
     """
 
     def __init__(
@@ -46,6 +137,7 @@ class BloomFilter:
         false_positive_rate: float = 0.01,
         num_bits: Optional[int] = None,
         num_hashes: Optional[int] = None,
+        digest_keys: bool = True,
     ) -> None:
         derived_bits, derived_hashes = optimal_parameters(expected_items, false_positive_rate)
         self.num_bits = int(num_bits) if num_bits is not None else derived_bits
@@ -54,17 +146,36 @@ class BloomFilter:
             raise ValueError("num_bits and num_hashes must be positive")
         self.expected_items = expected_items
         self.false_positive_rate = false_positive_rate
+        self.digest_keys = bool(digest_keys)
         self._bits = bytearray((self.num_bits + 7) // 8)
         self._count = 0
+        # Unrolled (contains_many, add_many) kernels for this filter shape,
+        # or None when num_hashes is too large to unroll (generic loop then).
+        self._kernels = _batch_kernels(self.num_bits, self.num_hashes)
 
     # -- internals -------------------------------------------------------------
-    def _indexes(self, key: bytes) -> Iterable[int]:
-        """Kirsch-Mitzenmacher double hashing over a SHA-256 digest."""
+    def _hash_pair(self, key: bytes) -> Tuple[int, int]:
+        """``(h1, h2)`` for Kirsch-Mitzenmacher double hashing.
+
+        ``h2`` is forced odd so the probe sequence cycles through all bit
+        positions for power-of-two ``num_bits`` as well.
+        """
         if isinstance(key, str):
             key = key.encode("utf-8")
+        if self.digest_keys and len(key) >= _DIGEST_KEY_MIN_BYTES:
+            return (
+                int.from_bytes(key[:8], "big"),
+                int.from_bytes(key[8:16], "big") | 1,
+            )
         digest = hashlib.sha256(key).digest()
-        h1 = int.from_bytes(digest[:8], "big")
-        h2 = int.from_bytes(digest[8:16], "big") | 1  # odd, so it cycles all bits
+        return (
+            int.from_bytes(digest[:8], "big"),
+            int.from_bytes(digest[8:16], "big") | 1,
+        )
+
+    def _indexes(self, key: bytes) -> Iterable[int]:
+        """Bit indexes probed for ``key`` (kept for introspection/tests)."""
+        h1, h2 = self._hash_pair(key)
         for i in range(self.num_hashes):
             yield (h1 + i * h2) % self.num_bits
 
@@ -75,20 +186,100 @@ class BloomFilter:
         return bool(self._bits[index >> 3] & (1 << (index & 7)))
 
     # -- public API -------------------------------------------------------------
+    #
+    # The probe loops below walk the Kirsch-Mitzenmacher sequence
+    # ``(h1 + i * h2) % num_bits`` incrementally: reduce ``h1``/``h2`` once,
+    # then add-and-conditionally-subtract per index.  That replaces a 64-bit
+    # multiply and wide modulo per probe with small-int arithmetic while
+    # visiting exactly the indexes ``_indexes`` yields.  The batch methods
+    # additionally special-case 20-byte keys (SHA-1 fingerprints, the hot
+    # case) to derive both hash words from a single ``int.from_bytes``.
+
     def add(self, key: bytes) -> None:
         """Insert ``key`` into the filter."""
-        for index in self._indexes(key):
-            self._set_bit(index)
+        h1, h2 = self._hash_pair(key)
+        bits = self._bits
+        num_bits = self.num_bits
+        index = h1 % num_bits
+        step = h2 % num_bits
+        for _ in range(self.num_hashes):
+            bits[index >> 3] |= 1 << (index & 7)
+            index += step
+            if index >= num_bits:
+                index -= num_bits
         self._count += 1
 
-    def update(self, keys: Iterable[bytes]) -> None:
-        """Insert many keys."""
+    def add_many(self, keys: Iterable[bytes]) -> None:
+        """Insert many keys with per-call overhead amortised across the batch."""
+        if self._kernels is not None:
+            if not isinstance(keys, (list, tuple)):
+                keys = list(keys)
+            self._kernels[1](keys, self._bits, None, self._hash_pair, self.digest_keys)
+            self._count += len(keys)
+            return
+        # Generic loop for shapes too large to unroll.
+        bits = self._bits
+        num_bits = self.num_bits
+        num_hashes = self.num_hashes
+        hash_pair = self._hash_pair
+        inserted = 0
         for key in keys:
-            self.add(key)
+            h1, h2 = hash_pair(key)
+            index = h1 % num_bits
+            step = h2 % num_bits
+            for _ in range(num_hashes):
+                bits[index >> 3] |= 1 << (index & 7)
+                index += step
+                if index >= num_bits:
+                    index -= num_bits
+            inserted += 1
+        self._count += inserted
+
+    def update(self, keys: Iterable[bytes]) -> None:
+        """Insert many keys (alias of :meth:`add_many`)."""
+        self.add_many(keys)
 
     def __contains__(self, key: bytes) -> bool:
         """``True`` if the key *may* have been added, ``False`` if definitely not."""
-        return all(self._get_bit(index) for index in self._indexes(key))
+        h1, h2 = self._hash_pair(key)
+        bits = self._bits
+        num_bits = self.num_bits
+        index = h1 % num_bits
+        step = h2 % num_bits
+        for _ in range(self.num_hashes):
+            if not bits[index >> 3] & (1 << (index & 7)):
+                return False
+            index += step
+            if index >= num_bits:
+                index -= num_bits
+        return True
+
+    def contains_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Membership verdicts for a batch of keys, in input order."""
+        verdicts: List[bool] = []
+        if self._kernels is not None:
+            self._kernels[0](keys, self._bits, verdicts.append, self._hash_pair, self.digest_keys)
+            return verdicts
+        # Generic loop for shapes too large to unroll.
+        bits = self._bits
+        num_bits = self.num_bits
+        num_hashes = self.num_hashes
+        hash_pair = self._hash_pair
+        append = verdicts.append
+        for key in keys:
+            h1, h2 = hash_pair(key)
+            index = h1 % num_bits
+            step = h2 % num_bits
+            for _ in range(num_hashes):
+                if not bits[index >> 3] & (1 << (index & 7)):
+                    append(False)
+                    break
+                index += step
+                if index >= num_bits:
+                    index -= num_bits
+            else:
+                append(True)
+        return verdicts
 
     def might_contain(self, key: bytes) -> bool:
         """Alias for ``key in filter`` with an explicit name."""
@@ -111,7 +302,11 @@ class BloomFilter:
 
     def fill_ratio(self) -> float:
         """Fraction of bits set (used to estimate the current FP rate)."""
-        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        value = int.from_bytes(self._bits, "big")
+        try:
+            set_bits = value.bit_count()
+        except AttributeError:  # pragma: no cover - Python < 3.10
+            set_bits = bin(value).count("1")
         return set_bits / self.num_bits
 
     def estimated_false_positive_rate(self) -> float:
@@ -125,13 +320,18 @@ class BloomFilter:
 
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise OR of two filters with identical parameters."""
-        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+        if (self.num_bits, self.num_hashes, self.digest_keys) != (
+            other.num_bits,
+            other.num_hashes,
+            other.digest_keys,
+        ):
             raise ValueError("cannot union bloom filters with different parameters")
         merged = BloomFilter(
             expected_items=self.expected_items,
             false_positive_rate=self.false_positive_rate,
             num_bits=self.num_bits,
             num_hashes=self.num_hashes,
+            digest_keys=self.digest_keys,
         )
         merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
         merged._count = self._count + other._count

@@ -11,9 +11,12 @@ baseline in :mod:`repro.baselines.chunkstash`.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["CuckooHashTable", "CuckooInsertError"]
+
+#: Byte keys at least this long are treated as uniform digests by default.
+_DIGEST_KEY_MIN_BYTES = 16
 
 
 class CuckooInsertError(RuntimeError):
@@ -31,6 +34,12 @@ class CuckooHashTable:
         Bucket associativity (4 is the common choice).
     max_displacements:
         How many evict/re-insert steps to try before growing the table.
+    digest_keys:
+        When ``True`` (the default), byte keys of >= 16 bytes are assumed to
+        be uniformly distributed digests (SHA-1 fingerprints are the primary
+        use) and the two bucket choices are read directly from the key bytes
+        instead of re-hashing with BLAKE2b.  Set to ``False`` when long keys
+        may be structured (non-uniform).
     """
 
     def __init__(
@@ -38,6 +47,7 @@ class CuckooHashTable:
         initial_buckets: int = 1024,
         slots_per_bucket: int = 4,
         max_displacements: int = 500,
+        digest_keys: bool = True,
     ) -> None:
         if initial_buckets < 1:
             raise ValueError("initial_buckets must be >= 1")
@@ -45,6 +55,7 @@ class CuckooHashTable:
             raise ValueError("slots_per_bucket must be >= 1")
         self.slots_per_bucket = slots_per_bucket
         self.max_displacements = max_displacements
+        self.digest_keys = bool(digest_keys)
         self._num_buckets = initial_buckets
         self._buckets: List[List[Tuple[bytes, Any]]] = [[] for _ in range(initial_buckets)]
         self._size = 0
@@ -52,14 +63,27 @@ class CuckooHashTable:
         self.resizes = 0
 
     # -- hashing ------------------------------------------------------------------
-    def _hashes(self, key: bytes) -> Tuple[int, int]:
+    def _hash_pair(self, key: bytes) -> Tuple[int, int]:
+        """Two independent 64-bit hash words for ``key`` (pre-modulus).
+
+        Keys that are already cryptographic digests supply both words
+        directly from their own bytes -- re-hashing a digest buys no extra
+        uniformity and dominates the per-op cost otherwise.
+        """
         if isinstance(key, str):
             key = key.encode("utf-8")
+        if self.digest_keys and len(key) >= _DIGEST_KEY_MIN_BYTES:
+            return int.from_bytes(key[:8], "big"), int.from_bytes(key[8:16], "big")
         digest = hashlib.blake2b(key, digest_size=16).digest()
-        h1 = int.from_bytes(digest[:8], "big") % self._num_buckets
-        h2 = int.from_bytes(digest[8:], "big") % self._num_buckets
+        return int.from_bytes(digest[:8], "big"), int.from_bytes(digest[8:], "big")
+
+    def _hashes(self, key: bytes) -> Tuple[int, int]:
+        w1, w2 = self._hash_pair(key)
+        num_buckets = self._num_buckets
+        h1 = w1 % num_buckets
+        h2 = w2 % num_buckets
         if h2 == h1:
-            h2 = (h1 + 1) % self._num_buckets
+            h2 = (h1 + 1) % num_buckets
         return h1, h2
 
     # -- public API -----------------------------------------------------------------
@@ -81,6 +105,47 @@ class CuckooHashTable:
                 if stored_key == key:
                     return value
         return default
+
+    def get_many(self, keys: Sequence[bytes], default: Any = None) -> List[Any]:
+        """Values for a batch of keys, in input order, with locals bound.
+
+        Equivalent to ``[table.get(k) for k in keys]`` but hoists attribute
+        and bound-method lookups out of the loop, which matters when a batch
+        of thousands of fingerprints is probed at once.
+        """
+        buckets = self._buckets
+        num_buckets = self._num_buckets
+        hash_pair = self._hash_pair
+        results: List[Any] = []
+        append = results.append
+        for key in keys:
+            w1, w2 = hash_pair(key)
+            h1 = w1 % num_buckets
+            h2 = w2 % num_buckets
+            if h2 == h1:
+                h2 = (h1 + 1) % num_buckets
+            value = default
+            for stored_key, stored_value in buckets[h1]:
+                if stored_key == key:
+                    value = stored_value
+                    break
+            else:
+                for stored_key, stored_value in buckets[h2]:
+                    if stored_key == key:
+                        value = stored_value
+                        break
+            append(value)
+        return results
+
+    def contains_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Membership verdicts for a batch of keys, in input order."""
+        sentinel = object()
+        return [value is not sentinel for value in self.get_many(keys, sentinel)]
+
+    def put_many(self, items: Iterable[Tuple[bytes, Any]]) -> None:
+        """Insert or update a batch of ``(key, value)`` pairs."""
+        for key, value in items:
+            self.put(key, value)
 
     def __contains__(self, key: bytes) -> bool:
         sentinel = object()

@@ -98,6 +98,65 @@ class TestLookupFlow:
         assert len(node) == 0
 
 
+class TestBatchEquivalence:
+    """The batched-bloom lookup path must be behaviour-identical to looping
+    over single lookups -- verdicts, tiers, counters and service times."""
+
+    def test_batch_matches_sequential_with_tiny_cache(self):
+        # ram_cache_entries=8 forces LRU evictions *within* a batch, the case
+        # where a stale pre-computed bloom verdict would corrupt results.
+        import random
+
+        rng = random.Random(42)
+        fingerprints = [synthetic_fingerprint(rng.randrange(60)) for _ in range(1500)]
+        sequential = make_node(ram_cache_entries=8)
+        batched = make_node(ram_cache_entries=8)
+        sequential_replies = [sequential.lookup(fp) for fp in fingerprints]
+        batched_replies = []
+        for start in range(0, len(fingerprints), 97):
+            batched_replies.extend(batched.lookup_batch(fingerprints[start:start + 97]))
+        assert [
+            (r.is_duplicate, r.served_from, r.service_time) for r in sequential_replies
+        ] == [(r.is_duplicate, r.served_from, r.service_time) for r in batched_replies]
+        assert sequential.counters.as_dict() == batched.counters.as_dict()
+        assert len(sequential) == len(batched)
+
+    def test_batch_matches_sequential_with_collision_heavy_bloom(self):
+        # A near-saturated bloom filter makes inserts flip other digests'
+        # probe bits constantly, the case where a stale prefetched negative
+        # would make the batch path diverge (wrong tier counters / service
+        # times) from the sequential path.
+        import random
+
+        rng = random.Random(7)
+        fingerprints = [synthetic_fingerprint(rng.randrange(400)) for _ in range(1200)]
+        sequential = make_node(bloom_expected_items=40)  # tiny: fills immediately
+        batched = make_node(bloom_expected_items=40)
+        sequential_replies = [sequential.lookup(fp) for fp in fingerprints]
+        batched_replies = []
+        for start in range(0, len(fingerprints), 128):
+            batched_replies.extend(batched.lookup_batch(fingerprints[start:start + 128]))
+        assert [
+            (r.is_duplicate, r.served_from, r.service_time) for r in sequential_replies
+        ] == [(r.is_duplicate, r.served_from, r.service_time) for r in batched_replies]
+        assert sequential.counters.as_dict() == batched.counters.as_dict()
+        # The scenario is only meaningful if false positives actually occur.
+        assert batched.counters.get("bloom_false_positives") > 0
+
+    def test_batch_with_intra_batch_duplicates(self):
+        node = make_node()
+        fingerprint = synthetic_fingerprint(1)
+        replies = node.lookup_batch([fingerprint, fingerprint, fingerprint])
+        assert [r.is_duplicate for r in replies] == [False, True, True]
+        assert replies[0].served_from is ServedFrom.NEW
+        assert replies[1].served_from is ServedFrom.RAM
+
+    def test_empty_batch(self):
+        node = make_node()
+        assert node.lookup_batch([]) == []
+        assert node.counters.get("lookups") == 0
+
+
 class TestImportExport:
     def test_export_import_roundtrip(self):
         source = make_node()

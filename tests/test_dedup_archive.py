@@ -164,3 +164,79 @@ class TestSnapshotsAndDiff:
         second = DirectoryArchiver(InMemoryChunkIndex(), store, FixedSizeChunker(256), catalog)
         assert second.list_snapshots() == ["snap-1"]
         assert second.restore_file("snap-1", "a.bin") == data
+
+    def test_catalog_records_chunker_and_warns_on_mismatch(self, tmp_path):
+        import json
+        import warnings
+
+        catalog = str(tmp_path / "catalog.json")
+        store = CloudObjectStore()
+        first = DirectoryArchiver(
+            InMemoryChunkIndex(), store, ContentDefinedChunker(average_size=1024), catalog
+        )
+        first.backup_files({"a.bin": os.urandom(5000)}, "snap-1")
+        recorded = json.load(open(catalog))["chunking"]
+        assert recorded["strategy"] == "cdc" and recorded["engine"] == "gear"
+
+        # Matching chunker: silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            matching = DirectoryArchiver(
+                InMemoryChunkIndex(), store, ContentDefinedChunker(average_size=1024), catalog
+            )
+        assert matching.catalog_chunking == recorded
+
+        # Different boundary engine: dedup against the existing store would
+        # silently break, so loading must warn.
+        with pytest.warns(UserWarning, match="chunker mismatch"):
+            DirectoryArchiver(
+                InMemoryChunkIndex(),
+                store,
+                ContentDefinedChunker(average_size=1024, engine="rabin"),
+                catalog,
+            )
+
+    def test_rabin_window_mismatch_warns(self, tmp_path):
+        import warnings
+
+        catalog = str(tmp_path / "catalog.json")
+        store = CloudObjectStore()
+        first = DirectoryArchiver(
+            InMemoryChunkIndex(),
+            store,
+            ContentDefinedChunker(average_size=1024, engine="rabin", window_size=48),
+            catalog,
+        )
+        first.backup_files({"a.bin": os.urandom(5000)}, "snap-1")
+        with pytest.warns(UserWarning, match="chunker mismatch"):
+            DirectoryArchiver(
+                InMemoryChunkIndex(),
+                store,
+                ContentDefinedChunker(average_size=1024, engine="rabin", window_size=32),
+                catalog,
+            )
+        # Gear ignores window_size, so differing windows must stay silent.
+        gear_catalog = str(tmp_path / "gear.json")
+        gear = DirectoryArchiver(
+            InMemoryChunkIndex(), store,
+            ContentDefinedChunker(average_size=1024, window_size=48), gear_catalog,
+        )
+        gear.backup_files({"a.bin": os.urandom(2000)}, "snap-1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DirectoryArchiver(
+                InMemoryChunkIndex(), store,
+                ContentDefinedChunker(average_size=1024, window_size=32), gear_catalog,
+            )
+
+    def test_catalog_without_chunking_record_loads_silently(self, tmp_path):
+        import json
+        import warnings
+
+        catalog = str(tmp_path / "catalog.json")
+        # Simulate a pre-pinning catalogue (no "chunking" key).
+        json.dump({"snapshots": []}, open(catalog, "w"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            archiver = make_archiver(catalog_path=catalog)
+        assert archiver.catalog_chunking is None

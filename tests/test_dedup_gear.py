@@ -1,0 +1,165 @@
+"""Tests for the gear chunking engine and the streaming chunkers.
+
+The gear engine is new fast-path code, so the suite pins down three things:
+that every covering it produces is valid (contiguous, reconstructing,
+min/max-bounded), that it agrees structurally with the Rabin reference
+oracle, and that the incremental ``chunk_stream`` overrides are *exactly*
+equivalent to whole-input chunking for any block partition of the input.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dedup.chunking import Chunk, ContentDefinedChunker, FixedSizeChunker
+from repro.dedup.gear import GEAR_TABLE, GearChunker, gear_cut, gear_threshold
+
+
+def _random_data(seed: int, size: int) -> bytes:
+    return random.Random(seed).randbytes(size)
+
+
+def _assert_valid_covering(chunker: ContentDefinedChunker, data: bytes) -> list:
+    chunks = list(chunker.chunk(data))
+    assert b"".join(chunk.data for chunk in chunks) == data
+    offset = 0
+    for chunk in chunks:
+        assert chunk.offset == offset
+        offset += chunk.size
+    for chunk in chunks[:-1]:
+        assert chunker.min_size <= chunk.size <= chunker.max_size
+    if chunks:
+        assert chunks[-1].size <= chunker.max_size
+    return chunks
+
+
+class TestGearTable:
+    def test_table_shape_and_determinism(self):
+        assert len(GEAR_TABLE) == 256
+        assert len(set(GEAR_TABLE)) == 256  # no collisions among entries
+        assert all(0 <= value < 2 ** 64 for value in GEAR_TABLE)
+
+    def test_threshold_matches_average_size(self):
+        assert gear_threshold(8192) == 1 << (64 - 13)
+        assert gear_threshold(64) == 1 << (64 - 6)
+
+    def test_gear_cut_respects_bounds(self):
+        data = _random_data(3, 50_000)
+        view = memoryview(data)
+        threshold = gear_threshold(1024)
+        cut = gear_cut(view, 0, len(data), 256, 4096, threshold)
+        assert 256 < cut <= 4096
+
+    def test_gear_cut_short_input_returns_end(self):
+        data = b"x" * 100
+        assert gear_cut(memoryview(data), 0, 100, 256, 4096, gear_threshold(1024)) == 100
+
+
+class TestGearEngineEquivalence:
+    """Old Rabin oracle vs. new gear engine on the same fixed-seed inputs."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_both_engines_produce_valid_coverings(self, seed):
+        data = _random_data(seed, 120_000)
+        gear = ContentDefinedChunker(average_size=1024, engine="gear")
+        rabin = ContentDefinedChunker(average_size=1024, engine="rabin")
+        gear_chunks = _assert_valid_covering(gear, data)
+        rabin_chunks = _assert_valid_covering(rabin, data)
+        # Matching reassembly from both coverings.
+        assert b"".join(c.data for c in gear_chunks) == b"".join(c.data for c in rabin_chunks)
+
+    def test_mean_chunk_sizes_in_same_ballpark(self):
+        data = _random_data(11, 200_000)
+        for engine in ("gear", "rabin"):
+            sizes = ContentDefinedChunker(average_size=1024, engine=engine).chunk_sizes(data)
+            mean = sum(sizes) / len(sizes)
+            assert 512 <= mean <= 2048, (engine, mean)
+
+    def test_gear_is_default_engine(self):
+        chunker = ContentDefinedChunker(average_size=1024)
+        assert chunker.engine == "gear"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(average_size=1024, engine="fnv")
+
+    def test_gear_chunker_class_matches_engine_parameter(self):
+        data = _random_data(5, 60_000)
+        via_class = [c.data for c in GearChunker(average_size=1024).chunk(data)]
+        via_param = [c.data for c in ContentDefinedChunker(1024, engine="gear").chunk(data)]
+        assert via_class == via_param
+
+    def test_gear_boundaries_stable_under_prefix_insertion(self):
+        data = _random_data(13, 30_000)
+        chunker = ContentDefinedChunker(average_size=512, engine="gear")
+        original = {chunk.data for chunk in chunker.chunk(data)}
+        shifted = {chunk.data for chunk in chunker.chunk(_random_data(14, 137) + data)}
+        assert len(original & shifted) >= len(original) * 0.6
+
+    def test_gear_deterministic_across_instances(self):
+        data = _random_data(21, 40_000)
+        a = [c.data for c in ContentDefinedChunker(512).chunk(data)]
+        b = [c.data for c in ContentDefinedChunker(512).chunk(data)]
+        assert a == b
+
+
+def _partitions(data: bytes, seed: int):
+    """A few adversarial block partitions of ``data``."""
+    rng = random.Random(seed)
+    yield [data]  # single block
+    yield [data[i:i + 1] for i in range(0, min(len(data), 2000))] + [data[2000:]]  # byte drip
+    blocks, index = [], 0
+    while index < len(data):
+        size = rng.choice([1, 3, 17, 256, 4096, 65536])
+        blocks.append(data[index:index + size])
+        index += size
+    yield blocks
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("engine", ["gear", "rabin"])
+    def test_cdc_stream_equals_whole_input(self, engine):
+        data = _random_data(31, 80_000)
+        chunker = ContentDefinedChunker(average_size=512, engine=engine)
+        whole = [(c.offset, c.data) for c in chunker.chunk(data)]
+        for partition in _partitions(data, 32):
+            streamed = [(c.offset, c.data) for c in chunker.chunk_stream(partition)]
+            assert streamed == whole
+
+    def test_fixed_stream_equals_whole_input(self):
+        data = _random_data(33, 50_000)
+        chunker = FixedSizeChunker(512)
+        whole = [(c.offset, c.data) for c in chunker.chunk(data)]
+        for partition in _partitions(data, 34):
+            streamed = [(c.offset, c.data) for c in chunker.chunk_stream(partition)]
+            assert streamed == whole
+
+    def test_stream_of_empty_blocks_yields_nothing(self):
+        chunker = ContentDefinedChunker(average_size=512)
+        assert list(chunker.chunk_stream([b"", b"", b""])) == []
+        assert list(FixedSizeChunker(64).chunk_stream([])) == []
+
+    def test_stream_emits_incrementally_without_buffering_everything(self):
+        """First chunk must be produced long before the stream is exhausted."""
+        chunker = ContentDefinedChunker(average_size=512)
+        consumed = 0
+        total_blocks = 200
+
+        def blocks():
+            nonlocal consumed
+            rng = random.Random(41)
+            for _ in range(total_blocks):
+                consumed += 1
+                yield rng.randbytes(1024)
+
+        stream = chunker.chunk_stream(blocks())
+        first = next(stream)
+        assert isinstance(first, Chunk)
+        # max_size is 2048 bytes, so at most a handful of 1 KiB blocks may
+        # have been pulled before the first chunk was certain.
+        assert consumed <= 8
+        rest = list(stream)
+        assert consumed == total_blocks
+        assert first.size + sum(c.size for c in rest) == total_blocks * 1024

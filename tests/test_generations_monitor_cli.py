@@ -144,6 +144,64 @@ class TestMonitor:
         assert series.mean() == 0.0
 
 
+class TestCatalogChunkingResolution:
+    def test_recorded_parameters_win(self, tmp_path):
+        import json
+
+        from repro.cli import _catalog_chunking
+
+        catalog = tmp_path / "cat.json"
+        record = {"strategy": "cdc", "engine": "gear", "average_size": 4096}
+        catalog.write_text(json.dumps({"chunking": record}))
+        assert _catalog_chunking(str(catalog)) == record
+
+    def test_legacy_catalog_resolves_to_rabin(self, tmp_path):
+        # Catalogues written before engine selection existed could only have
+        # been chunked by the Rabin implementation; defaulting them to gear
+        # would silently destroy dedup against the existing chunk store.
+        import json
+
+        from repro.cli import _catalog_chunking
+
+        catalog = tmp_path / "cat.json"
+        catalog.write_text(json.dumps({"snapshots": []}))
+        assert _catalog_chunking(str(catalog)) == {"engine": "rabin"}
+
+    def test_missing_catalog_resolves_to_empty(self, tmp_path):
+        from repro.cli import _catalog_chunking
+
+        assert _catalog_chunking(str(tmp_path / "absent.json")) == {}
+
+    def test_backup_adopts_recorded_size_and_engine(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main as cli
+
+        source = tmp_path / "data"
+        source.mkdir()
+        (source / "f.bin").write_bytes(os.urandom(40_000))
+        catalog = str(tmp_path / "cat.json")
+        store = str(tmp_path / "store")
+        assert cli(["backup", "--root", str(source), "--catalog", catalog,
+                    "--store", store, "--chunk-size", "1024",
+                    "--chunk-engine", "rabin"]) == 0
+        # Second backup with default flags must adopt 1024/rabin from the
+        # catalog: the unchanged file must chunk to the exact same
+        # fingerprints (cross-invocation index warm-up is a separate
+        # ROADMAP item, so dedup stats are not asserted here).
+        assert cli(["backup", "--root", str(source), "--catalog", catalog,
+                    "--store", store, "--snapshot", "snap-2"]) == 0
+        payload = json.load(open(catalog))
+        recorded = payload["chunking"]
+        assert recorded["engine"] == "rabin" and recorded["average_size"] == 1024
+        chunks = {
+            snap["snapshot_id"]: snap["files"][0]["chunks"]
+            for snap in payload["snapshots"]
+        }
+        assert chunks["snap-1"] == chunks["snap-2"]
+        assert len(chunks["snap-1"]) > 10  # really chunked at ~1 KB, not 8 KB
+
+
 class TestCli:
     def test_experiment_table1(self, capsys):
         exit_code = cli_main(["experiment", "table1", "--scale", "0.002"])

@@ -136,6 +136,68 @@ class TestRunControl:
         assert fired == [1]
 
 
+class TestPendingEventsCounter:
+    """Regression tests for the O(1) pending-event accounting."""
+
+    def _brute_force_pending(self, sim):
+        return sum(1 for *_key, entry in sim._calendar if not entry.cancelled)
+
+    def test_counter_tracks_schedule_cancel_and_run(self, sim):
+        entries = [sim.schedule(float(i % 7) + 1.0, lambda: None) for i in range(200)]
+        assert sim.pending_events == self._brute_force_pending(sim) == 200
+        for entry in entries[::3]:
+            entry.cancel()
+        assert sim.pending_events == self._brute_force_pending(sim)
+        sim.run(until=3.0)
+        assert sim.pending_events == self._brute_force_pending(sim)
+        sim.run()
+        assert sim.pending_events == 0
+        assert len(sim._calendar) == 0
+
+    def test_cancel_is_idempotent_for_the_counter(self, sim):
+        entry = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        entry.cancel()
+        entry.cancel()
+        entry.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self, sim):
+        entry = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        entry.cancel()  # already executed: must be a no-op for accounting
+        assert sim.pending_events == self._brute_force_pending(sim) == 1
+
+    def test_cancel_from_callback_keeps_counter_consistent(self, sim):
+        victim = sim.schedule(5.0, lambda: None)
+        sim.schedule(1.0, victim.cancel)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 1
+
+    def test_compaction_preserves_order_and_counts(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        cancel = []
+        for index in range(3000):
+            entry = sim.schedule(float(index) + 1.0, fired.append, index)
+            (cancel if index % 3 else keep).append((index, entry))
+        for _index, entry in cancel:
+            entry.cancel()
+        # Enough cancellations to trip compaction (threshold is 512).
+        assert len(sim._calendar) < 3000
+        assert sim.pending_events == len(keep)
+        sim.run()
+        assert fired == [index for index, _entry in keep]
+        assert sim.pending_events == 0
+
+    def test_repr_does_not_scan(self, sim):
+        sim.schedule(1.0, lambda: None)
+        assert "pending=1" in repr(sim)
+
+
 class TestEvents:
     def test_event_succeed_value(self, sim):
         event = sim.event("e")

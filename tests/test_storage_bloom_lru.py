@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import hashlib
+import random
+
 import pytest
 
 from repro.storage.bloom import BloomFilter, optimal_parameters
 from repro.storage.lru import LRUCache
+
+
+def _digests(start: int, count: int) -> list:
+    """Realistic 20-byte SHA-1 fingerprints (the digest fast-path keys)."""
+    return [hashlib.sha1(index.to_bytes(8, "big")).digest() for index in range(start, start + count)]
 
 
 class TestBloomParameters:
@@ -85,6 +93,93 @@ class TestBloomBehaviour:
     def test_memory_footprint_matches_bits(self):
         bloom = BloomFilter(expected_items=100, num_bits=800, num_hashes=3)
         assert bloom.memory_bytes == 100
+
+
+class TestBloomDigestFastPath:
+    def test_no_false_negatives_with_digest_keys(self):
+        bloom = BloomFilter(expected_items=5000, digest_keys=True)
+        keys = _digests(0, 5000)
+        bloom.add_many(keys)
+        assert all(key in bloom for key in keys)
+
+    def test_fp_rate_near_target_at_capacity(self):
+        """Property test: digest fast path keeps the designed FP rate."""
+        bloom = BloomFilter(expected_items=10_000, false_positive_rate=0.01)
+        bloom.add_many(_digests(0, 10_000))
+        probes = _digests(1_000_000, 20_000)
+        rate = sum(bloom.contains_many(probes)) / len(probes)
+        assert rate < 0.03  # target 1%, generous bound to avoid flakiness
+
+    def test_digest_and_hashed_paths_agree_on_membership(self):
+        """Same keys, both key-derivation modes: identical verdict semantics."""
+        keys = _digests(0, 2000)
+        absent = _digests(500_000, 2000)
+        fast = BloomFilter(expected_items=4000, digest_keys=True)
+        hashed = BloomFilter(expected_items=4000, digest_keys=False)
+        fast.add_many(keys)
+        hashed.add_many(keys)
+        for bloom in (fast, hashed):
+            assert all(key in bloom for key in keys)
+            false_positives = sum(bloom.contains_many(absent))
+            assert false_positives < len(absent) * 0.05
+
+    def test_batch_apis_match_scalar_apis_exactly(self):
+        keys = _digests(0, 300) + [f"short-{i}".encode() for i in range(100)]
+        scalar = BloomFilter(expected_items=1000, num_bits=8192, num_hashes=5)
+        batched = BloomFilter(expected_items=1000, num_bits=8192, num_hashes=5)
+        for key in keys:
+            scalar.add(key)
+        batched.add_many(keys)
+        assert scalar._bits == batched._bits
+        assert scalar.count == batched.count
+        probes = keys + _digests(900_000, 300)
+        assert batched.contains_many(probes) == [key in scalar for key in probes]
+
+    def test_contains_agrees_with_indexes_introspection(self):
+        bloom = BloomFilter(expected_items=500)
+        keys = _digests(0, 200)
+        bloom.add_many(keys)
+        for key in keys + _digests(10_000, 50):
+            manual = all(bloom._get_bit(index) for index in bloom._indexes(key))
+            assert manual == (key in bloom)
+
+    def test_short_keys_use_hashed_path(self):
+        bloom = BloomFilter(expected_items=100, digest_keys=True)
+        bloom.add(b"short")
+        assert b"short" in bloom
+        assert b"other" not in bloom
+
+    def test_union_requires_matching_digest_mode(self):
+        a = BloomFilter(expected_items=100, num_bits=2048, num_hashes=3, digest_keys=True)
+        b = BloomFilter(expected_items=100, num_bits=2048, num_hashes=3, digest_keys=False)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_fill_ratio_matches_per_byte_popcount(self):
+        bloom = BloomFilter(expected_items=500)
+        bloom.add_many(_digests(0, 400))
+        reference = sum(bin(byte).count("1") for byte in bloom._bits) / bloom.num_bits
+        assert bloom.fill_ratio() == pytest.approx(reference)
+        assert bloom.fill_ratio() > 0
+
+    def test_add_many_accepts_generators(self):
+        bloom = BloomFilter(expected_items=100)
+        bloom.add_many(key for key in _digests(0, 50))
+        assert bloom.count == 50
+
+    def test_generic_fallback_for_large_hash_counts(self):
+        # num_hashes above the unroll cap uses the generic probe loop; batch
+        # and scalar paths must still agree bit-for-bit.
+        scalar = BloomFilter(expected_items=100, num_bits=65536, num_hashes=20)
+        batched = BloomFilter(expected_items=100, num_bits=65536, num_hashes=20)
+        assert scalar._kernels is None
+        keys = _digests(0, 200)
+        for key in keys:
+            scalar.add(key)
+        batched.add_many(keys)
+        assert scalar._bits == batched._bits
+        probes = keys + _digests(7000, 100)
+        assert batched.contains_many(probes) == [key in scalar for key in probes]
 
 
 class TestLRUCache:

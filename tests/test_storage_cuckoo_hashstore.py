@@ -74,6 +74,79 @@ class TestCuckooHashTable:
         assert table.get("string-key") == "value"
 
 
+class TestCuckooDigestFastPath:
+    @staticmethod
+    def _digests(start: int, count: int) -> list:
+        import hashlib
+
+        return [
+            hashlib.sha1(index.to_bytes(8, "big")).digest()
+            for index in range(start, start + count)
+        ]
+
+    def test_digest_and_hashed_paths_agree(self):
+        """Same op sequence through both key-derivation modes: same answers."""
+        import random
+
+        rng = random.Random(9)
+        keys = self._digests(0, 1500)
+        fast = CuckooHashTable(initial_buckets=64, digest_keys=True)
+        hashed = CuckooHashTable(initial_buckets=64, digest_keys=False)
+        live = {}
+        for step in range(4000):
+            key = rng.choice(keys)
+            op = rng.random()
+            if op < 0.6:
+                fast.put(key, step)
+                hashed.put(key, step)
+                live[key] = step
+            elif op < 0.8:
+                assert fast.get(key) == hashed.get(key) == live.get(key)
+            else:
+                assert fast.remove(key) == hashed.remove(key) == (live.pop(key, None) is not None)
+        assert len(fast) == len(hashed) == len(live)
+        for key in keys:
+            assert fast.get(key) == hashed.get(key) == live.get(key)
+
+    def test_get_many_matches_scalar_get(self):
+        table = CuckooHashTable(initial_buckets=64)
+        keys = self._digests(0, 800)
+        for index, key in enumerate(keys):
+            table.put(key, index)
+        probes = keys + self._digests(100_000, 200)
+        assert table.get_many(probes) == [table.get(key) for key in probes]
+        assert table.contains_many(probes) == [key in table for key in probes]
+
+    def test_get_many_honours_default(self):
+        table = CuckooHashTable(initial_buckets=16)
+        missing = self._digests(0, 3)
+        assert table.get_many(missing, default=-1) == [-1, -1, -1]
+
+    def test_put_many_equivalent_to_puts(self):
+        a = CuckooHashTable(initial_buckets=64)
+        b = CuckooHashTable(initial_buckets=64)
+        items = [(key, index) for index, key in enumerate(self._digests(0, 500))]
+        for key, value in items:
+            a.put(key, value)
+        b.put_many(items)
+        assert len(a) == len(b)
+        assert dict(a.items()) == dict(b.items())
+
+    def test_digest_path_survives_growth(self):
+        table = CuckooHashTable(initial_buckets=4, slots_per_bucket=2)
+        keys = self._digests(0, 2000)
+        for index, key in enumerate(keys):
+            table.put(key, index)
+        assert table.resizes > 0
+        assert all(table.get(key) == index for index, key in enumerate(keys))
+
+    def test_short_keys_fall_back_to_hashing(self):
+        table = CuckooHashTable(initial_buckets=16, digest_keys=True)
+        table.put(b"short", 1)
+        assert table.get(b"short") == 1
+        assert b"short" in table
+
+
 class TestSSDHashStore:
     def test_put_get_contains(self):
         store = SSDHashStore(num_buckets=64)
