@@ -6,6 +6,13 @@ amortising per-message costs, but each chunk's verdict waits for its whole
 batch, so per-request latency grows.  The "knee" of the curve is the batch
 size the paper suggests looking for.
 
+Uses the scenario API (``docs/scenarios.md``): one declarative spec, one
+``run_scenario`` call, uniform machine-readable metrics.  The same study
+from the shell::
+
+    repro run batch_tradeoff --set batch_sizes=1,4,16,64,256,1024,2048 \
+                             --set scale=0.0005 --json batch_tradeoff.json
+
 Run with::
 
     python examples/batch_tradeoff.py
@@ -13,28 +20,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.experiments import run_batch_tradeoff
 from repro.analysis.reporting import format_table
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    batch_sizes = (1, 4, 16, 64, 256, 1024, 2048)
+    batch_sizes = [1, 4, 16, 64, 256, 1024, 2048]
     print(f"sweeping batch sizes {batch_sizes} on a 4-node cluster...\n")
-    result = run_batch_tradeoff(batch_sizes=batch_sizes, num_nodes=4, scale=0.0005)
+    result = run_scenario(
+        "batch_tradeoff", batch_sizes=batch_sizes, num_nodes=4, scale=0.0005
+    )
     print(result.render())
 
+    points = result.metrics["points"]
     # Identify the knee: the smallest batch reaching 80% of peak throughput.
-    peak = max(point.throughput for point in result.points)
-    knee = next(point for point in result.points if point.throughput >= 0.8 * peak)
+    peak = result.metrics["throughput"]
+    knee = next(point for point in points if point["throughput"] >= 0.8 * peak)
     print(
-        f"\nknee of the curve: batch size {knee.batch_size} reaches "
-        f"{knee.throughput:,.0f} chunk/s ({knee.throughput / peak:.0%} of peak) at "
-        f"{knee.mean_request_latency * 1e3:.2f} ms per request"
+        f"\nknee of the curve: batch size {knee['batch_size']} reaches "
+        f"{knee['throughput']:,.0f} chunk/s ({knee['throughput'] / peak:.0%} of peak) at "
+        f"{knee['mean_request_latency_ms']:.2f} ms per request"
     )
 
     rows = [
-        [point.batch_size, round(point.throughput / result.points[0].throughput, 1)]
-        for point in result.points
+        [point["batch_size"], round(point["throughput"] / points[0]["throughput"], 1)]
+        for point in points
     ]
     print()
     print(format_table(["batch", "speedup vs batch=1"], rows))

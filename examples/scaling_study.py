@@ -1,11 +1,19 @@
 """Elastic scaling and fault tolerance study (the paper's future-work features).
 
-Loads a 4-node cluster with a Home-Directories-profile trace, then:
+Both sections now run on the unified scenario API (``docs/scenarios.md``):
 
-1. adds a fifth node and reports how much data migrated and how balanced the
-   cluster is afterwards (range partitioning vs consistent hashing),
-2. fails a node in a replicated cluster and shows that no fingerprint is lost
-   and the replication factor is restored.
+1. the ``scaling_ablation`` preset measures how much data migrates when a
+   fifth node joins (range partitioning vs consistent hashing) and the
+   storage/latency overhead of replication factor 2;
+2. a ``failover`` sweep over replication factor x outage density -- with a
+   grey-failure point riding along -- shows what each extra replica buys
+   in dedup accuracy as outages get denser.
+
+The same sweep from the shell::
+
+    repro sweep failover --set scale=0.002 \
+        --axis replication_factor=1,2,3 --axis outage_density=0.2,0.4 \
+        --json failover_sweep.json
 
 Run with::
 
@@ -14,69 +22,62 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ClusterConfig, HashNodeConfig, SHHCCluster, TraceGenerator
-from repro.core import MembershipManager, ReplicationController
-from repro.workloads import HOME_DIR
+from repro.scenarios import SweepGrid, run_scenario, run_sweep, spec_for
 
 
-def build_cluster(virtual_nodes: int, replication: int = 1) -> SHHCCluster:
-    return SHHCCluster(
-        ClusterConfig(
-            num_nodes=4,
-            node=HashNodeConfig(ram_cache_entries=100_000, bloom_expected_items=500_000),
-            virtual_nodes=virtual_nodes,
-            replication_factor=replication,
-        )
+def scaling_section() -> None:
+    print("1. elastic scaling: adding a fifth node\n")
+    result = run_scenario("scaling_ablation", scale=0.01, num_nodes=4, virtual_nodes=128)
+    metrics = result.metrics
+    for label, moved, balance in (
+        ("range partitioning", "moved_fraction_range", "balance_after_range"),
+        ("consistent hashing (128 vnodes)", "moved_fraction_consistent", "balance_after_consistent"),
+    ):
+        print(f"  {label}:")
+        print(f"    entries moved on join : {metrics[moved]:.0%} of {metrics['fingerprints']:,}")
+        print(f"    post-join max/mean    : {metrics[balance]:.3f}")
+        print()
+    print(
+        f"  replication factor 2  : {metrics['replication_entry_overhead']:.2f}x stored "
+        f"entries, {metrics['replication_latency_overhead']:.2f}x mean lookup cost\n"
     )
 
 
-def scaling_section(fingerprints) -> None:
-    print("1. elastic scaling: adding a fifth node\n")
-    for label, virtual_nodes in (("range partitioning", 0), ("consistent hashing (128 vnodes)", 128)):
-        cluster = build_cluster(virtual_nodes)
-        cluster.lookup_batch(fingerprints)
-        manager = MembershipManager(cluster)
-        report = manager.add_node("hashnode-4")
-        balance = cluster.storage_distribution()
-        print(f"  {label}:")
-        print(f"    entries moved        : {report.entries_moved:,} "
-              f"({report.moved_fraction:.0%} of {report.entries_before:,})")
-        print(f"    post-join max/mean   : {balance.max_over_mean:.3f}")
-        # Every fingerprint must still be found after the migration.
-        missing = sum(1 for fp in fingerprints if fp not in cluster)
-        print(f"    fingerprints missing : {missing}")
-        print()
-
-
-def fault_tolerance_section(fingerprints) -> None:
-    print("2. fault tolerance: replication factor 2, one node fails\n")
-    cluster = build_cluster(virtual_nodes=0, replication=2)
-    cluster.lookup_batch(fingerprints)
-    controller = ReplicationController(cluster)
-
-    healthy = controller.consistency_report()
-    print(f"  before failure : {healthy.total_fingerprints:,} fingerprints, "
-          f"fully replicated {healthy.fully_replicated:,}")
-
-    created = controller.handle_failure("hashnode-1")
-    after = controller.consistency_report()
-    lost = sum(1 for fp in fingerprints if not cluster.lookup(fp).is_duplicate)
-    print(f"  hashnode-1 fails: {created:,} replacement copies created")
-    print(f"  after repair   : fully replicated {after.fully_replicated:,}, "
-          f"lost {after.lost}, unanswerable lookups {lost}")
-
-    restored = controller.handle_recovery("hashnode-1")
-    print(f"  node rejoins   : {restored:,} copies rebuilt, "
-          f"healthy={controller.consistency_report().is_healthy}")
+def failover_sweep_section() -> None:
+    print("2. fault tolerance: replication factor x outage density sweep\n")
+    sweep = run_sweep(
+        spec_for("failover", scale=0.001),
+        SweepGrid(
+            {
+                "replication_factor": [1, 2, 3],
+                "outage_density": [0.2, 0.4],
+                "failure_rate": [0.0, 0.05],  # 0.05 = grey-failing node in the mix
+            }
+        ),
+    )
+    print(sweep.render())
+    worst = min(
+        (run for run in sweep.runs if run.ok),
+        key=lambda run: run.metrics["dedup_accuracy"],
+    )
+    print(
+        f"\n  worst point: {worst.point} -> accuracy "
+        f"{worst.metrics['dedup_accuracy']:.2%}, {worst.metrics['unserved']} unserved"
+    )
+    replicated = [
+        run for run in sweep.runs if run.ok and run.point["replication_factor"] >= 2
+    ]
+    print(
+        f"  with k >= 2: every one of the {len(replicated)} points keeps "
+        f"{min(run.metrics['dedup_accuracy'] for run in replicated):.0%} accuracy"
+    )
+    sweep.write_json("failover_sweep.json")
+    print("  wrote failover_sweep.json (machine-readable grid)")
 
 
 def main() -> None:
-    profile = HOME_DIR.scaled(0.01)
-    print(f"workload: {profile.name}, {profile.fingerprints:,} fingerprints "
-          f"({profile.redundancy:.0%} redundant)\n")
-    fingerprints = list(TraceGenerator(profile, seed=3).generate())
-    scaling_section(fingerprints)
-    fault_tolerance_section(fingerprints)
+    scaling_section()
+    failover_sweep_section()
 
 
 if __name__ == "__main__":

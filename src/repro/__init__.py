@@ -33,6 +33,11 @@ The package is organised in layers:
     processes.
 ``repro.analysis``
     Experiment runners for every table and figure, plus report rendering.
+``repro.scenarios``
+    The unified experiment API: declarative :class:`ScenarioSpec` +
+    :class:`SweepGrid`, executed by ``run_scenario`` / ``run_sweep`` over
+    the preset catalogue (every paper figure/table is a preset).  See
+    ``docs/scenarios.md``.
 
 Quickstart
 ----------
@@ -48,6 +53,7 @@ from .core.config import ClusterConfig, HashNodeConfig
 from .core.hash_node import HybridHashNode
 from .dedup.pipeline import DedupPipeline
 from .frontend.gateway import BackupService, build_simulated_service
+from .scenarios import ScenarioSpec, SweepGrid, run_scenario, run_sweep, spec_for
 from .workloads.profiles import TABLE_I_PROFILES, WorkloadProfile
 from .workloads.traces import TraceGenerator
 
@@ -61,6 +67,11 @@ __all__ = [
     "DedupPipeline",
     "BackupService",
     "build_simulated_service",
+    "ScenarioSpec",
+    "SweepGrid",
+    "run_scenario",
+    "run_sweep",
+    "spec_for",
     "TABLE_I_PROFILES",
     "WorkloadProfile",
     "TraceGenerator",

@@ -15,17 +15,34 @@ fault-free run of the same workload.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.cluster import SHHCCluster
 from ...core.config import ClusterConfig, HashNodeConfig
-from ...core.fault_injection import FaultInjector, FaultSchedule, rolling_outage_schedule
+from ...core.fault_injection import (
+    FaultInjector,
+    FaultPlan,
+    FaultSchedule,
+    rolling_outage_schedule,
+)
 from ...core.replication import ReplicationController
 from ...dedup.fingerprint import Fingerprint
 from ...workloads.mixer import WorkloadMix, table_i_mix
 from ..reporting import format_table
 
 __all__ = ["FailoverResult", "run_failover"]
+
+
+def _percentiles(latencies: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 of a latency sample (empty dict if none)."""
+    if not latencies:
+        return {}
+    ordered = sorted(latencies)
+    last = len(ordered) - 1
+    return {
+        f"p{q}": ordered[min(last, int(len(ordered) * q / 100.0))]
+        for q in (50, 95, 99)
+    }
 
 
 @dataclass
@@ -54,6 +71,15 @@ class FailoverResult:
     mean_latency_faulty: float = 0.0
     mean_latency_baseline: float = 0.0
     events: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: Lookups dropped because no live replica existed (replication 1 under
+    #: outage); the client never received a verdict for these.
+    unserved: int = 0
+    #: Requests dropped by grey-failing (flaky) nodes before failover/retry.
+    grey_drops: int = 0
+    tier_hits: Dict[str, int] = field(default_factory=dict)
+    latency_percentiles_faulty: Dict[str, float] = field(default_factory=dict)
+    latency_percentiles_baseline: Dict[str, float] = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def dedup_errors(self) -> int:
@@ -62,10 +88,14 @@ class FailoverResult:
 
     @property
     def accuracy(self) -> float:
-        """Fraction of verdicts matching the oracle (1.0 = no loss)."""
+        """Fraction of verdicts matching the oracle (1.0 = no loss).
+
+        Unserved lookups count as errors: the client got no verdict at all,
+        which is at least as bad as a wrong one.
+        """
         if not self.fingerprints_processed:
             return 1.0
-        return 1.0 - self.dedup_errors / self.fingerprints_processed
+        return 1.0 - (self.dedup_errors + self.unserved) / self.fingerprints_processed
 
     @property
     def latency_overhead(self) -> float:
@@ -97,6 +127,14 @@ class FailoverResult:
             ["fully replicated", self.fully_replicated],
             ["under-replicated", self.under_replicated],
             ["lost", self.lost],
+        ]
+        # Sweep-era counters appear only when the scenario exercised them,
+        # keeping legacy (clean rolling outage, k>=2) output byte-identical.
+        if self.unserved:
+            rows.append(["unserved lookups", self.unserved])
+        if self.grey_drops:
+            rows.append(["grey drops", self.grey_drops])
+        rows += [
             ["mean latency (faulty) us", round(self.mean_latency_faulty * 1e6, 2)],
             ["mean latency (baseline) us", round(self.mean_latency_baseline * 1e6, 2)],
             ["latency overhead %", round(self.latency_overhead * 100.0, 2)],
@@ -119,30 +157,46 @@ def _run_stream(
     injector: Optional[FaultInjector],
     oracle_seen: set,
     result: Optional[FailoverResult],
-) -> float:
-    """Replay ``batches``; returns the mean per-fingerprint latency.
+) -> Tuple[float, Dict[str, float]]:
+    """Replay ``batches``; returns (mean, percentiles) per-fingerprint latency.
 
     When ``result`` is given, every verdict is checked against the oracle
     and mismatches are tallied; ``oracle_seen`` is mutated as the stream's
-    digest history.
+    digest history.  Fingerprints whose whole replica set is down are not
+    sent at all (the client cannot reach any holder); they are tallied as
+    ``result.unserved`` but still enter the oracle history, because the
+    client *did* present them -- any copy the cluster failed to store shows
+    up as a false unique on the fingerprint's next occurrence.
     """
     total_latency = 0.0
-    count = 0
+    latencies: List[float] = []
     for index, batch in enumerate(batches):
         if injector is not None:
             injector.advance(index)
-        lookups = cluster.lookup_batch(batch)
+        if any(cluster.is_down(name) for name in cluster.node_names):
+            servable = []
+            for fingerprint in batch:
+                if any(not cluster.is_down(n) for n in cluster.replica_set(fingerprint)):
+                    servable.append(fingerprint)
+                else:
+                    oracle_seen.add(fingerprint.digest)
+                    if result is not None:
+                        result.unserved += 1
+        else:
+            servable = batch
+        lookups = cluster.lookup_batch(servable)
         for outcome in lookups:
             expected = outcome.fingerprint.digest in oracle_seen
             oracle_seen.add(outcome.fingerprint.digest)
             total_latency += outcome.latency
-            count += 1
+            latencies.append(outcome.latency)
             if result is not None and outcome.is_duplicate != expected:
                 if expected:
                     result.false_uniques += 1
                 else:
                     result.false_duplicates += 1
-    return total_latency / count if count else 0.0
+    count = len(latencies)
+    return (total_latency / count if count else 0.0), _percentiles(latencies)
 
 
 def run_failover(
@@ -153,6 +207,8 @@ def run_failover(
     batch_size: int = 256,
     mix: Optional[WorkloadMix] = None,
     schedule: Optional[FaultSchedule] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    outage_density: Optional[float] = None,
     node_config: Optional[HashNodeConfig] = None,
     repair_on_recovery: bool = True,
     seed: int = 0,
@@ -164,18 +220,32 @@ def run_failover(
     axis of batch indices; pass ``schedule`` for custom scenarios.  With
     ``replication_factor >= 2`` and one node down at a time the expected
     dedup error count is exactly zero.
+
+    Declarative scenarios come in through ``fault_plan`` (a
+    :class:`~repro.core.fault_injection.FaultPlan`: rolling outages sized by
+    density, grey-failing nodes, or both) or the ``outage_density``
+    shorthand (equivalent to ``FaultPlan.rolling_outage(outage_density)``).
+    Plan-driven runs accept ``replication_factor == 1``: fingerprints whose
+    whole replica set is down are tallied as ``unserved`` instead of
+    aborting the run, which is precisely the dedup loss the replication
+    sweep quantifies.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    if replication_factor < 2 and schedule is None:
+    if fault_plan is not None and (schedule is not None or outage_density is not None):
+        raise ValueError("pass at most one of fault_plan, schedule, outage_density")
+    if outage_density is not None:
+        fault_plan = FaultPlan.rolling_outage(outage_density)
+    if replication_factor < 2 and schedule is None and fault_plan is None:
         # Fail before the (expensive) baseline run: an unreplicated cluster
         # cannot serve fingerprints whose owner the default rolling-outage
         # schedule has crashed.
         raise ValueError(
             "replication_factor must be >= 2 to survive the default rolling outage "
-            "schedule; pass an explicit FaultSchedule for unreplicated runs"
+            "schedule; pass an explicit FaultSchedule or FaultPlan for "
+            "unreplicated runs"
         )
     workload = mix if mix is not None else table_i_mix(seed=seed)
     fingerprints: List[Fingerprint] = list(workload.interleaved(scale=scale))
@@ -183,6 +253,15 @@ def run_failover(
         fingerprints[start:start + batch_size]
         for start in range(0, len(fingerprints), batch_size)
     ]
+    if fault_plan is not None and fault_plan.has_outages and len(batches) <= fault_plan.start:
+        # Catch this before the (expensive) fault-free baseline run: the
+        # outage schedule lives on the batch-index axis, so a run this short
+        # has no room for an outage after the plan's start time.
+        raise ValueError(
+            f"only {len(batches)} batch(es) at batch_size={batch_size}: too short for "
+            f"an outage plan starting at t={fault_plan.start:g}; lower batch_size or "
+            "raise scale"
+        )
     config = node_config if node_config is not None else HashNodeConfig(
         ram_cache_entries=200_000,
         bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
@@ -199,7 +278,9 @@ def run_failover(
         )
 
     # -- fault-free baseline (latency reference; oracle discarded) ------------------
-    baseline_latency = _run_stream(make_cluster(), batches, None, set(), None)
+    baseline_latency, baseline_percentiles = _run_stream(
+        make_cluster(), batches, None, set(), None
+    )
 
     # -- faulty run -----------------------------------------------------------------
     cluster = make_cluster()
@@ -212,13 +293,20 @@ def run_failover(
         fingerprints_processed=len(fingerprints),
         batches=len(batches),
         mean_latency_baseline=baseline_latency,
+        latency_percentiles_baseline=baseline_percentiles,
+        fault_plan=fault_plan,
     )
 
     def _on_recovery(_node: str) -> None:
         if repair_on_recovery:
             result.repaired_copies += controller.repair()
 
-    if schedule is None:
+    flaky_wrappers = []
+    if fault_plan is not None:
+        # Horizon is the logical clock of this runner: the batch index.
+        schedule = fault_plan.schedule(cluster.node_names, horizon=float(len(batches)))
+        flaky_wrappers = fault_plan.apply_grey(cluster, seed=seed)
+    elif schedule is None:
         period = max(2, len(batches) // max(1, num_nodes))
         downtime = max(1, period // 2)
         schedule = rolling_outage_schedule(
@@ -226,8 +314,11 @@ def run_failover(
         )
     injector = FaultInjector(cluster, schedule, on_recovery=_on_recovery)
 
-    result.mean_latency_faulty = _run_stream(cluster, batches, injector, set(), result)
+    result.mean_latency_faulty, result.latency_percentiles_faulty = _run_stream(
+        cluster, batches, injector, set(), result
+    )
     injector.drain()  # recover any node still down past the last batch
+    result.grey_drops = sum(w.injected_failures for w in flaky_wrappers)
 
     result.crashes = injector.crashes
     result.recoveries = injector.recoveries
@@ -239,6 +330,13 @@ def run_failover(
     result.distinct = cluster.distinct_fingerprints()
     result.total_stored = cluster.total_stored
     result.events = [(e.time, e.action, e.node) for e in injector.applied]
+    metrics = cluster.metrics()
+    result.tier_hits = {
+        "ram": metrics.ram_hits,
+        "ssd": metrics.ssd_hits,
+        "new": metrics.total_new_entries,
+        "repair": cluster.read_repairs,
+    }
 
     report = controller.consistency_report()
     result.fully_replicated = report.fully_replicated

@@ -11,7 +11,7 @@ a capacity planner would use to size the hash cluster for a backup fleet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from ...core.cluster import SHHCCluster
@@ -73,11 +73,18 @@ def run_generational_backup(
     config: Optional[GenerationConfig] = None,
     num_nodes: int = 4,
     ram_cache_entries: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> GenerationalResult:
-    """Back up every generation through the cluster and measure per-generation stats."""
+    """Back up every generation through the cluster and measure per-generation stats.
+
+    ``seed`` overrides the workload config's seed (it is the one knob a
+    declarative scenario spec threads through every runner).
+    """
     workload_config = config if config is not None else GenerationConfig(
         initial_chunks=20_000, generations=7, modify_fraction=0.03, growth_fraction=0.01
     )
+    if seed is not None and seed != workload_config.seed:
+        workload_config = replace(workload_config, seed=seed)
     workload = GenerationalWorkload(workload_config)
     cache_entries = (
         ram_cache_entries

@@ -2,20 +2,22 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli experiment figure1 --requests 5000
-    python -m repro.cli experiment figure5 --scale 0.0005
-    python -m repro.cli experiment figure6
-    python -m repro.cli experiment table1
-    python -m repro.cli experiment ablations
-    python -m repro.cli experiment failover --replication 2 --nodes 4
+    python -m repro.cli presets
+    python -m repro.cli run figure5 --set scale=0.0005 --set batch_sizes=1,128
+    python -m repro.cli run failover --set replication_factor=2 --json result.json
+    python -m repro.cli sweep failover --axis replication_factor=1,2,3 \
+                                       --axis outage_density=0.1,0.3 --json sweep.json
     python -m repro.cli trace --workload mail-server --scale 0.001 --output trace.txt
     python -m repro.cli backup  --root ./mydata --catalog catalog.json --store ./chunkstore
     python -m repro.cli restore --catalog catalog.json --store ./chunkstore \
                                 --snapshot snap-1 --target ./restored
 
-The ``experiment`` subcommands run the same code as the benchmark harness and
-print the rendered tables; ``backup``/``restore`` exercise the library as a
-real file-level deduplicating archiver backed by an on-disk chunk store.
+``run`` executes one scenario preset with ``--set key=value`` overrides;
+``sweep`` expands ``--axis key=v1,v2,...`` into a grid of scenarios and
+emits a machine-readable JSON grid of the uniform metrics.  The legacy
+``experiment`` subcommand is kept as a thin alias over the same presets.
+``backup``/``restore`` exercise the library as a real file-level
+deduplicating archiver backed by an on-disk chunk store.
 """
 
 from __future__ import annotations
@@ -26,20 +28,21 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from .analysis.experiments import (
-    run_batch_tradeoff,
-    run_failover,
-    run_figure1,
-    run_figure5,
-    run_figure6,
-    run_scaling_ablation,
-    run_table1,
-    run_tier_ablation,
-)
 from .core.cluster import SHHCCluster
 from .core.config import ClusterConfig, HashNodeConfig
 from .dedup.archive import DirectoryArchiver
 from .dedup.chunking import ContentDefinedChunker
+from .scenarios import (
+    ScenarioSpec,
+    SpecError,
+    SweepGrid,
+    available_presets,
+    get_preset,
+    parse_setting,
+    run_scenario,
+    run_sweep,
+    spec_for,
+)
 from .storage.hashstore import FileHashStore
 from .storage.object_store import CloudObjectStore
 from .workloads.profiles import profile_by_name
@@ -48,41 +51,106 @@ from .workloads.traces import TraceGenerator
 __all__ = ["main", "build_parser"]
 
 
+# --------------------------------------------------------------------------- scenarios
+def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """Build the scenario spec from ``--spec``/``--set`` CLI arguments."""
+    overrides = dict(parse_setting(setting) for setting in (args.set or []))
+    if getattr(args, "spec", None):
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+        if args.preset and args.preset != spec.preset:
+            raise SpecError(
+                f"--spec file is for preset {spec.preset!r} but {args.preset!r} was requested"
+            )
+        from .scenarios import apply_overrides
+
+        return apply_overrides(spec, overrides)
+    if not args.preset:
+        raise SpecError("a preset name (or --spec FILE) is required; see `repro presets`")
+    return spec_for(args.preset, **overrides)
+
+
+def _emit_json(payload_owner, path: Optional[str]) -> None:
+    if not path:
+        return
+    if path == "-":
+        print(payload_owner.to_json())
+    else:
+        payload_owner.write_json(path)
+        print(f"wrote {path}", file=sys.stderr)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+        result = run_scenario(spec)
+    except (SpecError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(result.render())
+    _emit_json(result, args.json)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+        grid = SweepGrid.parse(args.axis, mode="zip" if args.zip else "cartesian")
+        total = len(grid)
+        done = {"count": 0}
+
+        def _progress(point, run) -> None:
+            if args.quiet or run is None:
+                return
+            done["count"] += 1
+            label = ", ".join(f"{key}={value}" for key, value in point.items())
+            status = "ok" if run.ok else f"error: {run.error}"
+            print(f"[{done['count']}/{total}] {label}: {status}", file=sys.stderr)
+
+        sweep = run_sweep(spec, grid, strict=args.strict, progress=_progress)
+    except (SpecError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(sweep.render())
+    _emit_json(sweep, args.json)
+    # Success if at least one point ran; a fully failed grid is an error.
+    return 0 if any(run.ok for run in sweep.runs) else 1
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    for name in available_presets():
+        preset = get_preset(name)
+        print(f"{name}: {preset.description}")
+        if args.verbose:
+            print(f"    keys: {', '.join(preset.valid_keys())}")
+    return 0
+
+
 # --------------------------------------------------------------------------- experiments
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    """Legacy alias: each experiment name is a preset on the scenario engine."""
     name = args.name
-    if name == "figure1":
-        result = run_figure1(requests=args.requests)
-        print(result.render())
-    elif name == "figure5":
-        result = run_figure5(scale=args.scale)
-        print(result.render())
-    elif name == "figure6":
-        result = run_figure6(scale=args.scale, num_nodes=args.nodes)
-        print(result.render())
-    elif name == "table1":
-        result = run_table1(scale=args.scale)
-        print(result.render())
-    elif name == "failover":
-        try:
-            result = run_failover(
-                scale=args.scale,
-                num_nodes=args.nodes,
-                replication_factor=args.replication,
-                virtual_nodes=args.virtual_nodes,
-            )
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        print(result.render())
-    elif name == "ablations":
-        print(run_tier_ablation(scale=args.scale).render())
-        print()
-        print(run_batch_tradeoff(scale=args.scale / 10).render())
-        print()
-        print(run_scaling_ablation(scale=args.scale).render())
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(f"unknown experiment {name!r}")
+    overrides = {
+        "figure1": {"requests": args.requests},
+        "figure5": {"scale": args.scale},
+        "figure6": {"scale": args.scale, "num_nodes": args.nodes},
+        "table1": {"scale": args.scale},
+        "ablations": {"scale": args.scale},
+        "failover": {
+            "scale": args.scale,
+            "num_nodes": args.nodes,
+            "replication_factor": args.replication,
+            "virtual_nodes": args.virtual_nodes,
+        },
+    }[name]
+    try:
+        result = run_scenario(name, **overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
     return 0
 
 
@@ -227,7 +295,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    def add_scenario_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("preset", nargs="?", default=None,
+                         help="scenario preset name (see `repro presets`)")
+        sub.add_argument("--spec", default=None,
+                         help="load the base spec from a JSON file instead")
+        sub.add_argument("--set", action="append", metavar="KEY=VALUE", default=[],
+                         help="override one spec key (repeatable); commas make lists")
+        sub.add_argument("--json", default=None, metavar="PATH",
+                         help="write the machine-readable result JSON here ('-' = stdout)")
+        sub.add_argument("--quiet", action="store_true",
+                         help="suppress the rendered table on stdout")
+
+    run = subparsers.add_parser("run", help="run one scenario preset")
+    add_scenario_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a preset over a grid of spec values"
+    )
+    add_scenario_arguments(sweep)
+    sweep.add_argument("--axis", action="append", metavar="KEY=V1,V2,...", default=[],
+                       required=True, help="one sweep axis (repeatable)")
+    sweep.add_argument("--zip", action="store_true",
+                       help="walk the axes in lockstep instead of the cartesian product")
+    sweep.add_argument("--strict", action="store_true",
+                       help="abort the sweep on the first failing point")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    presets = subparsers.add_parser("presets", help="list scenario presets")
+    presets.add_argument("--verbose", "-v", action="store_true",
+                         help="also list each preset's accepted spec keys")
+    presets.set_defaults(handler=_cmd_presets)
+
+    experiment = subparsers.add_parser(
+        "experiment",
+        help="run a paper experiment (legacy alias for `run`)",
+    )
     experiment.add_argument(
         "name", choices=["figure1", "figure5", "figure6", "table1", "ablations", "failover"]
     )

@@ -9,10 +9,22 @@ device-level numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional
 
 __all__ = ["HashNodeConfig", "ClusterConfig"]
+
+
+def _dataclass_overrides(instance, overrides: Dict[str, Any]):
+    """``replace`` with unknown-key validation (shared by both configs)."""
+    known = {f.name for f in fields(instance)}
+    unknown = set(overrides) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {type(instance).__name__} keys: {sorted(unknown)}; "
+            f"valid keys: {sorted(known)}"
+        )
+    return replace(instance, **overrides)
 
 
 @dataclass(frozen=True)
@@ -58,6 +70,18 @@ class HashNodeConfig:
             raise ValueError("expected_fingerprints must be >= 1")
         return replace(self, bloom_expected_items=max(1024, expected_fingerprints))
 
+    def with_overrides(self, **overrides: Any) -> "HashNodeConfig":
+        """Copy with field overrides; unknown keys raise ``ValueError``."""
+        return _dataclass_overrides(self, overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "HashNodeConfig":
+        return _dataclass_overrides(cls(), dict(payload))
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -90,3 +114,24 @@ class ClusterConfig:
     def with_nodes(self, num_nodes: int) -> "ClusterConfig":
         """Copy of this config with a different cluster size."""
         return replace(self, num_nodes=num_nodes)
+
+    def with_overrides(self, **overrides: Any) -> "ClusterConfig":
+        """Copy with field overrides; unknown keys raise ``ValueError``.
+
+        ``node`` may be given as a :class:`HashNodeConfig` or as a dict of
+        node-level overrides applied on top of the current node config.
+        """
+        node = overrides.get("node")
+        if isinstance(node, dict):
+            overrides = dict(overrides, node=self.node.with_overrides(**node))
+        return _dataclass_overrides(self, overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["node"] = self.node.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClusterConfig":
+        return cls().with_overrides(**dict(payload))

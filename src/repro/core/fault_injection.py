@@ -31,17 +31,19 @@ importing it (no circular dependency: the cluster imports this module for
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 __all__ = [
     "NodeUnavailableError",
     "FaultEvent",
     "FaultSchedule",
     "FaultInjector",
+    "FaultPlan",
     "FlakyNode",
     "make_flaky",
     "rolling_outage_schedule",
+    "rolling_outage_from_density",
 ]
 
 #: Actions a fault event may carry.
@@ -145,6 +147,167 @@ def rolling_outage_schedule(
         for index, node in enumerate(node_names):
             schedule.outage(node, start=sweep_start + index * period, duration=downtime)
     return schedule
+
+
+def rolling_outage_from_density(
+    node_names: Sequence[str],
+    horizon: float,
+    density: float,
+    rounds: int = 1,
+    start: float = 1.0,
+) -> FaultSchedule:
+    """Rolling outages sized so each node is down ``density`` of its slot.
+
+    The available time axis ``[start, horizon)`` is divided into
+    ``rounds * len(node_names)`` equal slots; node *i* crashes at the start
+    of its slot and stays down for ``density`` of the slot.  ``density = 0``
+    yields an empty schedule (a fault-free run); densities approaching 1
+    are clamped just below a full slot so at most one node is ever down.
+    """
+    if not 0.0 <= density < 1.0:
+        raise ValueError("density must be within [0, 1)")
+    if horizon <= start:
+        raise ValueError("horizon must be past the schedule start")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    schedule = FaultSchedule()
+    if density == 0.0 or not node_names:
+        return schedule
+    period = (horizon - start) / (rounds * len(node_names))
+    downtime = min(density * period, period * (1.0 - 1e-9))
+    for round_index in range(rounds):
+        sweep_start = start + round_index * period * len(node_names)
+        for index, node in enumerate(node_names):
+            schedule.outage(node, start=sweep_start + index * period, duration=downtime)
+    return schedule
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, serializable fault scenario.
+
+    Where :class:`FaultSchedule` scripts concrete (node, time) events, a
+    plan describes the *shape* of the scenario -- how much outage, how
+    flaky -- and is materialized against a particular cluster and time
+    horizon at run time.  That makes fault scenarios spec-addressable: an
+    experiment spec can carry ``{"kind": "rolling_outage", "outage_density":
+    0.3}`` instead of hand-building schedules per runner.
+
+    Kinds
+    -----
+    ``none``
+        Fault-free run.
+    ``rolling_outage``
+        Clean crashes: one node at a time is down for ``outage_density`` of
+        its share of the run (see :func:`rolling_outage_from_density`).
+    ``grey_failure``
+        No crashes; the first ``flaky_nodes`` nodes drop each request with
+        probability ``failure_rate`` (see :class:`FlakyNode`).
+    ``rolling_grey``
+        Both at once: rolling clean outages plus grey-failing nodes.
+    """
+
+    kind: str = "none"
+    outage_density: float = 0.0
+    rounds: int = 1
+    start: float = 1.0
+    failure_rate: float = 0.0
+    flaky_nodes: int = 1
+
+    KINDS = ("none", "rolling_outage", "grey_failure", "rolling_grey")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.outage_density < 1.0:
+            raise ValueError("outage_density must be within [0, 1)")
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.flaky_nodes < 0:
+            raise ValueError("flaky_nodes must be >= 0")
+
+    # -- named constructors -----------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A fault-free plan (the default)."""
+        return cls()
+
+    @classmethod
+    def rolling_outage(cls, outage_density: float, rounds: int = 1, start: float = 1.0) -> "FaultPlan":
+        """Clean rolling crashes covering ``outage_density`` of each node's slot."""
+        return cls(kind="rolling_outage", outage_density=outage_density, rounds=rounds, start=start)
+
+    @classmethod
+    def grey_failure(cls, failure_rate: float, flaky_nodes: int = 1) -> "FaultPlan":
+        """Grey failures: ``flaky_nodes`` nodes drop requests at ``failure_rate``."""
+        return cls(kind="grey_failure", failure_rate=failure_rate, flaky_nodes=flaky_nodes)
+
+    @classmethod
+    def rolling_grey(
+        cls,
+        outage_density: float,
+        failure_rate: float,
+        flaky_nodes: int = 1,
+        rounds: int = 1,
+        start: float = 1.0,
+    ) -> "FaultPlan":
+        """Rolling clean outages combined with grey-failing nodes."""
+        return cls(
+            kind="rolling_grey",
+            outage_density=outage_density,
+            rounds=rounds,
+            start=start,
+            failure_rate=failure_rate,
+            flaky_nodes=flaky_nodes,
+        )
+
+    # -- materialization --------------------------------------------------------------
+    @property
+    def has_outages(self) -> bool:
+        return self.kind in ("rolling_outage", "rolling_grey") and self.outage_density > 0.0
+
+    @property
+    def has_grey_failures(self) -> bool:
+        return self.kind in ("grey_failure", "rolling_grey") and self.failure_rate > 0.0
+
+    def schedule(self, node_names: Sequence[str], horizon: float) -> FaultSchedule:
+        """Concrete crash/recover events for this plan over ``[0, horizon)``."""
+        if not self.has_outages:
+            return FaultSchedule()
+        return rolling_outage_from_density(
+            node_names,
+            horizon=horizon,
+            density=self.outage_density,
+            rounds=self.rounds,
+            start=self.start,
+        )
+
+    def apply_grey(self, cluster, seed: int = 0) -> List["FlakyNode"]:
+        """Wrap the plan's flaky nodes on ``cluster``; returns the wrappers.
+
+        Nodes are taken in name order so the choice is deterministic; each
+        wrapper draws from its own seed stream derived from ``seed``.
+        """
+        if not self.has_grey_failures:
+            return []
+        wrappers = []
+        for index, name in enumerate(sorted(cluster.nodes)[: self.flaky_nodes]):
+            wrappers.append(make_flaky(cluster, name, self.failure_rate, seed=seed + index))
+        return wrappers
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        return cls(**payload)
 
 
 class FaultInjector:

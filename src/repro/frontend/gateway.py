@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.cluster import SHHCCluster
 from ..core.config import ClusterConfig
-from ..core.fault_injection import FaultInjector, FaultSchedule
+from ..core.fault_injection import FaultInjector, FaultPlan, FaultSchedule
 from ..dedup.chunking import Chunker, FixedSizeChunker
 from ..network.loadbalancer import LoadBalancer, RoundRobinPolicy
 from ..network.topology import BuiltNetwork, ClusterTopology
@@ -124,6 +124,11 @@ class SimulatedDeployment:
         """The attached fault injector, if the deployment was built with one."""
         return self.extras.get("fault_injector")
 
+    @property
+    def flaky_nodes(self) -> list:
+        """FlakyNode wrappers installed by a grey-failure fault plan."""
+        return self.extras.get("flaky_nodes", [])
+
 
 def build_simulated_service(
     sim: Simulator,
@@ -132,6 +137,8 @@ def build_simulated_service(
     num_web_servers: int = 3,
     topology: Optional[ClusterTopology] = None,
     fault_schedule: Optional[FaultSchedule] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_horizon: float = 0.0,
 ) -> SimulatedDeployment:
     """Construct the simulated Figure-2 deployment on ``sim``.
 
@@ -146,7 +153,17 @@ def build_simulated_service(
     RPC layer rejects calls to crashed hash nodes with
     :class:`~repro.network.rpc.ServiceUnavailableError`.  The injector is
     exposed as ``deployment.fault_injector``.
+
+    ``fault_plan`` is the declarative alternative: a
+    :class:`~repro.core.fault_injection.FaultPlan` is materialized into a
+    schedule over ``[0, fault_horizon)`` simulated seconds (required for
+    plans with outages), and grey-failure plans wrap the affected hash
+    nodes in :class:`~repro.core.fault_injection.FlakyNode` (wrappers under
+    ``deployment.flaky_nodes``, seeded from the simulator's seed).  The two
+    fault arguments are mutually exclusive.
     """
+    if fault_plan is not None and fault_schedule is not None:
+        raise ValueError("pass either fault_schedule or fault_plan, not both")
     config = cluster_config if cluster_config is not None else ClusterConfig()
     topo = topology if topology is not None else ClusterTopology(
         num_clients=num_clients,
@@ -167,6 +184,12 @@ def build_simulated_service(
         load_balancer.add_backend(server_id)
 
     extras: dict = {}
+    if fault_plan is not None:
+        if fault_plan.has_outages:
+            if fault_horizon <= 0.0:
+                raise ValueError("fault_horizon must be positive for plans with outages")
+            fault_schedule = fault_plan.schedule(cluster.node_names, horizon=fault_horizon)
+        extras["flaky_nodes"] = fault_plan.apply_grey(cluster, seed=getattr(sim, "seed", 0))
     if fault_schedule is not None:
         injector = FaultInjector(cluster, fault_schedule)
         injector.attach(sim)

@@ -1,0 +1,483 @@
+"""Built-in presets: every paper figure/table runner, spec-addressable.
+
+Each preset maps a validated :class:`~repro.scenarios.spec.ScenarioSpec`
+onto the corresponding experiment module in
+:mod:`repro.analysis.experiments` and folds its native result into the
+uniform metrics schema (see :mod:`repro.scenarios.result`).  An
+all-defaults spec reproduces the legacy runner's defaults exactly --
+``run_scenario("figure5").render()`` is byte-identical to what
+``run_figure5().render()`` printed before the scenario API existed, which
+the golden tests pin down.
+
+Node-config overrides (``spec.node``) replace the runner's auto-sized
+:class:`~repro.core.config.HashNodeConfig` wholesale: the experiment
+runners size bloom filters from the workload they are about to replay, and
+a caller overriding the node tier takes over that sizing too (set
+``bloom_expected_items`` alongside your override for large runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.config import HashNodeConfig
+from ..workloads.generations import GenerationConfig
+from ..workloads.mixer import WorkloadMix, table_i_mix
+from ..workloads.profiles import WorkloadProfile, profile_by_name
+from ..analysis.experiments import ablations, failover, figure1, figure5, figure6, generational, table1
+from .engine import Preset, register_preset
+from .result import ScenarioResult
+from .spec import NODE_KEYS, ScenarioSpec, SpecError
+
+__all__ = ["CompositeResult"]
+
+
+# ----------------------------------------------------------------------- helpers
+def _seed(spec: ScenarioSpec, legacy_default: int) -> int:
+    """The spec's seed, or the ported runner's legacy default seed."""
+    return legacy_default if spec.seed is None else spec.seed
+
+
+def _node_config(spec: ScenarioSpec) -> Optional[HashNodeConfig]:
+    """An explicit node config when the spec overrides the node tier."""
+    return HashNodeConfig.from_dict(spec.node) if spec.node else None
+
+
+def _as_list(value: Any) -> List[Any]:
+    """Spec values that are semantically lists, tolerating a bare scalar.
+
+    CLI ``--set`` only builds a list when the value contains a comma, so
+    ``--set batch_sizes=128`` or ``--set profiles=mail-server`` arrive as
+    scalars; strings in particular must not be iterated character-wise.
+    """
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def _profile(name: str) -> WorkloadProfile:
+    try:
+        return profile_by_name(name)
+    except KeyError as error:
+        raise SpecError(str(error.args[0]) if error.args else f"unknown workload {name!r}") from None
+
+
+def _profiles(names: Optional[Any]) -> Optional[List[WorkloadProfile]]:
+    return None if names is None else [_profile(name) for name in _as_list(names)]
+
+
+def _mix(spec: ScenarioSpec, seed: int) -> Optional[WorkloadMix]:
+    """A workload mix when the spec selects profiles (else runner default)."""
+    names = spec.workload.get("profiles")
+    if names is None:
+        return None
+    return table_i_mix(seed=seed, profiles=_profiles(names))
+
+
+class CompositeResult:
+    """Several experiment results rendered one after another."""
+
+    def __init__(self, parts: Sequence[Any]) -> None:
+        self.parts = list(parts)
+
+    def render(self) -> str:
+        return "\n\n".join(part.render() for part in self.parts)
+
+
+# ----------------------------------------------------------------------- figure1
+def _run_figure1(spec: ScenarioSpec) -> ScenarioResult:
+    workload = spec.workload
+    seed = _seed(spec, 1)
+    result = figure1.run_figure1(
+        node_counts=tuple(_as_list(workload.get("node_counts", figure1.DEFAULT_NODE_COUNTS))),
+        rates=tuple(_as_list(workload.get("rates", figure1.DEFAULT_RATES))),
+        requests=workload.get("requests", 20_000),
+        node_config=_node_config(spec),
+        chunk_size=workload.get("chunk_size", 8192),
+        seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.requests,
+        "points": [
+            {
+                "nodes": point.nodes,
+                "offered_rate": point.offered_rate,
+                "execution_time_us": point.execution_time_us,
+                "achieved_rate": point.achieved_rate,
+            }
+            for point in result.points
+        ],
+        "throughput": max((p.achieved_rate for p in result.points), default=None),
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="figure1",
+        description="Execution time of a fixed lookup count vs offered rate and cluster size",
+        runner=_run_figure1,
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"requests", "rates", "node_counts", "chunk_size"}),
+    )
+)
+
+
+# ----------------------------------------------------------------------- figure5
+def _run_figure5(spec: ScenarioSpec) -> ScenarioResult:
+    workload, client = spec.workload, spec.client
+    seed = _seed(spec, 0)
+    result = figure5.run_figure5(
+        node_counts=tuple(_as_list(workload.get("node_counts", figure5.DEFAULT_NODE_COUNTS))),
+        batch_sizes=tuple(_as_list(workload.get("batch_sizes", figure5.DEFAULT_BATCH_SIZES))),
+        scale=workload.get("scale", 0.001),
+        num_clients=client.get("num_clients", 2),
+        num_web_servers=client.get("num_web_servers", 3),
+        window=client.get("window", 1),
+        mix=_mix(spec, seed),
+        node_config=_node_config(spec),
+        seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.points[0].fingerprints if result.points else 0,
+        "points": [
+            {
+                "nodes": point.nodes,
+                "batch_size": point.batch_size,
+                "throughput": point.throughput,
+                "duplicates": point.duplicates,
+            }
+            for point in result.points
+        ],
+        "throughput": max((p.throughput for p in result.points), default=None),
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="figure5",
+        description="Cluster throughput vs number of servers and batch size (full simulated stack)",
+        runner=_run_figure5,
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "node_counts", "batch_sizes", "profiles"}),
+        client_keys=frozenset({"num_clients", "num_web_servers", "window"}),
+    )
+)
+
+
+# ----------------------------------------------------------------------- figure6
+def _run_figure6(spec: ScenarioSpec) -> ScenarioResult:
+    workload, cluster = spec.workload, spec.cluster
+    seed = _seed(spec, 0)
+    result = figure6.run_figure6(
+        num_nodes=cluster.get("num_nodes", 4),
+        scale=workload.get("scale", 0.01),
+        mix=_mix(spec, seed),
+        node_config=_node_config(spec),
+        virtual_nodes=cluster.get("virtual_nodes", 0),
+        seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.fingerprints_processed,
+        "storage_fractions": result.fractions(),
+        "coefficient_of_variation": result.storage_report.coefficient_of_variation,
+        "max_deviation_from_even": result.max_deviation_from_even(),
+        "lookup_max_over_mean": result.lookup_report.max_over_mean,
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="figure6",
+        description="Hash value storage distribution across cluster nodes (load balance)",
+        runner=_run_figure6,
+        cluster_keys=frozenset({"num_nodes", "virtual_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "profiles"}),
+    )
+)
+
+
+# ----------------------------------------------------------------------- table1
+def _run_table1(spec: ScenarioSpec) -> ScenarioResult:
+    workload = spec.workload
+    result = table1.run_table1(
+        scale=workload.get("scale", 0.01),
+        profiles=_profiles(workload.get("profiles")),
+        seed=_seed(spec, 42),
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": sum(row.measured.fingerprints for row in result.rows),
+        "rows": [
+            {
+                "workload": row.workload,
+                "fingerprints": row.measured.fingerprints,
+                "target_redundancy": row.target_redundancy,
+                "measured_redundancy": row.measured.redundancy,
+                "target_distance": row.target_distance,
+                "measured_distance": row.measured.mean_duplicate_distance,
+                "redundancy_error": row.redundancy_error,
+            }
+            for row in result.rows
+        ],
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="table1",
+        description="Workload characteristics: published targets vs generated traces",
+        runner=_run_table1,
+        workload_keys=frozenset({"scale", "profiles"}),
+    )
+)
+
+
+# ----------------------------------------------------------------- generational
+def _run_generational(spec: ScenarioSpec) -> ScenarioResult:
+    workload = spec.workload
+    config = GenerationConfig(
+        initial_chunks=workload.get("initial_chunks", 20_000),
+        generations=workload.get("generations", 7),
+        modify_fraction=workload.get("modify_fraction", 0.03),
+        growth_fraction=workload.get("growth_fraction", 0.01),
+        chunk_size=workload.get("chunk_size", 8192),
+        seed=_seed(spec, 0),
+    )
+    result = generational.run_generational_backup(
+        config=config,
+        num_nodes=spec.cluster.get("num_nodes", 4),
+        ram_cache_entries=spec.node.get("ram_cache_entries"),
+    )
+    chunks = sum(row.chunks for row in result.rows)
+    duplicates = sum(row.duplicates for row in result.rows)
+    metrics: Dict[str, Any] = {
+        "fingerprints": chunks,
+        "duplicate_ratio": duplicates / chunks if chunks else 0.0,
+        "final_dedup_ratio": result.final_dedup_ratio(),
+        "rows": [
+            {
+                "generation": row.generation,
+                "chunks": row.chunks,
+                "redundancy": row.redundancy,
+                "ram_hit_ratio": row.ram_hit_ratio,
+                "cumulative_dedup_ratio": row.cumulative_dedup_ratio,
+            }
+            for row in result.rows
+        ],
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="generational",
+        description="Repeated full backups: per-generation redundancy, cache hits, dedup ratio",
+        runner=_run_generational,
+        cluster_keys=frozenset({"num_nodes"}),
+        node_keys=frozenset({"ram_cache_entries"}),
+        workload_keys=frozenset(
+            {"initial_chunks", "generations", "modify_fraction", "growth_fraction", "chunk_size"}
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------- tier ablation
+def _run_tier_ablation(spec: ScenarioSpec) -> ScenarioResult:
+    workload = spec.workload
+    profile = workload.get("profile")
+    result = ablations.run_tier_ablation(
+        profile=None if profile is None else _profile(profile),
+        scale=workload.get("scale", 0.005),
+        seed=_seed(spec, 7),
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.rows[0].lookups if result.rows else 0,
+        "rows": [
+            {
+                "design": row.design,
+                "lookups": row.lookups,
+                "duplicates": row.duplicates,
+                "mean_latency_us": row.mean_latency_us,
+            }
+            for row in result.rows
+        ],
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="tier_ablation",
+        description="Index designs (disk, DDFS, ChunkStash, hybrid, RAM) head to head",
+        runner=_run_tier_ablation,
+        workload_keys=frozenset({"scale", "profile"}),
+    )
+)
+
+
+# --------------------------------------------------------------- batch tradeoff
+def _run_batch_tradeoff(spec: ScenarioSpec) -> ScenarioResult:
+    workload = spec.workload
+    result = ablations.run_batch_tradeoff(
+        batch_sizes=tuple(_as_list(workload.get("batch_sizes", (1, 8, 32, 128, 512, 2048)))),
+        num_nodes=spec.cluster.get("num_nodes", 4),
+        scale=workload.get("scale", 0.0005),
+        num_clients=spec.client.get("num_clients", 2),
+        seed=_seed(spec, 0),
+    )
+    metrics: Dict[str, Any] = {
+        "throughput": max((p.throughput for p in result.points), default=None),
+        "points": [
+            {
+                "batch_size": point.batch_size,
+                "throughput": point.throughput,
+                "mean_request_latency_ms": point.mean_request_latency * 1e3,
+                "mean_per_chunk_latency_us": point.mean_per_chunk_latency * 1e6,
+            }
+            for point in result.points
+        ],
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="batch_tradeoff",
+        description="Throughput vs per-request latency as the query batch size grows",
+        runner=_run_batch_tradeoff,
+        cluster_keys=frozenset({"num_nodes"}),
+        workload_keys=frozenset({"scale", "batch_sizes"}),
+        client_keys=frozenset({"num_clients"}),
+    )
+)
+
+
+# ------------------------------------------------------------- scaling ablation
+def _run_scaling_ablation(spec: ScenarioSpec) -> ScenarioResult:
+    workload, cluster = spec.workload, spec.cluster
+    profile = workload.get("profile")
+    result = ablations.run_scaling_ablation(
+        profile=None if profile is None else _profile(profile),
+        scale=workload.get("scale", 0.01),
+        num_nodes=cluster.get("num_nodes", 4),
+        virtual_nodes=cluster.get("virtual_nodes", 64),
+        seed=_seed(spec, 11),
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.fingerprints,
+        "moved_fraction_range": result.moved_fraction_range,
+        "moved_fraction_consistent": result.moved_fraction_consistent,
+        "balance_after_range": result.balance_after_range,
+        "balance_after_consistent": result.balance_after_consistent,
+        "replication_entry_overhead": result.replication_entry_overhead,
+        "replication_latency_overhead": result.replication_latency_overhead,
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="scaling_ablation",
+        description="Join-time data movement (range vs consistent hashing) and replication overhead",
+        runner=_run_scaling_ablation,
+        cluster_keys=frozenset({"num_nodes", "virtual_nodes"}),
+        workload_keys=frozenset({"scale", "profile"}),
+    )
+)
+
+
+# -------------------------------------------------------------------- ablations
+def _run_ablations(spec: ScenarioSpec) -> ScenarioResult:
+    """The CLI's composite: tiers at ``scale``, batching at ``scale/10``, scaling at ``scale``."""
+    scale = spec.workload.get("scale", 0.002)
+    tier = _run_tier_ablation(
+        ScenarioSpec(preset="tier_ablation", seed=spec.seed, workload={"scale": scale})
+    )
+    batch = _run_batch_tradeoff(
+        ScenarioSpec(preset="batch_tradeoff", seed=spec.seed, workload={"scale": scale / 10})
+    )
+    scaling = _run_scaling_ablation(
+        ScenarioSpec(preset="scaling_ablation", seed=spec.seed, workload={"scale": scale})
+    )
+    metrics: Dict[str, Any] = {
+        "tier_ablation": tier.metrics,
+        "batch_tradeoff": batch.metrics,
+        "scaling_ablation": scaling.metrics,
+    }
+    detail = CompositeResult([tier.detail, batch.detail, scaling.detail])
+    return ScenarioResult(spec=spec, metrics=metrics, detail=detail)
+
+
+register_preset(
+    Preset(
+        name="ablations",
+        description="All three ablation studies (tiers, batching, scaling) in one run",
+        runner=_run_ablations,
+        workload_keys=frozenset({"scale"}),
+    )
+)
+
+
+# --------------------------------------------------------------------- failover
+def _run_failover(spec: ScenarioSpec) -> ScenarioResult:
+    cluster, client, workload = spec.cluster, spec.client, spec.workload
+    seed = _seed(spec, 0)
+    result = failover.run_failover(
+        scale=workload.get("scale", 0.002),
+        num_nodes=cluster.get("num_nodes", 4),
+        replication_factor=cluster.get("replication_factor", 2),
+        virtual_nodes=cluster.get("virtual_nodes", 64),
+        batch_size=client.get("batch_size", 256),
+        mix=_mix(spec, seed),
+        fault_plan=spec.faults,
+        node_config=_node_config(spec),
+        repair_on_recovery=client.get("repair_on_recovery", True),
+        seed=seed,
+    )
+    percentiles = result.latency_percentiles_faulty
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.fingerprints_processed,
+        "dedup_accuracy": result.accuracy,
+        "false_uniques": result.false_uniques,
+        "false_duplicates": result.false_duplicates,
+        "unserved": result.unserved,
+        "grey_drops": result.grey_drops,
+        "mean_latency_us": result.mean_latency_faulty * 1e6,
+        "p50_latency_us": percentiles.get("p50", 0.0) * 1e6,
+        "p95_latency_us": percentiles.get("p95", 0.0) * 1e6,
+        "p99_latency_us": percentiles.get("p99", 0.0) * 1e6,
+        "baseline_mean_latency_us": result.mean_latency_baseline * 1e6,
+        "latency_overhead": result.latency_overhead,
+        "served_from": dict(result.tier_hits),
+        "read_repairs": result.read_repairs,
+        "failovers": result.failovers,
+        "replica_inserts": result.replica_inserts,
+        "repaired_copies": result.repaired_copies,
+        "crashes": result.crashes,
+        "recoveries": result.recoveries,
+        "distinct_fingerprints": result.distinct,
+        "total_stored": result.total_stored,
+        "fully_replicated": result.fully_replicated,
+        "under_replicated": result.under_replicated,
+        "lost": result.lost,
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="failover",
+        description="Dedup accuracy and latency under injected failures (crashes and grey failures)",
+        runner=_run_failover,
+        cluster_keys=frozenset({"num_nodes", "replication_factor", "virtual_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "profiles"}),
+        client_keys=frozenset({"batch_size", "repair_on_recovery"}),
+        accepts_faults=True,
+    )
+)

@@ -1,0 +1,312 @@
+"""Declarative experiment specs and sweep grids.
+
+A :class:`ScenarioSpec` is the serializable description of one experiment
+run: which preset, which cluster/node configuration overrides, which
+workload, which fault plan, which client parameters, and one seed.  A
+:class:`SweepGrid` names axes over spec keys and expands them into the
+cartesian (or zipped) family of specs.  Together they replace the
+hand-wired plumbing each figure/table runner used to re-implement: the
+engine in :mod:`repro.scenarios.engine` is the only place that knows how to
+execute a spec.
+
+Spec layout
+-----------
+A spec has five override sections plus the seed::
+
+    {
+      "preset": "failover",
+      "seed": 0,
+      "cluster":  {"num_nodes": 4, "replication_factor": 2},   # ClusterConfig
+      "node":     {"ram_cache_entries": 200000},               # HashNodeConfig
+      "workload": {"scale": 0.002, "profiles": ["mail-server"]},
+      "client":   {"batch_size": 256},
+      "faults":   {"kind": "rolling_outage", "outage_density": 0.3, ...},
+    }
+
+Every section holds *overrides*: an empty section means "the preset's
+legacy defaults", which is what keeps ported presets byte-identical to the
+runners they replaced.  Sections are validated against the preset's
+accepted keys when the spec is applied (see
+:func:`repro.scenarios.engine.apply_overrides`), so a typo'd ``--set`` key
+fails loudly instead of silently doing nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import ClusterConfig, HashNodeConfig
+from ..core.fault_injection import FaultPlan
+
+__all__ = [
+    "ScenarioSpec",
+    "SweepGrid",
+    "SpecError",
+    "UnknownSpecKeyError",
+    "CLUSTER_KEYS",
+    "NODE_KEYS",
+    "FAULT_KEYS",
+    "KEY_ALIASES",
+    "coerce_scalar",
+    "parse_setting",
+]
+
+#: Spec sections, in serialization order.
+SECTIONS = ("cluster", "node", "workload", "client")
+
+#: ClusterConfig overrides a spec may carry.
+CLUSTER_KEYS = frozenset(
+    name for name in ClusterConfig.__dataclass_fields__ if name != "node"
+)
+
+#: HashNodeConfig overrides a spec may carry.
+NODE_KEYS = frozenset(HashNodeConfig.__dataclass_fields__)
+
+#: Flat keys that configure the fault plan (merged into ``spec.faults``).
+FAULT_KEYS = frozenset(
+    {"fault_kind", "outage_density", "failure_rate", "flaky_nodes", "rounds"}
+)
+
+#: Friendly CLI spellings for common keys.
+KEY_ALIASES = {
+    "nodes": "num_nodes",
+    "replication": "replication_factor",
+}
+
+
+class SpecError(ValueError):
+    """A scenario spec (or an override applied to one) is invalid."""
+
+
+class UnknownSpecKeyError(SpecError):
+    """A ``--set``/``--axis`` key is not accepted by the target preset."""
+
+    def __init__(self, key: str, preset: str, valid: Sequence[str]) -> None:
+        self.key = key
+        self.preset = preset
+        self.valid = sorted(valid)
+        super().__init__(
+            f"unknown key {key!r} for preset {preset!r}; "
+            f"valid keys: {', '.join(self.valid)}"
+        )
+
+
+def _frozen_section(payload: Optional[Mapping[str, Any]], name: str) -> Dict[str, Any]:
+    if payload is None:
+        return {}
+    if not isinstance(payload, Mapping):
+        raise SpecError(f"spec section {name!r} must be a mapping, got {type(payload).__name__}")
+    return dict(payload)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment: preset + overrides + fault plan + seed.
+
+    ``seed = None`` means "the preset's legacy default seed" -- that is
+    what keeps an all-defaults spec byte-identical to the runner it
+    replaced (the legacy runners use different default seeds).
+    """
+
+    preset: str
+    seed: Optional[int] = None
+    cluster: Mapping[str, Any] = field(default_factory=dict)
+    node: Mapping[str, Any] = field(default_factory=dict)
+    workload: Mapping[str, Any] = field(default_factory=dict)
+    client: Mapping[str, Any] = field(default_factory=dict)
+    faults: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if not self.preset:
+            raise SpecError("spec needs a preset name")
+        for name in SECTIONS:
+            object.__setattr__(self, name, _frozen_section(getattr(self, name), name))
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise SpecError("faults must be a FaultPlan (or None)")
+
+    # -- derived views ---------------------------------------------------------------
+    def section(self, name: str) -> Dict[str, Any]:
+        """Copy of one override section."""
+        if name not in SECTIONS:
+            raise SpecError(f"unknown section {name!r}")
+        return dict(getattr(self, name))
+
+    def flat(self) -> Dict[str, Any]:
+        """All overrides as one flat ``key -> value`` mapping (for display).
+
+        Section keys never collide: cluster/node keys come from disjoint
+        dataclasses and preset extras are validated against both.
+        """
+        merged: Dict[str, Any] = {} if self.seed is None else {"seed": self.seed}
+        for name in SECTIONS:
+            merged.update(getattr(self, name))
+        if self.faults is not None:
+            merged.update(
+                {
+                    "fault_kind": self.faults.kind,
+                    "outage_density": self.faults.outage_density,
+                    "failure_rate": self.faults.failure_rate,
+                    "flaky_nodes": self.faults.flaky_nodes,
+                    "rounds": self.faults.rounds,
+                }
+            )
+        return merged
+
+    def replace_sections(self, **sections: Any) -> "ScenarioSpec":
+        """Copy with whole sections (or ``seed``/``faults``) replaced."""
+        payload = {
+            "preset": self.preset,
+            "seed": self.seed,
+            "faults": self.faults,
+            **{name: getattr(self, name) for name in SECTIONS},
+        }
+        payload.update(sections)
+        return ScenarioSpec(**payload)
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        payload: Dict[str, Any] = {"preset": self.preset}
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        for name in SECTIONS:
+            section = getattr(self, name)
+            if section:
+                payload[name] = dict(section)
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        if not isinstance(payload, Mapping):
+            raise SpecError("spec payload must be a mapping")
+        known = {"preset", "seed", "faults", *SECTIONS}
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+        if "preset" not in payload:
+            raise SpecError("spec payload needs a 'preset'")
+        faults = payload.get("faults")
+        if isinstance(faults, Mapping):
+            faults = FaultPlan.from_dict(dict(faults))
+        seed = payload.get("seed")
+        return cls(
+            preset=payload["preset"],
+            seed=None if seed is None else int(seed),
+            faults=faults,
+            **{name: payload.get(name) for name in SECTIONS},
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Named axes over spec keys, expanded cartesian or zipped.
+
+    ``axes`` preserves insertion order; with ``mode="cartesian"`` the last
+    axis varies fastest (like nested for-loops), with ``mode="zip"`` all
+    axes must have equal length and are walked in lockstep.
+    """
+
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    mode: str = "cartesian"
+
+    MODES = ("cartesian", "zip")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise SpecError(f"mode must be one of {self.MODES}, got {self.mode!r}")
+        axes: Dict[str, List[Any]] = {}
+        for name, values in dict(self.axes).items():
+            values = list(values)
+            if not values:
+                raise SpecError(f"axis {name!r} has no values")
+            axes[name] = values
+        if not axes:
+            raise SpecError("a sweep needs at least one axis")
+        if self.mode == "zip":
+            lengths = {len(v) for v in axes.values()}
+            if len(lengths) > 1:
+                raise SpecError(f"zip mode needs equal-length axes, got lengths {sorted(lengths)}")
+        object.__setattr__(self, "axes", axes)
+
+    def __len__(self) -> int:
+        if self.mode == "zip":
+            return len(next(iter(self.axes.values())))
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield one ``{axis: value}`` mapping per grid point, in order."""
+        names = list(self.axes)
+        if self.mode == "zip":
+            for row in zip(*(self.axes[name] for name in names)):
+                yield dict(zip(names, row))
+            return
+        for row in itertools.product(*(self.axes[name] for name in names)):
+            yield dict(zip(names, row))
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"axes": {name: list(values) for name, values in self.axes.items()},
+                "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepGrid":
+        unknown = set(payload) - {"axes", "mode"}
+        if unknown:
+            raise SpecError(f"unknown sweep fields: {sorted(unknown)}")
+        return cls(axes=payload.get("axes", {}), mode=payload.get("mode", "cartesian"))
+
+    @classmethod
+    def parse(cls, axis_settings: Sequence[str], mode: str = "cartesian") -> "SweepGrid":
+        """Build a grid from CLI ``name=v1,v2,...`` strings."""
+        axes: Dict[str, List[Any]] = {}
+        for setting in axis_settings:
+            name, values = parse_setting(setting)
+            axes[name] = values if isinstance(values, list) else [values]
+        return cls(axes=axes, mode=mode)
+
+
+# ------------------------------------------------------------------------- CLI parsing
+def coerce_scalar(text: str) -> Any:
+    """Interpret a CLI value string as bool, int, float, or str (in that order)."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text.strip()
+
+
+def parse_setting(setting: str) -> Tuple[str, Any]:
+    """Split one ``key=value`` (or ``key=v1,v2,...``) CLI setting.
+
+    A comma in the value yields a list -- that is how ``--axis`` carries its
+    values and how ``--set profiles=web-server,mail-server`` passes a list.
+    """
+    key, separator, raw = setting.partition("=")
+    key = key.strip()
+    if not separator or not key or not raw.strip():
+        raise SpecError(f"expected key=value, got {setting!r}")
+    if "," in raw:
+        return key, [coerce_scalar(part) for part in raw.split(",") if part.strip()]
+    return key, coerce_scalar(raw)

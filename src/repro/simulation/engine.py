@@ -187,13 +187,23 @@ class Simulator:
     ----------
     start_time:
         Initial value of the simulated clock, in seconds.
+    seed:
+        Master seed for this run's :class:`~repro.simulation.rng.RandomStreams`
+        family (exposed as :attr:`streams`).  Stochastic components attached
+        to the simulator draw from named child streams, so two simulators
+        built with the same seed replay identical randomness regardless of
+        how many consumers each one has.
     """
 
     #: Compaction trigger: once at least this many cancelled entries linger in
     #: the calendar *and* they outnumber the live ones, the heap is rebuilt.
     COMPACTION_MIN_STALE = 512
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, seed: int = 0) -> None:
+        from .rng import RandomStreams  # local import: rng has no engine dependency
+
+        self.seed = int(seed)
+        self.streams = RandomStreams(self.seed)
         self._now = float(start_time)
         # The calendar stores (time, priority, sequence, ScheduledEvent)
         # tuples so heap comparisons are cheap tuple comparisons.

@@ -279,3 +279,169 @@ class TestFailoverExperiment:
         out = capsys.readouterr().out
         assert "Failover" in out
         assert "dedup errors" in out
+
+
+class TestFaultPlan:
+    """The declarative fault-plan layer (spec-addressable scenarios)."""
+
+    def test_named_constructors(self):
+        from repro.core.fault_injection import FaultPlan
+
+        assert FaultPlan.none().kind == "none"
+        assert not FaultPlan.none().has_outages
+        rolling = FaultPlan.rolling_outage(0.3, rounds=2)
+        assert rolling.has_outages and not rolling.has_grey_failures
+        grey = FaultPlan.grey_failure(0.1, flaky_nodes=2)
+        assert grey.has_grey_failures and not grey.has_outages
+        both = FaultPlan.rolling_grey(0.3, 0.1)
+        assert both.has_outages and both.has_grey_failures
+
+    def test_validation(self):
+        from repro.core.fault_injection import FaultPlan
+
+        with pytest.raises(ValueError):
+            FaultPlan(kind="meteor-strike")
+        with pytest.raises(ValueError):
+            FaultPlan.rolling_outage(1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.grey_failure(1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(rounds=0)
+
+    def test_dict_round_trip(self):
+        from repro.core.fault_injection import FaultPlan
+
+        plan = FaultPlan.rolling_grey(0.25, 0.05, flaky_nodes=2, rounds=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"kind": "none", "bogus": 1})
+
+    def test_schedule_density_sizing(self):
+        from repro.core.fault_injection import FaultPlan
+
+        nodes = ["n0", "n1", "n2", "n3"]
+        schedule = FaultPlan.rolling_outage(0.5).schedule(nodes, horizon=41.0)
+        # One outage (crash + recover) per node, each half its slot long.
+        assert len(schedule) == 2 * len(nodes)
+        events = schedule.events
+        period = (41.0 - 1.0) / len(nodes)
+        first_crash = next(e for e in events if e.action == "crash")
+        first_recover = next(e for e in events if e.node == first_crash.node and e.action == "recover")
+        assert first_recover.time - first_crash.time == pytest.approx(period * 0.5)
+
+    def test_zero_density_is_fault_free(self):
+        from repro.core.fault_injection import FaultPlan, rolling_outage_from_density
+
+        assert len(FaultPlan.none().schedule(["a"], horizon=10.0)) == 0
+        assert len(rolling_outage_from_density(["a", "b"], horizon=10.0, density=0.0)) == 0
+
+    def test_from_density_validation(self):
+        from repro.core.fault_injection import rolling_outage_from_density
+
+        with pytest.raises(ValueError):
+            rolling_outage_from_density(["a"], horizon=10.0, density=1.0)
+        with pytest.raises(ValueError):
+            rolling_outage_from_density(["a"], horizon=0.5, density=0.2)
+
+    def test_apply_grey_is_deterministic(self):
+        from repro.core.fault_injection import FaultPlan
+
+        plan = FaultPlan.grey_failure(0.2, flaky_nodes=2)
+        first = plan.apply_grey(make_cluster(), seed=3)
+        second = plan.apply_grey(make_cluster(), seed=3)
+        assert len(first) == len(second) == 2
+        fingerprints = [synthetic_fingerprint(i, 8192) for i in range(400)]
+
+        def drops(wrappers, cluster):
+            for fp in fingerprints:
+                cluster.lookup(fp)
+            return [w.injected_failures for w in wrappers]
+
+        # Same seed, same nodes wrapped, same drop pattern.
+        cluster_a, cluster_b = make_cluster(), make_cluster()
+        wrap_a = plan.apply_grey(cluster_a, seed=3)
+        wrap_b = plan.apply_grey(cluster_b, seed=3)
+        assert drops(wrap_a, cluster_a) == drops(wrap_b, cluster_b)
+
+    def test_run_failover_with_grey_plan_keeps_accuracy(self):
+        from repro.core.fault_injection import FaultPlan
+
+        result = run_failover(
+            scale=0.0004,
+            replication_factor=2,
+            fault_plan=FaultPlan.rolling_grey(0.3, 0.2),
+        )
+        assert result.dedup_errors == 0
+        assert result.crashes > 0
+        assert result.fault_plan is not None
+        assert result.grey_drops >= 0
+
+    def test_run_failover_outage_density_shorthand(self):
+        result = run_failover(scale=0.0004, replication_factor=2, outage_density=0.3)
+        assert result.crashes == 4 and result.recoveries == 4
+        assert result.dedup_errors == 0 and result.unserved == 0
+
+    def test_run_failover_unreplicated_counts_unserved(self):
+        result = run_failover(scale=0.0004, replication_factor=1, outage_density=0.4)
+        assert result.unserved > 0
+        assert result.accuracy < 1.0
+        assert "unserved lookups" in result.render()
+
+    def test_run_failover_rejects_conflicting_fault_arguments(self):
+        from repro.core.fault_injection import FaultPlan
+
+        with pytest.raises(ValueError):
+            run_failover(
+                scale=0.0004,
+                fault_plan=FaultPlan.none(),
+                outage_density=0.2,
+            )
+
+    def test_failover_reports_percentiles_and_tiers(self):
+        result = run_failover(scale=0.0004, replication_factor=2)
+        p = result.latency_percentiles_faulty
+        assert p["p50"] <= p["p95"] <= p["p99"]
+        assert set(result.tier_hits) == {"ram", "ssd", "new", "repair"}
+        assert sum(result.tier_hits[k] for k in ("ram", "ssd", "new", "repair")) > 0
+
+
+class TestGatewayFaultPlan:
+    def test_build_simulated_service_with_grey_plan(self):
+        from repro.core.fault_injection import FaultPlan
+        from repro.frontend.gateway import build_simulated_service
+
+        sim = Simulator(seed=5)
+        deployment = build_simulated_service(
+            sim,
+            ClusterConfig(num_nodes=2, node=HashNodeConfig(ram_cache_entries=512,
+                                                           bloom_expected_items=10_000)),
+            fault_plan=FaultPlan.grey_failure(0.5),
+        )
+        assert len(deployment.flaky_nodes) == 1
+        assert deployment.fault_injector is None
+
+    def test_build_simulated_service_with_outage_plan_needs_horizon(self):
+        from repro.core.fault_injection import FaultPlan
+        from repro.frontend.gateway import build_simulated_service
+
+        with pytest.raises(ValueError):
+            build_simulated_service(
+                Simulator(), fault_plan=FaultPlan.rolling_outage(0.3)
+            )
+        deployment = build_simulated_service(
+            Simulator(),
+            fault_plan=FaultPlan.rolling_outage(0.3),
+            fault_horizon=10.0,
+        )
+        assert deployment.fault_injector is not None
+
+    def test_fault_plan_and_schedule_are_exclusive(self):
+        from repro.core.fault_injection import FaultPlan
+        from repro.frontend.gateway import build_simulated_service
+
+        with pytest.raises(ValueError):
+            build_simulated_service(
+                Simulator(),
+                fault_schedule=FaultSchedule().crash("hashnode-0", at=1.0),
+                fault_plan=FaultPlan.grey_failure(0.1),
+            )
