@@ -35,6 +35,8 @@ from .ablations import (
 from .ablations import run_batch_tradeoff as _run_batch_tradeoff
 from .ablations import run_scaling_ablation as _run_scaling_ablation
 from .ablations import run_tier_ablation as _run_tier_ablation
+from .elasticity import ElasticityResult
+from .elasticity import run_elasticity as _run_elasticity
 from .failover import FailoverResult
 from .failover import run_failover as _run_failover
 from .figure1 import Figure1Point, Figure1Result
@@ -57,6 +59,8 @@ __all__ = [
     "run_batch_tradeoff",
     "run_scaling_ablation",
     "run_tier_ablation",
+    "ElasticityResult",
+    "run_elasticity",
     "FailoverResult",
     "run_failover",
     "Figure1Point",
@@ -127,3 +131,4 @@ run_tier_ablation = _deprecated_runner("tier_ablation", _run_tier_ablation)
 run_batch_tradeoff = _deprecated_runner("batch_tradeoff", _run_batch_tradeoff)
 run_scaling_ablation = _deprecated_runner("scaling_ablation", _run_scaling_ablation)
 run_failover = _deprecated_runner("failover", _run_failover)
+run_elasticity = _deprecated_runner("elasticity", _run_elasticity)

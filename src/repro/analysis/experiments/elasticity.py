@@ -1,0 +1,245 @@
+"""Elasticity experiment -- dedup accuracy and data movement under churn.
+
+The paper pitches the hash cluster as elastically scalable but leaves
+dynamic membership as future work (§V); this experiment measures the
+implementation.  A mixed backup workload is streamed through a replicated
+cluster in client-sized batches while a
+:class:`~repro.core.membership.ChurnPlan` joins and removes nodes on a
+logical time axis of batch indices.  Every verdict is checked against an
+exact oracle, so the headline numbers are *dedup accuracy under churn*
+plus the migration bill: the fraction of entries moved, and how much of
+the movement is primary moves versus replica-copy traffic (the replication
+tax of elasticity, zero at ``replication_factor == 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...core.cluster import SHHCCluster
+from ...core.config import ClusterConfig, HashNodeConfig
+from ...core.membership import ChurnPlan, MembershipManager
+from ...dedup.fingerprint import Fingerprint
+from ...workloads.mixer import WorkloadMix, table_i_mix
+from ..reporting import format_table
+
+__all__ = ["ElasticityResult", "run_elasticity", "DEFAULT_CHURN_EVENTS"]
+
+#: Membership changes a default run performs (two full join/leave cycles).
+DEFAULT_CHURN_EVENTS = 4
+
+#: Never shrink below this many nodes (a one-node cluster cannot lose one).
+MIN_NODES = 2
+
+
+@dataclass
+class ElasticityResult:
+    """Outcome of one churn run."""
+
+    num_nodes: int
+    replication_factor: int
+    virtual_nodes: int
+    batch_size: int
+    churn_plan: Optional[ChurnPlan] = None
+    fingerprints_processed: int = 0
+    batches: int = 0
+    joins: int = 0
+    leaves: int = 0
+    skipped_events: int = 0
+    false_uniques: int = 0
+    false_duplicates: int = 0
+    entries_moved: int = 0
+    entries_examined: int = 0  # sum of pre-change entry counts across events
+    primary_moves: int = 0
+    replica_copies: int = 0
+    replica_drops: int = 0
+    read_repairs: int = 0
+    replica_inserts: int = 0
+    final_nodes: int = 0
+    distinct: int = 0
+    total_stored: int = 0
+    fully_replicated: int = 0
+    under_replicated: int = 0
+    lost: int = 0
+    #: Per-event timeline: (batch index, action, node, entries moved).
+    events: List[Tuple[float, str, str, int]] = field(default_factory=list)
+
+    @property
+    def dedup_errors(self) -> int:
+        """Verdicts that differ from the exact oracle."""
+        return self.false_uniques + self.false_duplicates
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of verdicts matching the oracle (1.0 = no loss)."""
+        if not self.fingerprints_processed:
+            return 1.0
+        return 1.0 - self.dedup_errors / self.fingerprints_processed
+
+    @property
+    def moved_fraction(self) -> float:
+        """Copies created per pre-change entry, aggregated over all events."""
+        return self.entries_moved / self.entries_examined if self.entries_examined else 0.0
+
+    def render(self) -> str:
+        rows = [
+            ["initial nodes", self.num_nodes],
+            ["final nodes", self.final_nodes],
+            ["replication factor", self.replication_factor],
+            ["virtual nodes", self.virtual_nodes],
+            ["batch size", self.batch_size],
+            ["fingerprints", self.fingerprints_processed],
+            ["batches", self.batches],
+            ["joins", self.joins],
+            ["leaves", self.leaves],
+            ["dedup errors", self.dedup_errors],
+            ["  false uniques", self.false_uniques],
+            ["  false duplicates", self.false_duplicates],
+            ["dedup accuracy %", round(self.accuracy * 100.0, 4)],
+            ["entries moved", self.entries_moved],
+            ["moved fraction %", round(self.moved_fraction * 100.0, 2)],
+            ["  primary moves", self.primary_moves],
+            ["  replica copies", self.replica_copies],
+            ["replica drops", self.replica_drops],
+            ["read repairs", self.read_repairs],
+            ["replica inserts (write path)", self.replica_inserts],
+            ["distinct fingerprints", self.distinct],
+            ["total stored copies", self.total_stored],
+            ["fully replicated", self.fully_replicated],
+            ["under-replicated", self.under_replicated],
+            ["lost", self.lost],
+        ]
+        if self.skipped_events:
+            rows.append(["skipped churn events", self.skipped_events])
+        table = format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Elasticity: dedup accuracy under membership churn "
+                f"({self.num_nodes} nodes, k={self.replication_factor})"
+            ),
+        )
+        timeline = ", ".join(
+            f"t={t:g} {action} {node} (moved {moved})" for t, action, node, moved in self.events
+        )
+        return table + ("\n\nchurn: " + timeline if timeline else "")
+
+
+def run_elasticity(
+    scale: float = 0.002,
+    num_nodes: int = 4,
+    replication_factor: int = 2,
+    virtual_nodes: int = 64,
+    batch_size: int = 256,
+    mix: Optional[WorkloadMix] = None,
+    churn_plan: Optional[ChurnPlan] = None,
+    node_config: Optional[HashNodeConfig] = None,
+    seed: int = 0,
+) -> ElasticityResult:
+    """Measure dedup accuracy and migration traffic while nodes join/leave.
+
+    The churn schedule lives on the logical time axis of batch indices,
+    like the failover experiment's outage schedule: an event at ``t`` fires
+    before batch ``ceil(t)`` is sent.  Joins add fresh nodes
+    (``hashnode-<next>``); leaves remove the lexicographically first
+    current node, which retires the original members one by one -- the
+    worst case for data movement.  With a replica-aware
+    :class:`~repro.core.membership.MembershipManager` the expected dedup
+    error count is exactly zero at every replication factor.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if num_nodes < MIN_NODES:
+        raise ValueError(f"num_nodes must be >= {MIN_NODES}")
+    plan = churn_plan if churn_plan is not None else ChurnPlan.join_leave(DEFAULT_CHURN_EVENTS)
+
+    workload = mix if mix is not None else table_i_mix(seed=seed)
+    fingerprints: List[Fingerprint] = list(workload.interleaved(scale=scale))
+    batches = [
+        fingerprints[start:start + batch_size]
+        for start in range(0, len(fingerprints), batch_size)
+    ]
+    if plan.has_churn and len(batches) <= plan.start:
+        raise ValueError(
+            f"only {len(batches)} batch(es) at batch_size={batch_size}: too short for "
+            f"a churn plan starting at t={plan.start:g}; lower batch_size or raise scale"
+        )
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
+    )
+    cluster = SHHCCluster(
+        ClusterConfig(
+            num_nodes=num_nodes,
+            node=config,
+            virtual_nodes=virtual_nodes,
+            replication_factor=replication_factor,
+        )
+    )
+    manager = MembershipManager(cluster)
+    schedule = plan.schedule(horizon=float(len(batches))) if plan.has_churn else []
+
+    result = ElasticityResult(
+        num_nodes=num_nodes,
+        replication_factor=replication_factor,
+        virtual_nodes=virtual_nodes,
+        batch_size=batch_size,
+        churn_plan=plan,
+        fingerprints_processed=len(fingerprints),
+        batches=len(batches),
+    )
+
+    next_index = {"value": num_nodes}
+
+    def _fire(event) -> None:
+        if event.action == "join":
+            node_id = f"{cluster.config.node_name_prefix}-{next_index['value']}"
+            next_index["value"] += 1
+            report = manager.add_node(node_id)
+            result.joins += 1
+        else:
+            if len(cluster.nodes) <= MIN_NODES:
+                result.skipped_events += 1
+                return
+            node_id = sorted(cluster.nodes)[0]
+            report = manager.remove_node(node_id)
+            result.leaves += 1
+        result.entries_moved += report.entries_moved
+        result.entries_examined += report.entries_before
+        result.primary_moves += report.primary_moves
+        result.replica_copies += report.replica_copies
+        result.replica_drops += report.replica_drops
+        result.events.append((event.time, event.action, node_id, report.entries_moved))
+
+    pending = list(schedule)  # already time-ordered
+    oracle_seen: set = set()
+    for index, batch in enumerate(batches):
+        while pending and pending[0].time <= index:
+            _fire(pending.pop(0))
+        for outcome in cluster.lookup_batch(batch):
+            expected = outcome.fingerprint.digest in oracle_seen
+            oracle_seen.add(outcome.fingerprint.digest)
+            if outcome.is_duplicate != expected:
+                if expected:
+                    result.false_uniques += 1
+                else:
+                    result.false_duplicates += 1
+    # Any events scheduled past the last batch still fire (end of the run).
+    for event in pending:
+        _fire(event)
+
+    result.final_nodes = cluster.num_nodes
+    result.read_repairs = cluster.read_repairs
+    result.replica_inserts = sum(
+        node.counters.get("replica_inserts") for node in cluster.nodes.values()
+    )
+    result.distinct = cluster.distinct_fingerprints()
+    result.total_stored = cluster.total_stored
+    report = manager.controller.consistency_report()
+    result.fully_replicated = report.fully_replicated
+    result.under_replicated = report.under_replicated
+    result.lost = report.lost
+    return result

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run failover --set replication_factor=2 --json result.json
     python -m repro.cli sweep failover --axis replication_factor=1,2,3 \
                                        --axis outage_density=0.1,0.3 --json sweep.json
+    python -m repro.cli sweep elasticity --axis replication_factor=1,2,3 \
+                                         --axis churn_events=2,6 --json churn.json
     python -m repro.cli trace --workload mail-server --scale 0.001 --output trace.txt
     python -m repro.cli backup  --root ./mydata --catalog catalog.json --store ./chunkstore
     python -m repro.cli restore --catalog catalog.json --store ./chunkstore \

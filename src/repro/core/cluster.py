@@ -97,6 +97,17 @@ class SHHCCluster(ChunkIndex):
         self.duplicates = 0
         self.read_repairs = 0
         self.failovers = 0
+        #: Mid-flight crash semantics for the simulated deployment: when
+        #: True, a batch still in service on a node that crashes is *dropped*
+        #: (its reply never leaves the node) instead of drained, so clients
+        #: exercise their timeout/retry path.  Set by the fault injector /
+        #: gateway (``drop_in_flight=...``).
+        self.drop_in_flight = False
+        self.dropped_in_flight = 0
+        # Crash generation per node: lets the drop decision catch a crash
+        # that happened *during* a batch's service even if the node already
+        # recovered by the time the reply would leave it.
+        self._crash_epochs: Dict[str, int] = {}
         self._batch_ids = itertools.count(1)
         self.last_batch_id = 0
 
@@ -118,6 +129,7 @@ class SHHCCluster(ChunkIndex):
         if name not in self.nodes:
             raise KeyError(f"unknown node {name!r}")
         self._down.add(name)
+        self._crash_epochs[name] = self._crash_epochs.get(name, 0) + 1
 
     def mark_up(self, name: str) -> None:
         """Bring a failed node back into rotation."""
@@ -360,8 +372,18 @@ class SHHCCluster(ChunkIndex):
                 failed_over.succeed((reply, reply.payload_bytes))
                 return failed_over
             wrapped = self.sim.event(f"{node.node_id}.reply")
+            epoch_at_dispatch = self._crash_epochs.get(node_id, 0)
 
             def _complete(event) -> None:
+                crashed_since = self._crash_epochs.get(node_id, 0) != epoch_at_dispatch
+                if self.drop_in_flight and (crashed_since or self.is_down(node_id)):
+                    # The node crashed with this batch in flight (even if it
+                    # already recovered): the reply is lost (never crosses
+                    # the network) and the client's timeout/retry path must
+                    # recover.  Replica propagation is skipped too -- a dead
+                    # node cannot push copies.
+                    self.dropped_in_flight += 1
+                    return
                 finished = _finalize(event.value)
                 wrapped.succeed((finished, finished.payload_bytes))
 

@@ -324,6 +324,13 @@ class FaultInjector:
         Optional hooks ``(node_name) -> None`` invoked *after* the
         membership change; ``on_recovery`` is where anti-entropy repair
         belongs (e.g. ``ReplicationController.repair``).
+    drop_in_flight:
+        When True, a crashing node *drops* batches it is currently serving
+        (their replies are lost; clients must time out and retry) instead of
+        draining them.  Implemented by flipping the cluster's
+        ``drop_in_flight`` flag, so it only affects targets that model
+        in-flight service (the simulated :class:`~repro.core.cluster.SHHCCluster`
+        deployment).
     """
 
     def __init__(
@@ -332,11 +339,15 @@ class FaultInjector:
         schedule: FaultSchedule,
         on_crash: Optional[Callable[[str], None]] = None,
         on_recovery: Optional[Callable[[str], None]] = None,
+        drop_in_flight: bool = False,
     ) -> None:
         self.cluster = cluster
         self.schedule = schedule
         self.on_crash = on_crash
         self.on_recovery = on_recovery
+        self.drop_in_flight = drop_in_flight
+        if drop_in_flight:
+            cluster.drop_in_flight = True
         self._pending: List[FaultEvent] = schedule.events
         self.applied: List[FaultEvent] = []
         self.crashes = 0

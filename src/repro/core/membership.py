@@ -2,34 +2,93 @@
 
 The paper lists "dynamic resource scaling" as future work (§V); this module
 implements it as the natural extension of the cluster design.  When a node
-joins or leaves, the partition map changes and the fingerprints whose owner
-changed are migrated between nodes.  The manager reports exactly how much
-data moved, which the scaling ablation benchmark uses to compare the range
-partitioner (full re-shard) against consistent hashing (1/N movement).
+joins or leaves, the partition map changes and the fingerprints whose
+*replica set* changed are migrated between nodes.  The manager reports
+exactly how much data moved — split into primary moves, replica copies and
+replica drops — which the scaling ablation and the ``elasticity`` scenario
+use to compare partitioners and quantify replication traffic under churn.
+
+Replica-aware migration
+-----------------------
+With ``replication_factor = k`` every fingerprint lives on the first *k*
+live nodes of its successor walk (:meth:`ReplicationController.desired_nodes`
+— the same definition the anti-entropy repair and the serving-side batch
+split :func:`~repro.core.batching.split_batch_by_replica_set` use, so the
+three layers always agree on placement).  A membership change recomputes
+that desired set per stored digest and touches **only the fingerprints
+whose set changed**:
+
+* a copy is created on each desired member that lacks one (counted as a
+  *primary move* when the member is the new primary, a *replica copy*
+  otherwise), reading from any live current holder;
+* copies on live nodes that left the desired set are dropped (*replica
+  drops*) — but only after the new copies exist, so the distinct count is
+  conserved at every instant.
+
+Crash consistency
+-----------------
+Every change writes a WAL intent record (``add_node``/``remove_node``)
+before mutating the cluster and a matching ``*_done`` record after the
+migration.  The migration itself is idempotent (copies are puts, drops are
+recomputed from the current map), so :meth:`MembershipManager.recover`
+can replay an interrupted change from the WAL: any intent without its done
+marker is re-applied against whatever state survived the crash and then
+marked done.
+
+Churn plans
+-----------
+:class:`ChurnPlan` is the membership analog of
+:class:`~repro.core.fault_injection.FaultPlan`: a declarative, serializable
+description of a join/leave schedule that experiment specs can carry
+(``{"kind": "join_leave", "events": 6}``) and the ``elasticity`` preset
+materializes against a concrete run horizon.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..dedup.fingerprint import FINGERPRINT_BYTES, Fingerprint
 from ..storage.wal import WriteAheadLog
 from .cluster import SHHCCluster
 from .hash_node import HybridHashNode
+from .replication import ReplicationController
 
-__all__ = ["MigrationReport", "MembershipManager"]
+__all__ = ["MigrationReport", "MembershipManager", "ChurnEvent", "ChurnPlan"]
+
+#: Actions a churn event may carry.
+JOIN = "join"
+LEAVE = "leave"
+_CHURN_ACTIONS = (JOIN, LEAVE)
 
 
 @dataclass
 class MigrationReport:
-    """Outcome of one membership change."""
+    """Outcome of one membership change.
+
+    ``entries_moved`` counts the copies created (primary moves plus replica
+    copies) — for ``replication_factor == 1`` this is exactly the classic
+    "entries that changed owner" number the scaling ablation reports.
+    """
 
     action: str
     node: str
     entries_before: int
     entries_moved: int
     source_breakdown: Dict[str, int]
+    replication_factor: int = 1
+    #: Copies created on a fingerprint's *new primary* owner.
+    primary_moves: int = 0
+    #: Copies created on non-primary members of the new replica set.
+    replica_copies: int = 0
+    #: Copies dropped from live nodes that left the replica set.
+    replica_drops: int = 0
+    #: Digests that needed a copy but had no live holder to read from
+    #: (their data was already lost to a crash; migration cannot restore it).
+    unreachable: int = 0
+    #: True when this report was produced by WAL replay after a crash.
+    recovered: bool = False
 
     @property
     def moved_fraction(self) -> float:
@@ -38,53 +97,31 @@ class MigrationReport:
 
 
 class MembershipManager:
-    """Coordinates node join/leave and the resulting data migration."""
+    """Coordinates node join/leave and the resulting replica-aware migration."""
 
     def __init__(self, cluster: SHHCCluster, wal: Optional[WriteAheadLog] = None) -> None:
         self.cluster = cluster
         self.wal = wal if wal is not None else WriteAheadLog()
+        self.controller = ReplicationController(cluster)
         self.reports: List[MigrationReport] = []
 
     # -- joins --------------------------------------------------------------------------
     def add_node(self, node_id: str) -> MigrationReport:
-        """Add a new empty node and migrate the keys it now owns."""
+        """Add a new empty node and rebuild the replica sets it now joins."""
         cluster = self.cluster
         if node_id in cluster.nodes:
             raise ValueError(f"node {node_id!r} already exists")
         entries_before = len(cluster)
         self.wal.append("add_node", node=node_id)
-
-        new_node = HybridHashNode(node_id, cluster.config.node, cluster.sim)
-        cluster.nodes[node_id] = new_node
-        cluster.partitioner.add_node(node_id)
-
-        moved_by_source: Dict[str, int] = {}
-        for source_name, source_node in list(cluster.nodes.items()):
-            if source_name == node_id:
-                continue
-            to_move = self._entries_not_owned_by(source_node, source_name)
-            for digest, value in to_move:
-                owner = cluster.partitioner.owner(self._as_fingerprint(digest, value))
-                owner_node = cluster.nodes[owner]
-                if owner_node is not source_node:
-                    owner_node.import_entries([(digest, value)])
-                    source_node.remove_entry(digest)
-                    moved_by_source[source_name] = moved_by_source.get(source_name, 0) + 1
-
-        report = MigrationReport(
-            action="add",
-            node=node_id,
-            entries_before=entries_before,
-            entries_moved=sum(moved_by_source.values()),
-            source_breakdown=moved_by_source,
-        )
+        self._install_node(node_id)
+        report = self._rebuild("add", node_id, entries_before)
         self.reports.append(report)
         self.wal.append("add_node_done", node=node_id, moved=report.entries_moved)
         return report
 
     # -- leaves -------------------------------------------------------------------------
     def remove_node(self, node_id: str) -> MigrationReport:
-        """Drain a node's entries to their new owners and remove it."""
+        """Drain a node's replica responsibilities to the survivors and remove it."""
         cluster = self.cluster
         if node_id not in cluster.nodes:
             raise KeyError(f"unknown node {node_id!r}")
@@ -92,50 +129,170 @@ class MembershipManager:
             raise ValueError("cannot remove the last node")
         entries_before = len(cluster)
         self.wal.append("remove_node", node=node_id)
-
-        departing = cluster.nodes[node_id]
-        exported = departing.export_entries()
-        cluster.partitioner.remove_node(node_id)
-        del cluster.nodes[node_id]
-        cluster.mark_up(node_id)  # clear any stale down-marker
-
-        moved_by_target: Dict[str, int] = {}
-        for digest, value in exported:
-            owner = cluster.partitioner.owner(self._as_fingerprint(digest, value))
-            cluster.nodes[owner].import_entries([(digest, value)])
-            moved_by_target[owner] = moved_by_target.get(owner, 0) + 1
-
-        # The new partition map may also reassign ranges between the
-        # surviving nodes (always true for the range partitioner); move those
-        # entries too so every fingerprint lives at its current owner.
-        for source_name, source_node in list(cluster.nodes.items()):
-            for digest, value in self._entries_not_owned_by(source_node, source_name):
-                owner = cluster.partitioner.owner(self._as_fingerprint(digest, value))
-                cluster.nodes[owner].import_entries([(digest, value)])
-                source_node.remove_entry(digest)
-                moved_by_target[owner] = moved_by_target.get(owner, 0) + 1
-
-        report = MigrationReport(
-            action="remove",
-            node=node_id,
-            entries_before=entries_before,
-            entries_moved=sum(moved_by_target.values()),
-            source_breakdown=moved_by_target,
+        orphans, lost_candidates = self._uninstall_node(node_id)
+        report = self._rebuild(
+            "remove", node_id, entries_before, orphans=orphans,
+            lost_candidates=lost_candidates,
         )
         self.reports.append(report)
         self.wal.append("remove_node_done", node=node_id, moved=report.entries_moved)
         return report
 
-    # -- helpers -------------------------------------------------------------------------
-    def _entries_not_owned_by(self, node: HybridHashNode, node_name: str):
-        """Entries on ``node`` whose owner under the current map differs."""
-        misplaced = []
-        for digest, value in node.export_entries():
-            owner = self.cluster.partitioner.owner(self._as_fingerprint(digest, value))
-            if owner != node_name:
-                misplaced.append((digest, value))
-        return misplaced
+    # -- crash recovery ----------------------------------------------------------------
+    def recover(self) -> List[MigrationReport]:
+        """Complete membership changes the WAL shows as begun but unfinished.
 
+        Scans the log for ``add_node``/``remove_node`` intents without a
+        matching ``*_done`` marker, re-applies each against the current
+        cluster state (the migration is idempotent, so work that happened
+        before the crash is simply kept) and appends the missing done
+        record.  Returns one report per completed change.
+        """
+        open_ops: Dict[Tuple[str, str], bool] = {}
+        for record in self.wal.replay():
+            kind = record.kind
+            if kind in ("add_node", "remove_node"):
+                open_ops[(kind, str(record["node"]))] = True
+            elif kind in ("add_node_done", "remove_node_done"):
+                open_ops.pop((kind[: -len("_done")], str(record["node"])), None)
+        reports: List[MigrationReport] = []
+        for kind, node_id in list(open_ops):
+            entries_before = len(self.cluster)
+            if kind == "add_node":
+                if node_id not in self.cluster.nodes:
+                    self._install_node(node_id)
+                elif node_id not in self.cluster.partitioner.nodes():
+                    self.cluster.partitioner.add_node(node_id)
+                report = self._rebuild("add", node_id, entries_before)
+            else:
+                orphans: Dict[bytes, object] = {}
+                lost_candidates: set = set()
+                if node_id in self.cluster.nodes:
+                    orphans, lost_candidates = self._uninstall_node(node_id)
+                elif node_id in self.cluster.partitioner.nodes():
+                    # Crash landed between the node-dict removal and the
+                    # partitioner update (or vice versa); finish the teardown.
+                    self.cluster.partitioner.remove_node(node_id)
+                report = self._rebuild(
+                    "remove", node_id, entries_before, orphans=orphans,
+                    lost_candidates=lost_candidates,
+                )
+            report.recovered = True
+            self.reports.append(report)
+            self.wal.append(f"{kind}_done", node=node_id, moved=report.entries_moved, recovered=True)
+            reports.append(report)
+        return reports
+
+    # -- the migration core -------------------------------------------------------------
+    def _install_node(self, node_id: str) -> None:
+        cluster = self.cluster
+        cluster.nodes[node_id] = HybridHashNode(node_id, cluster.config.node, cluster.sim)
+        cluster.partitioner.add_node(node_id)
+
+    def _uninstall_node(self, node_id: str) -> Tuple[Dict[bytes, object], set]:
+        """Detach a node; returns ``(readable entries, lost-copy candidates)``.
+
+        A node that is marked down at removal time (decommissioning a dead
+        member) has an unreadable store: its entries are *not* exported.
+        Its digests are returned as lost-copy candidates instead — the ones
+        with no surviving copy elsewhere surface as ``unreachable`` in the
+        report (with ``replication_factor >= 2`` the survivors hold copies,
+        so nothing is lost).
+        """
+        cluster = self.cluster
+        departing = cluster.nodes[node_id]
+        down = cluster.is_down(node_id)
+        exported = [] if down else departing.export_entries()
+        # A digest whose only copy sat on the dead node is lost; report it.
+        lost_candidates = (
+            {digest for digest, _value in departing.export_entries()} if down else set()
+        )
+        if node_id in cluster.partitioner.nodes():
+            # May already be gone when recover() replays a crash that landed
+            # between the partitioner update and the node-dict removal.
+            cluster.partitioner.remove_node(node_id)
+        del cluster.nodes[node_id]
+        cluster.mark_up(node_id)  # clear any stale down-marker
+        return dict(exported), lost_candidates
+
+    def _rebuild(
+        self,
+        action: str,
+        node_id: str,
+        entries_before: int,
+        orphans: Optional[Mapping[bytes, object]] = None,
+        lost_candidates: Optional[set] = None,
+    ) -> MigrationReport:
+        """Incrementally rebuild replica sets after the partition map changed.
+
+        Only fingerprints whose desired set differs from their current
+        holders are touched.  Copies are created before drops, so every
+        digest keeps at least one live copy throughout.  ``orphans`` carries
+        the entries of a departing node (holder set empty after removal);
+        ``lost_candidates`` the digests of a *down* departing node, counted
+        as ``unreachable`` when no surviving copy exists.
+        """
+        cluster = self.cluster
+        placement: Dict[bytes, Set[str]] = {}
+        values: Dict[bytes, object] = {}
+        for name, node in cluster.nodes.items():
+            for digest, value in node.export_entries():
+                placement.setdefault(digest, set()).add(name)
+                values.setdefault(digest, value)
+        for digest, value in (orphans or {}).items():
+            placement.setdefault(digest, set())
+            values.setdefault(digest, value)
+
+        by_target = action == "remove"
+        breakdown: Dict[str, int] = {}
+        primary_moves = replica_copies = replica_drops = 0
+        unreachable = sum(
+            1 for digest in (lost_candidates or ()) if digest not in placement
+        )
+        for digest, holders in placement.items():
+            value = values[digest]
+            fingerprint = self._as_fingerprint(digest, value)
+            desired = self.controller.desired_nodes(fingerprint)
+            if not desired:  # every node down: nothing can move
+                continue
+            missing = [n for n in desired if n not in holders]
+            if missing:
+                live_holders = sorted(n for n in holders if not cluster.is_down(n))
+                if live_holders:
+                    source = live_holders[0]
+                elif orphans is not None and digest in orphans:
+                    source = node_id  # read from the live departing node
+                else:
+                    unreachable += 1
+                    continue
+                for target in missing:
+                    cluster.nodes[target].import_entries([(digest, value)])
+                    if target == desired[0]:
+                        primary_moves += 1
+                    else:
+                        replica_copies += 1
+                    key = target if by_target else source
+                    breakdown[key] = breakdown.get(key, 0) + 1
+            for extra in sorted(holders - set(desired)):
+                if cluster.is_down(extra):
+                    continue  # unreadable store; recovery repair reconciles it
+                if cluster.nodes[extra].remove_entry(digest):
+                    replica_drops += 1
+
+        return MigrationReport(
+            action=action,
+            node=node_id,
+            entries_before=entries_before,
+            entries_moved=primary_moves + replica_copies,
+            source_breakdown=breakdown,
+            replication_factor=cluster.config.replication_factor,
+            primary_moves=primary_moves,
+            replica_copies=replica_copies,
+            replica_drops=replica_drops,
+            unreachable=unreachable,
+        )
+
+    # -- helpers -------------------------------------------------------------------------
     @staticmethod
     def _as_fingerprint(digest: bytes, value) -> Fingerprint:
         chunk_size = value if isinstance(value, int) else 0
@@ -147,3 +304,118 @@ class MembershipManager:
     def total_moved(self) -> int:
         """Entries moved across all membership changes so far."""
         return sum(report.entries_moved for report in self.reports)
+
+    def total_replica_copies(self) -> int:
+        """Replica-copy traffic across all membership changes so far."""
+        return sum(report.replica_copies for report in self.reports)
+
+
+# ------------------------------------------------------------------------- churn plans
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change: a node joins or leaves at ``time``."""
+
+    time: float
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in _CHURN_ACTIONS:
+            raise ValueError(f"action must be one of {_CHURN_ACTIONS}, got {self.action!r}")
+        if self.time < 0:
+            raise ValueError("churn event time must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A declarative, serializable membership-churn scenario.
+
+    Where the elasticity runner scripts concrete (time, action) events, a
+    plan describes the *shape* of the churn — how many events, growing or
+    shrinking — and is materialized against a run's time horizon by
+    :meth:`schedule`.  That makes churn spec-addressable the same way
+    :class:`~repro.core.fault_injection.FaultPlan` makes faults
+    spec-addressable.
+
+    Kinds
+    -----
+    ``join_leave``
+        Alternating join/leave events starting with a join (the cluster
+        oscillates around its initial size).
+    ``grow``
+        Joins only (scale-out).
+    ``shrink``
+        Leaves only (scale-in; the runner refuses to shrink below two
+        nodes).
+    """
+
+    kind: str = "join_leave"
+    events: int = 0
+    start: float = 1.0
+
+    KINDS = ("join_leave", "grow", "shrink")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {self.kind!r}")
+        if self.events < 0:
+            raise ValueError("events must be >= 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+
+    # -- named constructors -----------------------------------------------------------
+    @classmethod
+    def none(cls) -> "ChurnPlan":
+        """A churn-free plan."""
+        return cls(events=0)
+
+    @classmethod
+    def join_leave(cls, events: int, start: float = 1.0) -> "ChurnPlan":
+        """Alternating joins and leaves, ``events`` changes in total."""
+        return cls(kind="join_leave", events=events, start=start)
+
+    @classmethod
+    def grow(cls, events: int, start: float = 1.0) -> "ChurnPlan":
+        """``events`` consecutive joins."""
+        return cls(kind="grow", events=events, start=start)
+
+    @classmethod
+    def shrink(cls, events: int, start: float = 1.0) -> "ChurnPlan":
+        """``events`` consecutive leaves."""
+        return cls(kind="shrink", events=events, start=start)
+
+    # -- materialization --------------------------------------------------------------
+    @property
+    def has_churn(self) -> bool:
+        return self.events > 0
+
+    def schedule(self, horizon: float) -> List[ChurnEvent]:
+        """Concrete churn events evenly spaced over ``[start, horizon)``."""
+        if not self.has_churn:
+            return []
+        if horizon <= self.start:
+            raise ValueError(
+                f"horizon {horizon:g} leaves no room for churn starting at t={self.start:g}"
+            )
+        step = (horizon - self.start) / self.events
+        out: List[ChurnEvent] = []
+        for index in range(self.events):
+            if self.kind == "grow":
+                action = JOIN
+            elif self.kind == "shrink":
+                action = LEAVE
+            else:
+                action = JOIN if index % 2 == 0 else LEAVE
+            out.append(ChurnEvent(time=self.start + index * step, action=action))
+        return out
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChurnPlan":
+        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown ChurnPlan keys: {sorted(unknown)}")
+        return cls(**payload)

@@ -60,7 +60,7 @@ class ReplicationController:
         self.repairs_performed = 0
 
     # -- inspection ---------------------------------------------------------------------
-    def _all_digests(self) -> Dict[bytes, Set[str]]:
+    def placement(self) -> Dict[bytes, Set[str]]:
         """Map digest -> set of live nodes currently storing it."""
         placement: Dict[bytes, Set[str]] = {}
         for name, node in self.cluster.nodes.items():
@@ -70,13 +70,30 @@ class ReplicationController:
                 placement.setdefault(digest, set()).add(name)
         return placement
 
+    def desired_nodes(self, fingerprint: Fingerprint) -> List[str]:
+        """The *live* replica set a fingerprint should occupy right now.
+
+        Walks the successor list past any failed nodes (Chord-style) and
+        returns the first live nodes up to the replication factor, so the
+        copy count can be restored even while members are down.  With every
+        node up this is exactly ``partitioner.owners(fp, factor)``.  The
+        membership migration (:class:`~repro.core.membership.MembershipManager`)
+        and :meth:`repair` share this definition, which is what makes their
+        placements agree.
+        """
+        cluster = self.cluster
+        live_count = sum(1 for n in cluster.node_names if not cluster.is_down(n))
+        target = min(cluster.config.replication_factor, live_count)
+        candidates = cluster.partitioner.owners(fingerprint, len(cluster.node_names))
+        return [n for n in candidates if not cluster.is_down(n)][:target]
+
     def consistency_report(self) -> ReplicaConsistencyReport:
         """Count fully replicated / under-replicated / lost fingerprints."""
         factor = self.cluster.config.replication_factor
         report = ReplicaConsistencyReport(replication_factor=factor)
         live_nodes = [n for n in self.cluster.node_names if not self.cluster.is_down(n)]
         target = min(factor, len(live_nodes))
-        for _digest, holders in self._all_digests().items():
+        for _digest, holders in self.placement().items():
             copies = len(holders)
             report.total_fingerprints += 1
             report.copies_histogram[copies] = report.copies_histogram.get(copies, 0) + 1
@@ -94,17 +111,11 @@ class ReplicationController:
 
         Returns the number of additional copies created.
         """
-        factor = self.cluster.config.replication_factor
         created = 0
-        placement = self._all_digests()
-        live_count = sum(1 for n in self.cluster.node_names if not self.cluster.is_down(n))
-        target = min(factor, live_count)
+        placement = self.placement()
         for digest, holders in placement.items():
             fingerprint = self._fingerprint_for(digest, holders)
-            # Walk the successor list past any failed nodes so the replica
-            # count is restored on the next live nodes (Chord-style).
-            candidates = self.cluster.partitioner.owners(fingerprint, len(self.cluster.node_names))
-            desired = [n for n in candidates if not self.cluster.is_down(n)][:target]
+            desired = self.desired_nodes(fingerprint)
             for node_name in desired:
                 if node_name not in holders:
                     value = self._value_of(digest, holders)

@@ -139,6 +139,7 @@ def build_simulated_service(
     fault_schedule: Optional[FaultSchedule] = None,
     fault_plan: Optional[FaultPlan] = None,
     fault_horizon: float = 0.0,
+    drop_in_flight: bool = False,
 ) -> SimulatedDeployment:
     """Construct the simulated Figure-2 deployment on ``sim``.
 
@@ -161,6 +162,12 @@ def build_simulated_service(
     nodes in :class:`~repro.core.fault_injection.FlakyNode` (wrappers under
     ``deployment.flaky_nodes``, seeded from the simulator's seed).  The two
     fault arguments are mutually exclusive.
+
+    ``drop_in_flight`` selects the mid-flight crash semantics: by default a
+    crashing node *drains* batches it is already serving (replies still
+    arrive); with ``drop_in_flight=True`` those replies are lost and clients
+    must recover through their timeout/retry path (see
+    :class:`~repro.frontend.client.SimulatedClient` ``request_timeout``).
     """
     if fault_plan is not None and fault_schedule is not None:
         raise ValueError("pass either fault_schedule or fault_plan, not both")
@@ -190,8 +197,10 @@ def build_simulated_service(
                 raise ValueError("fault_horizon must be positive for plans with outages")
             fault_schedule = fault_plan.schedule(cluster.node_names, horizon=fault_horizon)
         extras["flaky_nodes"] = fault_plan.apply_grey(cluster, seed=getattr(sim, "seed", 0))
+    if drop_in_flight:
+        cluster.drop_in_flight = True
     if fault_schedule is not None:
-        injector = FaultInjector(cluster, fault_schedule)
+        injector = FaultInjector(cluster, fault_schedule, drop_in_flight=drop_in_flight)
         injector.attach(sim)
         network.rpc.set_availability(
             lambda endpoint: endpoint not in cluster.nodes or not cluster.is_down(endpoint)

@@ -25,8 +25,10 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Union
 
 from ..core.fault_injection import FaultPlan
+from ..core.membership import ChurnPlan
 from .result import ScenarioResult, SweepResult, SweepRun
 from .spec import (
+    CHURN_KEYS,
     CLUSTER_KEYS,
     FAULT_KEYS,
     KEY_ALIASES,
@@ -64,6 +66,7 @@ class Preset:
     workload_keys: FrozenSet[str] = frozenset()
     client_keys: FrozenSet[str] = frozenset()
     accepts_faults: bool = False
+    accepts_churn: bool = False
 
     def __post_init__(self) -> None:
         if not self.cluster_keys <= CLUSTER_KEYS:
@@ -83,6 +86,8 @@ class Preset:
         keys |= self.cluster_keys | self.node_keys | self.workload_keys | self.client_keys
         if self.accepts_faults:
             keys |= FAULT_KEYS
+        if self.accepts_churn:
+            keys |= CHURN_KEYS
         return sorted(keys)
 
     def section_of(self, key: str) -> Optional[str]:
@@ -91,6 +96,8 @@ class Preset:
             return "seed"
         if key in FAULT_KEYS:
             return "faults" if self.accepts_faults else None
+        if key in CHURN_KEYS:
+            return "churn" if self.accepts_churn else None
         for section, accepted in (
             ("cluster", self.cluster_keys),
             ("node", self.node_keys),
@@ -171,6 +178,18 @@ def _merge_fault_key(plan: Optional[FaultPlan], key: str, value: Any) -> FaultPl
     raise SpecError(f"unknown fault key {key!r}")  # pragma: no cover - guarded by caller
 
 
+def _merge_churn_key(plan: Optional[ChurnPlan], key: str, value: Any) -> ChurnPlan:
+    """Fold one flat churn key into a plan (``churn_events=6`` etc.)."""
+    plan = plan if plan is not None else ChurnPlan.none()
+    if key == "churn_kind":
+        return replace(plan, kind=str(value))
+    if key == "churn_events":
+        return replace(plan, events=int(value))
+    if key == "churn_start":
+        return replace(plan, start=float(value))
+    raise SpecError(f"unknown churn key {key!r}")  # pragma: no cover - guarded by caller
+
+
 def apply_overrides(spec: ScenarioSpec, values: Mapping[str, Any]) -> ScenarioSpec:
     """Route flat ``key -> value`` overrides into a spec's sections.
 
@@ -186,6 +205,7 @@ def apply_overrides(spec: ScenarioSpec, values: Mapping[str, Any]) -> ScenarioSp
     }
     seed = spec.seed
     faults = spec.faults
+    churn = spec.churn
     for raw_key, value in values.items():
         key = KEY_ALIASES.get(raw_key, raw_key)
         section = preset.section_of(key)
@@ -195,9 +215,11 @@ def apply_overrides(spec: ScenarioSpec, values: Mapping[str, Any]) -> ScenarioSp
             seed = int(value)
         elif section == "faults":
             faults = _merge_fault_key(faults, key, value)
+        elif section == "churn":
+            churn = _merge_churn_key(churn, key, value)
         else:
             sections[section][key] = value
-    return spec.replace_sections(seed=seed, faults=faults, **sections)
+    return spec.replace_sections(seed=seed, faults=faults, churn=churn, **sections)
 
 
 def _validate_spec(spec: ScenarioSpec, preset: Preset) -> None:
@@ -213,6 +235,8 @@ def _validate_spec(spec: ScenarioSpec, preset: Preset) -> None:
             raise UnknownSpecKeyError(sorted(unknown)[0], preset.name, preset.valid_keys())
     if spec.faults is not None and not preset.accepts_faults:
         raise SpecError(f"preset {spec.preset!r} does not take a fault plan")
+    if spec.churn is not None and not preset.accepts_churn:
+        raise SpecError(f"preset {spec.preset!r} does not take a churn plan")
 
 
 def spec_for(preset_name: str, **overrides: Any) -> ScenarioSpec:

@@ -24,7 +24,16 @@ from ..core.config import HashNodeConfig
 from ..workloads.generations import GenerationConfig
 from ..workloads.mixer import WorkloadMix, table_i_mix
 from ..workloads.profiles import WorkloadProfile, profile_by_name
-from ..analysis.experiments import ablations, failover, figure1, figure5, figure6, generational, table1
+from ..analysis.experiments import (
+    ablations,
+    elasticity,
+    failover,
+    figure1,
+    figure5,
+    figure6,
+    generational,
+    table1,
+)
 from .engine import Preset, register_preset
 from .result import ScenarioResult
 from .spec import NODE_KEYS, ScenarioSpec, SpecError
@@ -479,5 +488,59 @@ register_preset(
         workload_keys=frozenset({"scale", "profiles"}),
         client_keys=frozenset({"batch_size", "repair_on_recovery"}),
         accepts_faults=True,
+    )
+)
+
+
+# ------------------------------------------------------------------- elasticity
+def _run_elasticity(spec: ScenarioSpec) -> ScenarioResult:
+    cluster, client, workload = spec.cluster, spec.client, spec.workload
+    seed = _seed(spec, 0)
+    result = elasticity.run_elasticity(
+        scale=workload.get("scale", 0.002),
+        num_nodes=cluster.get("num_nodes", 4),
+        replication_factor=cluster.get("replication_factor", 2),
+        virtual_nodes=cluster.get("virtual_nodes", 64),
+        batch_size=client.get("batch_size", 256),
+        mix=_mix(spec, seed),
+        churn_plan=spec.churn,
+        node_config=_node_config(spec),
+        seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.fingerprints_processed,
+        "dedup_accuracy": result.accuracy,
+        "false_uniques": result.false_uniques,
+        "false_duplicates": result.false_duplicates,
+        "joins": result.joins,
+        "leaves": result.leaves,
+        "skipped_events": result.skipped_events,
+        "final_nodes": result.final_nodes,
+        "entries_moved": result.entries_moved,
+        "moved_fraction": result.moved_fraction,
+        "primary_moves": result.primary_moves,
+        "replica_copies": result.replica_copies,
+        "replica_drops": result.replica_drops,
+        "read_repairs": result.read_repairs,
+        "replica_inserts": result.replica_inserts,
+        "distinct_fingerprints": result.distinct,
+        "total_stored": result.total_stored,
+        "fully_replicated": result.fully_replicated,
+        "under_replicated": result.under_replicated,
+        "lost": result.lost,
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="elasticity",
+        description="Dedup accuracy and migration traffic under membership churn (joins/leaves)",
+        runner=_run_elasticity,
+        cluster_keys=frozenset({"num_nodes", "replication_factor", "virtual_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "profiles"}),
+        client_keys=frozenset({"batch_size"}),
+        accepts_churn=True,
     )
 )

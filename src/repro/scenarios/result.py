@@ -118,6 +118,8 @@ _SUMMARY_METRICS = (
     "p95_latency_us",
     "unserved",
     "grey_drops",
+    "moved_fraction",
+    "replica_copies",
     "read_repairs",
     "failovers",
     "crashes",

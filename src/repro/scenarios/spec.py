@@ -21,6 +21,7 @@ A spec has five override sections plus the seed::
       "workload": {"scale": 0.002, "profiles": ["mail-server"]},
       "client":   {"batch_size": 256},
       "faults":   {"kind": "rolling_outage", "outage_density": 0.3, ...},
+      "churn":    {"kind": "join_leave", "events": 6, ...},
     }
 
 Every section holds *overrides*: an empty section means "the preset's
@@ -40,6 +41,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import ClusterConfig, HashNodeConfig
 from ..core.fault_injection import FaultPlan
+from ..core.membership import ChurnPlan
 
 __all__ = [
     "ScenarioSpec",
@@ -49,6 +51,7 @@ __all__ = [
     "CLUSTER_KEYS",
     "NODE_KEYS",
     "FAULT_KEYS",
+    "CHURN_KEYS",
     "KEY_ALIASES",
     "coerce_scalar",
     "parse_setting",
@@ -69,6 +72,9 @@ NODE_KEYS = frozenset(HashNodeConfig.__dataclass_fields__)
 FAULT_KEYS = frozenset(
     {"fault_kind", "outage_density", "failure_rate", "flaky_nodes", "rounds"}
 )
+
+#: Flat keys that configure the churn plan (merged into ``spec.churn``).
+CHURN_KEYS = frozenset({"churn_kind", "churn_events", "churn_start"})
 
 #: Friendly CLI spellings for common keys.
 KEY_ALIASES = {
@@ -118,6 +124,7 @@ class ScenarioSpec:
     workload: Mapping[str, Any] = field(default_factory=dict)
     client: Mapping[str, Any] = field(default_factory=dict)
     faults: Optional[FaultPlan] = None
+    churn: Optional[ChurnPlan] = None
 
     def __post_init__(self) -> None:
         if not self.preset:
@@ -126,6 +133,8 @@ class ScenarioSpec:
             object.__setattr__(self, name, _frozen_section(getattr(self, name), name))
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise SpecError("faults must be a FaultPlan (or None)")
+        if self.churn is not None and not isinstance(self.churn, ChurnPlan):
+            raise SpecError("churn must be a ChurnPlan (or None)")
 
     # -- derived views ---------------------------------------------------------------
     def section(self, name: str) -> Dict[str, Any]:
@@ -153,14 +162,23 @@ class ScenarioSpec:
                     "rounds": self.faults.rounds,
                 }
             )
+        if self.churn is not None:
+            merged.update(
+                {
+                    "churn_kind": self.churn.kind,
+                    "churn_events": self.churn.events,
+                    "churn_start": self.churn.start,
+                }
+            )
         return merged
 
     def replace_sections(self, **sections: Any) -> "ScenarioSpec":
-        """Copy with whole sections (or ``seed``/``faults``) replaced."""
+        """Copy with whole sections (or ``seed``/``faults``/``churn``) replaced."""
         payload = {
             "preset": self.preset,
             "seed": self.seed,
             "faults": self.faults,
+            "churn": self.churn,
             **{name: getattr(self, name) for name in SECTIONS},
         }
         payload.update(sections)
@@ -178,13 +196,15 @@ class ScenarioSpec:
                 payload[name] = dict(section)
         if self.faults is not None:
             payload["faults"] = self.faults.to_dict()
+        if self.churn is not None:
+            payload["churn"] = self.churn.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
         if not isinstance(payload, Mapping):
             raise SpecError("spec payload must be a mapping")
-        known = {"preset", "seed", "faults", *SECTIONS}
+        known = {"preset", "seed", "faults", "churn", *SECTIONS}
         unknown = set(payload) - known
         if unknown:
             raise SpecError(f"unknown spec fields: {sorted(unknown)}")
@@ -193,11 +213,15 @@ class ScenarioSpec:
         faults = payload.get("faults")
         if isinstance(faults, Mapping):
             faults = FaultPlan.from_dict(dict(faults))
+        churn = payload.get("churn")
+        if isinstance(churn, Mapping):
+            churn = ChurnPlan.from_dict(dict(churn))
         seed = payload.get("seed")
         return cls(
             preset=payload["preset"],
             seed=None if seed is None else int(seed),
             faults=faults,
+            churn=churn,
             **{name: payload.get(name) for name in SECTIONS},
         )
 

@@ -95,6 +95,171 @@ class TestMembershipManager:
         assert kinds == ["add_node", "add_node_done"]
 
 
+class TestReplicaAwareMembership:
+    """Join/leave with replication_factor >= 2 must rebuild replica sets."""
+
+    def assert_placement_matches_map(self, cluster):
+        controller = ReplicationController(cluster)
+        placement = controller.placement()
+        for digest, holders in placement.items():
+            value = next(
+                (cluster.nodes[h].store.get(digest) for h in holders), 0
+            )
+            fingerprint = MembershipManager._as_fingerprint(digest, value)
+            desired = controller.desired_nodes(fingerprint)
+            assert set(desired) <= holders, "replica-set member missing a copy"
+            assert holders <= set(desired), "stale copy outside the replica set"
+
+    def test_add_node_rebuilds_replica_sets(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=500)
+        report = MembershipManager(cluster).add_node("hashnode-4")
+        assert report.replication_factor == 2
+        assert report.replica_copies > 0
+        assert report.primary_moves > 0
+        assert report.entries_moved == report.primary_moves + report.replica_copies
+        assert len(cluster) == 500
+        self.assert_placement_matches_map(cluster)
+        assert ReplicationController(cluster).consistency_report().is_healthy
+
+    def test_remove_node_rebuilds_replica_sets(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=500)
+        report = MembershipManager(cluster).remove_node("hashnode-1")
+        assert report.replica_copies > 0
+        assert len(cluster) == 500
+        assert "hashnode-1" not in cluster.nodes
+        self.assert_placement_matches_map(cluster)
+        for index in range(500):
+            assert cluster.lookup(synthetic_fingerprint(index)).is_duplicate is True
+
+    def test_migration_drops_stale_copies(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=500)
+        manager = MembershipManager(cluster)
+        report = manager.add_node("hashnode-4")
+        assert report.replica_drops > 0
+        # Capacity view: exactly k copies of each fingerprint remain.
+        assert cluster.total_stored == 2 * 500
+
+    def test_unreplicated_join_has_no_replica_traffic(self):
+        cluster = loaded_cluster(num_nodes=4, replication=1, virtual_nodes=64, entries=500)
+        report = MembershipManager(cluster).add_node("hashnode-4")
+        assert report.replica_copies == 0
+        assert report.entries_moved == report.primary_moves
+
+    def test_removing_a_down_node_relies_on_survivors(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=400)
+        manager = MembershipManager(cluster)
+        cluster.mark_down("hashnode-2")
+        report = manager.remove_node("hashnode-2")
+        assert report.unreachable == 0  # k=2: every digest had a live copy
+        assert len(cluster) == 400
+        assert ReplicationController(cluster).consistency_report().is_healthy
+
+    def test_removing_a_down_node_without_replication_loses_entries(self):
+        cluster = loaded_cluster(num_nodes=4, replication=1, virtual_nodes=64, entries=400)
+        manager = MembershipManager(cluster)
+        on_victim = len(cluster.nodes["hashnode-2"])
+        assert on_victim > 0
+        cluster.mark_down("hashnode-2")
+        report = manager.remove_node("hashnode-2")
+        assert len(cluster) == 400 - on_victim
+        # Every lost digest is accounted for: at k=1 the dead node held the
+        # only copy of each of its entries.
+        assert report.unreachable == on_victim
+
+    def test_total_replica_copies_accumulates(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=300)
+        manager = MembershipManager(cluster)
+        manager.add_node("hashnode-4")
+        manager.remove_node("hashnode-0")
+        assert manager.total_replica_copies() == sum(
+            r.replica_copies for r in manager.reports
+        )
+
+
+class TestWalRecovery:
+    """A mid-migration crash must replay cleanly from the WAL."""
+
+    def test_recover_completes_an_interrupted_add(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=400)
+        wal = WriteAheadLog()
+        # Simulate a crash right after the intent record: the partition map
+        # and node object never changed, no data moved.
+        wal.append("add_node", node="hashnode-4")
+        manager = MembershipManager(cluster, wal=wal)
+        reports = manager.recover()
+        assert len(reports) == 1
+        assert reports[0].recovered is True
+        assert "hashnode-4" in cluster.nodes
+        assert len(cluster) == 400
+        assert ReplicationController(cluster).consistency_report().is_healthy
+        kinds = [record.kind for record in wal.replay()]
+        assert kinds == ["add_node", "add_node_done"]
+
+    def test_recover_completes_a_partially_applied_add(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=400)
+        wal = WriteAheadLog()
+        wal.append("add_node", node="hashnode-4")
+        manager = MembershipManager(cluster, wal=wal)
+        # Crash happened after the node was installed but before migration.
+        manager._install_node("hashnode-4")
+        reports = manager.recover()
+        assert reports[0].entries_moved > 0
+        assert len(cluster) == 400
+        assert ReplicationController(cluster).consistency_report().is_healthy
+
+    def test_recover_completes_an_interrupted_remove(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=400)
+        wal = WriteAheadLog()
+        wal.append("remove_node", node="hashnode-1")
+        manager = MembershipManager(cluster, wal=wal)
+        # Crash after the node was torn down; its local entries are gone
+        # (k=2 survivors hold every digest).
+        manager._uninstall_node("hashnode-1")
+        reports = manager.recover()
+        assert len(reports) == 1
+        assert "hashnode-1" not in cluster.nodes
+        assert len(cluster) == 400
+        assert ReplicationController(cluster).consistency_report().is_healthy
+        for index in range(0, 400, 7):
+            assert cluster.lookup(synthetic_fingerprint(index)).is_duplicate is True
+
+    def test_recover_completes_a_remove_interrupted_mid_teardown(self):
+        # Crash landed between the partitioner update and the node-dict
+        # removal: the node is still in cluster.nodes but not in the map.
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=400)
+        wal = WriteAheadLog()
+        wal.append("remove_node", node="hashnode-1")
+        cluster.partitioner.remove_node("hashnode-1")
+        manager = MembershipManager(cluster, wal=wal)
+        reports = manager.recover()
+        assert len(reports) == 1 and reports[0].recovered is True
+        assert "hashnode-1" not in cluster.nodes
+        assert "hashnode-1" not in cluster.partitioner.nodes()
+        assert len(cluster) == 400
+        assert ReplicationController(cluster).consistency_report().is_healthy
+
+    def test_recover_is_a_noop_on_a_clean_log(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, entries=200)
+        wal = WriteAheadLog()
+        manager = MembershipManager(cluster, wal=wal)
+        manager.add_node("hashnode-4")
+        before = [record.kind for record in wal.replay()]
+        assert manager.recover() == []
+        assert [record.kind for record in wal.replay()] == before
+
+    def test_recovery_migration_is_idempotent(self):
+        cluster = loaded_cluster(num_nodes=4, replication=2, virtual_nodes=64, entries=300)
+        wal = WriteAheadLog()
+        manager = MembershipManager(cluster, wal=wal)
+        manager.add_node("hashnode-4")
+        # Replaying the same intent against the fully migrated state moves
+        # nothing further.
+        wal.append("add_node", node="hashnode-4")
+        reports = manager.recover()
+        assert reports[0].entries_moved == 0
+        assert len(cluster) == 300
+
+
 class TestReplicationController:
     def test_healthy_cluster_reports_full_replication(self):
         cluster = loaded_cluster(num_nodes=3, replication=2, entries=300)

@@ -223,6 +223,144 @@ class TestRpcAvailability:
         assert deployment.cluster.is_down("hashnode-1")
 
 
+class TestDropInFlight:
+    """Mid-flight crash semantics: crashed nodes drop, not drain, batches."""
+
+    CONFIG = dict(
+        num_nodes=3,
+        replication_factor=2,
+    )
+
+    def _deployment(self, sim, **kwargs):
+        config = ClusterConfig(
+            node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000),
+            **self.CONFIG,
+        )
+        return build_simulated_service(
+            sim, config, num_clients=1, num_web_servers=1, **kwargs
+        )
+
+    def _client(self, deployment, trace, **kwargs):
+        from repro.frontend.client import SimulatedClient
+
+        return SimulatedClient(
+            client_id="client-0",
+            rpc=deployment.network.rpc,
+            load_balancer=deployment.load_balancer,
+            fingerprints=trace,
+            batch_size=16,
+            **kwargs,
+        )
+
+    def test_injector_flips_the_cluster_flag(self):
+        cluster = make_cluster()
+        assert cluster.drop_in_flight is False
+        FaultInjector(cluster, FaultSchedule(), drop_in_flight=True)
+        assert cluster.drop_in_flight is True
+
+    def test_drain_mode_answers_every_request_without_timeouts(self, sim):
+        trace = [synthetic_fingerprint(i % 40) for i in range(240)]
+        deployment = self._deployment(
+            sim,
+            fault_schedule=FaultSchedule().outage("hashnode-1", start=0.002, duration=0.05),
+        )
+        client = self._client(deployment, trace, request_timeout=0.05, max_retries=3)
+        client.start()
+        sim.run()
+        assert client.stats.fingerprints_sent == len(trace)
+        assert client.stats.timeouts == 0
+        assert deployment.cluster.dropped_in_flight == 0
+
+    def test_drop_mode_loses_replies_and_client_retries(self, sim):
+        trace = [synthetic_fingerprint(i % 40) for i in range(240)]
+        deployment = self._deployment(
+            sim,
+            fault_schedule=FaultSchedule().outage("hashnode-1", start=0.002, duration=0.05),
+            drop_in_flight=True,
+        )
+        client = self._client(deployment, trace, request_timeout=0.05, max_retries=3)
+        client.start()
+        sim.run()
+        # The crash landed on an in-flight batch: its reply was dropped, the
+        # client timed out, re-sent, and the retry was answered by the
+        # replicas -- no fingerprint was left behind.
+        assert deployment.cluster.dropped_in_flight > 0
+        assert client.stats.timeouts > 0
+        assert client.stats.retries == client.stats.timeouts
+        assert client.stats.abandoned == 0
+        assert client.stats.fingerprints_sent == len(trace)
+        # Latency is client-perceived: the retried batch's sample includes
+        # the full timeout wait, not just the successful attempt.
+        assert client.stats.request_latency.summary.maximum >= 0.05
+
+    def test_crash_during_service_drops_even_after_recovery(self, sim):
+        # The crash *generation* decides, not liveness at reply time: a node
+        # that crashes and recovers entirely within one batch's service
+        # window still loses that batch's reply.
+        from repro.core.protocol import BatchLookupRequest
+
+        config = ClusterConfig(
+            node=HashNodeConfig(ram_cache_entries=512, bloom_expected_items=50_000),
+            **self.CONFIG,
+        )
+        cluster = SHHCCluster(config, sim=sim)
+        cluster.drop_in_flight = True
+        handler = cluster._make_handler(cluster.nodes["hashnode-0"])
+        request = BatchLookupRequest(
+            fingerprints=[synthetic_fingerprint(i) for i in range(16)], batch_id=1
+        )
+        reply_event = handler(request)
+
+        def _blip() -> None:
+            cluster.mark_down("hashnode-0")
+            cluster.mark_up("hashnode-0")
+
+        sim.schedule(1e-6, _blip)  # well inside the batch's service time
+        sim.run()
+        assert not cluster.is_down("hashnode-0")  # recovered long before
+        assert cluster.dropped_in_flight == 1
+        assert not reply_event.triggered  # the reply never left the node
+
+    def test_short_outage_still_drops_in_flight_batches(self, sim):
+        # End to end: an outage shorter than the batch's remaining service
+        # time must not silently degrade to drain mode.
+        trace = [synthetic_fingerprint(i % 40) for i in range(240)]
+        deployment = self._deployment(
+            sim,
+            fault_schedule=FaultSchedule().outage("hashnode-1", start=0.002, duration=0.0002),
+            drop_in_flight=True,
+        )
+        client = self._client(deployment, trace, request_timeout=0.05, max_retries=3)
+        client.start()
+        sim.run()
+        assert deployment.cluster.dropped_in_flight > 0
+        assert client.stats.timeouts > 0
+        assert client.stats.fingerprints_sent == len(trace)
+
+    def test_drop_mode_without_timeout_stalls_the_client(self, sim):
+        # The regression the timeout exists for: with replies dropped and no
+        # timeout, the closed-loop client waits forever on the lost reply.
+        trace = [synthetic_fingerprint(i % 40) for i in range(240)]
+        deployment = self._deployment(
+            sim,
+            fault_schedule=FaultSchedule().outage("hashnode-1", start=0.002, duration=0.05),
+            drop_in_flight=True,
+        )
+        client = self._client(deployment, trace)  # request_timeout=None
+        process = client.start()
+        sim.run()
+        assert deployment.cluster.dropped_in_flight > 0
+        assert process.is_alive  # never finished: the lost reply is fatal
+        assert client.stats.fingerprints_sent < len(trace)
+
+    def test_client_validates_timeout_and_retries(self, sim):
+        deployment = self._deployment(sim)
+        with pytest.raises(ValueError):
+            self._client(deployment, [synthetic_fingerprint(0)], request_timeout=0.0)
+        with pytest.raises(ValueError):
+            self._client(deployment, [synthetic_fingerprint(0)], max_retries=-1)
+
+
 class TestFailoverExperiment:
     def test_zero_dedup_errors_with_replication(self):
         result = run_failover(scale=0.0005, num_nodes=4, replication_factor=2, batch_size=128)
