@@ -10,9 +10,15 @@ paths every byte of backup data funnels through:
   fast path with batched probes;
 * cuckoo hash ops/s -- BLAKE2b-per-op vs. the digest-key fast path;
 * simulation kernel events/s (schedule + dispatch, plus a cancel-heavy
-  round exercising calendar compaction);
-* end-to-end immediate-mode cluster lookups (figure-1 style chunk/s),
-  recording replica-write counts so the replication tax can be quantified.
+  round exercising calendar compaction) -- vs. a pinned heapq/tombstone
+  baseline loop;
+* end-to-end immediate-mode cluster lookups (figure-1 style chunk/s) --
+  the routed-batch fast path vs. the per-fingerprint ``batch_size=1``
+  baseline -- recording replica-write counts so the replication tax can
+  be quantified;
+* one scenario-sweep wall clock, sequential vs. ``run_sweep(workers=N)``
+  on a process pool (the speedup column needs real cores; the JSON
+  records ``cpu_count``).
 
 Besides the usual rendered table under ``benchmarks/results/``, the run
 writes ``BENCH_hotpath.json`` at the repository root.  The JSON carries both
@@ -196,40 +202,107 @@ def _bench_cuckoo(scale: float) -> dict:
     }
 
 
+class _SeedEventLoop:
+    """The pre-optimisation event-loop shape, pinned as the bench baseline.
+
+    A plain heapq calendar where ``cancel`` leaves a tombstone that is only
+    discarded when popped, ``pending_events`` is a linear scan, and the run
+    loop re-resolves every attribute per event -- the shape the library's
+    :class:`~repro.simulation.engine.Simulator` hot loop (bound locals,
+    O(1) pending counter, calendar compaction) was built against.  Kept
+    here so the ``engine_events`` speedup stays comparable PR-over-PR.
+    """
+
+    class _Entry:
+        __slots__ = ("time", "sequence", "callback", "cancelled")
+
+        def __init__(self, time: float, sequence: int, callback) -> None:
+            self.time = time
+            self.sequence = sequence
+            self.callback = callback
+            self.cancelled = False
+
+        def __lt__(self, other: "_SeedEventLoop._Entry") -> bool:
+            return (self.time, self.sequence) < (other.time, other.sequence)
+
+        def cancel(self) -> None:
+            self.cancelled = True
+
+    def __init__(self) -> None:
+        import heapq
+
+        self._heapq = heapq
+        self._calendar: list = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback) -> "_SeedEventLoop._Entry":
+        entry = self._Entry(self.now + delay, self._sequence, callback)
+        self._sequence += 1
+        self._heapq.heappush(self._calendar, entry)
+        return entry
+
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._calendar if not entry.cancelled)
+
+    def run(self) -> None:
+        while self._calendar:
+            entry = self._heapq.heappop(self._calendar)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            entry.callback()
+            self.events_processed += 1
+
+
 def _bench_engine(scale: float) -> dict:
     events = max(5_000, int(60_000 * scale))
-    rng = random.Random(99)
-    sim = Simulator()
 
-    def _schedule_and_run():
-        for _ in range(events):
+    def _drive(sim_factory) -> tuple:
+        rng = random.Random(99)
+        sim = sim_factory()
+        elapsed, processed = _timed(lambda: _schedule_and_run(sim, rng, events))
+        assert processed == events
+        sim2 = sim_factory()
+        cancel_elapsed, cancel_processed = _timed(lambda: _cancel_heavy(sim2, rng, events))
+        assert cancel_processed == events - (events + 1) // 2
+        return elapsed, cancel_elapsed
+
+    def _schedule_and_run(sim, rng, count):
+        for _ in range(count):
             sim.schedule(rng.random() * 100.0, _noop)
         sim.run()
         return sim.events_processed
 
-    elapsed, processed = _timed(_schedule_and_run)
-    assert processed == events
-
-    # Cancel-heavy round: schedules 2x events, cancels half before running,
-    # exercising the O(1) cancel accounting and calendar compaction.
-    sim2 = Simulator()
-
-    def _cancel_heavy():
-        entries = [sim2.schedule(rng.random() * 100.0, _noop) for _ in range(events)]
+    def _cancel_heavy(sim, rng, count):
+        # Cancels half the calendar before running, exercising the O(1)
+        # cancel accounting and compaction on the fast side and tombstone
+        # skipping on the baseline.
+        entries = [sim.schedule(rng.random() * 100.0, _noop) for _ in range(count)]
         for entry in entries[::2]:
             entry.cancel()
-        sim2.run()
-        return sim2.events_processed
+        sim.run()
+        return sim.events_processed
 
-    cancel_elapsed, cancel_processed = _timed(_cancel_heavy)
-    assert cancel_processed == events - (events + 1) // 2
+    baseline_elapsed, baseline_cancel = _drive(_SeedEventLoop)
+    fast_elapsed, fast_cancel = _drive(Simulator)
     return {
         "unit": "events/s",
-        "fast": {
-            "events_per_s": events / elapsed,
+        "baseline": {
+            "engine": "heapq+tombstones (pinned pre-fast-path shape)",
+            "events_per_s": events / baseline_elapsed,
             "events": events,
-            "cancel_heavy_events_per_s": events / cancel_elapsed,
+            "cancel_heavy_events_per_s": events / baseline_cancel,
         },
+        "fast": {
+            "engine": "bound-locals hot loop + compaction",
+            "events_per_s": events / fast_elapsed,
+            "events": events,
+            "cancel_heavy_events_per_s": events / fast_cancel,
+        },
+        "speedup": baseline_elapsed / fast_elapsed,
+        "cancel_heavy_speedup": baseline_cancel / fast_cancel,
     }
 
 
@@ -250,27 +323,63 @@ def _bench_cluster(scale: float) -> dict:
             ssd_buckets=1 << 12,
         ),
     )
-    cluster = SHHCCluster(config)
     rng = random.Random(7)
     fingerprints = [
         synthetic_fingerprint(rng.randrange(max(1, requests // 2))) for _ in range(requests)
     ]
 
-    def _run():
+    def _run_batched(cluster):
         duplicates = 0
         for start in range(0, len(fingerprints), batch_size):
             for result in cluster.lookup_batch(fingerprints[start:start + batch_size]):
                 duplicates += result.is_duplicate
         return duplicates
 
-    elapsed, duplicates = _timed(_run)
-    replica_writes = sum(
-        node.counters.get("replica_inserts") for node in cluster.nodes.values()
-    )
+    def _run_sequential(cluster):
+        # The paper's batch_size=1 leg: every fingerprint resolved and
+        # served individually -- the routing-layer work the routed-batch
+        # fast path collapses into per-bucket work.
+        duplicates = 0
+        lookup = cluster.lookup
+        for fingerprint in fingerprints:
+            duplicates += lookup(fingerprint).is_duplicate
+        return duplicates
+
+    def _measure(run, repeats: int = 3):
+        # Lookups mutate the cluster, so each repeat gets a fresh one;
+        # best-of-N tames scheduler noise like the read-only phases.
+        best = None
+        duplicates = writes = 0
+        for _ in range(repeats):
+            cluster = SHHCCluster(config)
+            elapsed, duplicates = _timed(lambda: run(cluster))
+            writes = sum(
+                node.counters.get("replica_inserts") for node in cluster.nodes.values()
+            )
+            best = elapsed if best is None else min(best, elapsed)
+        return best, duplicates, writes
+
+    baseline_elapsed, baseline_duplicates, baseline_writes = _measure(_run_sequential)
+    fast_elapsed, duplicates, replica_writes = _measure(_run_batched)
+    # The two legs must agree on every verdict and every replica write --
+    # the routed-batch fast path is only a fast path.
+    assert duplicates == baseline_duplicates
+    assert replica_writes == baseline_writes
     return {
         "unit": "fingerprints/s",
+        "baseline": {
+            "path": "per-fingerprint lookup() (batch_size=1)",
+            "fingerprints_per_s": requests / baseline_elapsed,
+            "requests": requests,
+            "batch_size": 1,
+            "duplicates": baseline_duplicates,
+            "nodes": config.num_nodes,
+            "replication_factor": replication_factor,
+            "replica_writes": baseline_writes,
+        },
         "fast": {
-            "fingerprints_per_s": requests / elapsed,
+            "path": "routed-batch lookup_batch()",
+            "fingerprints_per_s": requests / fast_elapsed,
             "requests": requests,
             "batch_size": batch_size,
             "duplicates": duplicates,
@@ -282,6 +391,36 @@ def _bench_cluster(scale: float) -> dict:
             "replica_writes": replica_writes,
             "replica_writes_per_lookup": replica_writes / requests,
         },
+        "speedup": baseline_elapsed / fast_elapsed,
+    }
+
+
+def _bench_sweep(scale: float) -> dict:
+    """Wall-clock of one scenario sweep, sequential vs process pool.
+
+    The grid is fixed (scenario scale 0.0005, four failover points) rather
+    than scaled by ``REPRO_BENCH_SCALE``: pool startup is a constant cost,
+    so shrinking the per-point work would benchmark the pool, not the
+    sweep.  ``workers`` is capped by the visible CPUs; on a single-core
+    box the recorded speedup is honestly ~1x (the determinism guarantee,
+    not the speedup, is the portable property -- see docs/scenarios.md).
+    """
+    del scale
+    from repro.scenarios import SweepGrid, run_sweep, spec_for
+
+    spec = spec_for("failover", scale=0.0005)
+    grid = SweepGrid(axes={"replication_factor": [1, 2], "outage_density": [0.2, 0.4]})
+    workers = min(4, os.cpu_count() or 1)
+    sequential_elapsed, sequential = _timed(lambda: run_sweep(spec, grid))
+    parallel_elapsed, parallel = _timed(lambda: run_sweep(spec, grid, workers=workers))
+    assert sequential.to_json() == parallel.to_json()  # determinism guarantee
+    return {
+        "unit": "speedup (sequential wall-clock / parallel)",
+        "points": len(grid),
+        "cpu_count": os.cpu_count() or 1,
+        "baseline": {"wall_clock_s": sequential_elapsed, "workers": 1},
+        "fast": {"wall_clock_s": parallel_elapsed, "workers": workers},
+        "speedup": sequential_elapsed / parallel_elapsed,
     }
 
 
@@ -292,6 +431,7 @@ def test_bench_hotpath(results_dir, scale):
         "cuckoo_ops": _bench_cuckoo(scale),
         "engine_events": _bench_engine(scale),
         "cluster_lookup": _bench_cluster(scale),
+        "sweep_wall_clock": _bench_sweep(scale),
     }
 
     payload = {
@@ -313,7 +453,13 @@ def test_bench_hotpath(results_dir, scale):
         def _headline(record):
             if record is None:
                 return "-"
-            for key in ("mb_per_s", "ops_per_s", "events_per_s", "fingerprints_per_s"):
+            for key in (
+                "mb_per_s",
+                "ops_per_s",
+                "events_per_s",
+                "fingerprints_per_s",
+                "wall_clock_s",
+            ):
                 if key in record:
                     return round(record[key], 2)
             return "-"
@@ -343,9 +489,19 @@ def test_bench_hotpath(results_dir, scale):
     # floor, bloom ~3.8-4x vs 3x; both sides of each ratio run in the same
     # process on the same data, so the ratios are machine-independent).
     if os.environ.get("REPRO_BENCH_STRICT") == "1":
-        floors = {"chunking": 5.0, "bloom_probe": 3.0, "cuckoo_ops": 1.2}
+        floors = {
+            "chunking": 5.0,
+            "bloom_probe": 3.0,
+            "cuckoo_ops": 1.2,
+            "engine_events": 1.1,
+            "cluster_lookup": 2.0,
+        }
         for name, floor in floors.items():
             assert series[name]["speedup"] >= floor, (name, floor, series[name])
+        # The parallel-sweep speedup needs actual cores; a 1-CPU runner
+        # honestly records ~1x, so the floor only applies at >= 4 cores.
+        if series["sweep_wall_clock"]["cpu_count"] >= 4:
+            assert series["sweep_wall_clock"]["speedup"] >= 2.0, series["sweep_wall_clock"]
     # The JSON must carry both series of the before/after comparison.
     on_disk = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
     assert on_disk["series"]["chunking"]["baseline"] and on_disk["series"]["chunking"]["fast"]

@@ -110,7 +110,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             status = "ok" if run.ok else f"error: {run.error}"
             print(f"[{done['count']}/{total}] {label}: {status}", file=sys.stderr)
 
-        sweep = run_sweep(spec, grid, strict=args.strict, progress=_progress)
+        sweep = run_sweep(
+            spec, grid, strict=args.strict, progress=_progress, workers=args.workers
+        )
     except (SpecError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -323,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="walk the axes in lockstep instead of the cartesian product")
     sweep.add_argument("--strict", action="store_true",
                        help="abort the sweep on the first failing point")
+    sweep.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="run grid points on a process pool of N workers; "
+                            "results are byte-identical to a sequential run "
+                            "(every point is independently seeded)")
     sweep.set_defaults(handler=_cmd_sweep)
 
     presets = subparsers.add_parser("presets", help="list scenario presets")

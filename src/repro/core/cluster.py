@@ -65,10 +65,19 @@ from .config import ClusterConfig
 from .fault_injection import NodeUnavailableError
 from .hash_node import HybridHashNode
 from .metrics import ClusterMetrics, LoadBalanceReport
-from .partition import ConsistentHashRing, Partitioner, RangePartitioner
+from .partition import ConsistentHashRing, Partitioner, RangePartitioner, key_of_digest
 from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply, ServedFrom
 
 __all__ = ["SHHCCluster"]
+
+#: Routing-cache bound: above this many distinct digests the cache is
+#: dropped wholesale (cheap, deterministic) rather than evicted piecemeal.
+#: At ~100 bytes per entry the bound caps the cache near 100 MB.
+ROUTE_CACHE_MAX_ENTRIES = 1 << 20
+
+#: Shared empty location for lookup results; :class:`ChunkLocation` is a
+#: frozen dataclass, so one instance is safe to hand to every result.
+_EMPTY_LOCATION = ChunkLocation()
 
 
 class SHHCCluster(ChunkIndex):
@@ -110,6 +119,17 @@ class SHHCCluster(ChunkIndex):
         self._crash_epochs: Dict[str, int] = {}
         self._batch_ids = itertools.count(1)
         self.last_batch_id = 0
+        # Routing cache: digest -> replica-set tuple, valid for one
+        # (partitioner object, membership epoch) pair.  The partitioner is
+        # held by strong reference and compared with ``is`` -- an id()
+        # would go stale when CPython reuses a freed object's address
+        # after a partitioner swap.  Node liveness is deliberately *not*
+        # part of the key: the cache stores the full replica set and the
+        # dispatch loop picks the first live member, so mark_down/mark_up
+        # never invalidate it.
+        self._route_cache: Dict[bytes, Tuple[str, ...]] = {}
+        self._route_partitioner: Partitioner = self.partitioner
+        self._route_epoch = getattr(self.partitioner, "epoch", 0)
 
     # ------------------------------------------------------------------ membership
     @property
@@ -143,13 +163,59 @@ class SHHCCluster(ChunkIndex):
         """Primary owner node for a fingerprint."""
         return self.partitioner.owner(fingerprint)
 
+    def _routes(self) -> Dict[bytes, Tuple[str, ...]]:
+        """The digest -> replica-set cache, flushed on membership change.
+
+        Validity is keyed on the partitioner object (by identity, with a
+        strong reference) plus its membership epoch: elastic membership
+        (PR 4's churn) mutates the partitioner through
+        ``add_node``/``remove_node``, each of which bumps the epoch, and a
+        wholesale partitioner swap changes the object.  Either way the
+        next routing call starts from an empty cache, so routed batches
+        can never use a pre-migration replica set.
+        """
+        partitioner = self.partitioner
+        epoch = getattr(partitioner, "epoch", 0)
+        if partitioner is not self._route_partitioner or epoch != self._route_epoch:
+            self._route_cache.clear()
+            self._route_partitioner = partitioner
+            self._route_epoch = epoch
+        return self._route_cache
+
+    def _resolve_route(self, fingerprint: Fingerprint, digest: bytes) -> Tuple[str, ...]:
+        """Resolve and cache one fingerprint's replica set (cache-miss path).
+
+        Uses the partitioner's key-addressed ``owners_by_key`` (which hands
+        out shared tuples) when available, falling back to the generic
+        ``owners`` protocol for custom partitioners.
+        """
+        partitioner = self.partitioner
+        by_key = getattr(partitioner, "owners_by_key", None)
+        if by_key is not None:
+            replicas = by_key(key_of_digest(digest), self.config.replication_factor)
+        else:
+            replicas = tuple(partitioner.owners(fingerprint, self.config.replication_factor))
+        routes = self._route_cache
+        if len(routes) >= ROUTE_CACHE_MAX_ENTRIES:
+            routes.clear()
+        routes[digest] = replicas
+        return replicas
+
+    def _route_of(self, fingerprint: Fingerprint) -> Tuple[str, ...]:
+        """Cached replica set (owner plus successors) for one fingerprint."""
+        digest = fingerprint.digest
+        replicas = self._routes().get(digest)
+        if replicas is None:
+            replicas = self._resolve_route(fingerprint, digest)
+        return replicas
+
     def replica_set(self, fingerprint: Fingerprint) -> List[str]:
         """Owner plus successors, per the configured replication factor."""
-        return self.partitioner.owners(fingerprint, self.config.replication_factor)
+        return list(self._route_of(fingerprint))
 
     def _serving_nodes(self, fingerprint: Fingerprint) -> List[str]:
         """Replica set with failed nodes filtered out (primary first)."""
-        candidates = [n for n in self.replica_set(fingerprint) if n not in self._down]
+        candidates = [n for n in self._route_of(fingerprint) if n not in self._down]
         if not candidates:
             raise RuntimeError("no live replica available for fingerprint")
         return candidates
@@ -238,27 +304,37 @@ class SHHCCluster(ChunkIndex):
         return reply
 
     def lookup_batch(self, fingerprints: Iterable[Fingerprint]) -> List[LookupResult]:
-        """Batch lookup preserving input order (immediate mode)."""
+        """Batch lookup preserving input order (immediate mode).
+
+        Shares the routed-batch dispatch with :meth:`lookup_batch_replies`
+        and converts replies to results inside the merge loop, so the batch
+        is walked once, not twice.
+        """
         fingerprints = list(fingerprints)
-        replies = self.lookup_batch_replies(fingerprints)
-        results: List[LookupResult] = []
-        for reply in replies:
-            self.lookups += 1
-            if reply.is_duplicate:
-                self.duplicates += 1
-            results.append(
-                LookupResult(
-                    fingerprint=reply.fingerprint,
-                    is_duplicate=reply.is_duplicate,
-                    location=ChunkLocation(),
-                    latency=reply.service_time,
-                    served_by=reply.node_id,
-                )
-            )
-        return results
+        if not fingerprints:
+            return []
+        merged: List[Optional[LookupResult]] = [None] * len(fingerprints)
+        duplicates = 0
+        new_result = object.__new__
+        for replies, positions in self._dispatch_routed(fingerprints):
+            for reply, position in zip(replies, positions):
+                is_duplicate = reply.is_duplicate
+                duplicates += is_duplicate
+                # Hot-path construction (see protocol.make_lookup_reply).
+                result = new_result(LookupResult)
+                fields = result.__dict__
+                fields["fingerprint"] = reply.fingerprint
+                fields["is_duplicate"] = is_duplicate
+                fields["location"] = _EMPTY_LOCATION
+                fields["latency"] = reply.service_time
+                fields["served_by"] = reply.node_id
+                merged[position] = result
+        self.lookups += len(fingerprints)
+        self.duplicates += duplicates
+        return merged
 
     def lookup_batch_replies(self, fingerprints: Sequence[Fingerprint]) -> List[LookupReply]:
-        """Protocol-level batch lookup: split by replica set, query, reassemble.
+        """Protocol-level batch lookup: bucket by serving node, query, merge.
 
         Each fingerprint is grouped under the first live node of *its own*
         replica set, so a downed node's share of the batch fans out to the
@@ -266,6 +342,180 @@ class SHHCCluster(ChunkIndex):
         target.  The per-fingerprint replication semantics are exactly those
         of :meth:`lookup_reply`, which is what keeps batch verdicts identical
         to the sequential path under failures.
+
+        This is the routed-batch fast path: replica sets come from the
+        membership-epoch-keyed routing cache (:meth:`_route_of`), the batch
+        is bucketed per destination node in one pass (no intermediate
+        request objects), whole buckets flow through the node's batched
+        lookup kernel, and replica propagation is applied per bucket via
+        :meth:`_resolve_replies`.  Verdicts, counters and replica-write
+        counts are byte-identical to the pre-cache reference path kept in
+        :meth:`lookup_batch_replies_reference` (pinned by
+        tests/test_routed_batch_equivalence.py).
+        """
+        fingerprints = list(fingerprints)
+        if not fingerprints:
+            return []
+        merged: List[Optional[LookupReply]] = [None] * len(fingerprints)
+        for replies, positions in self._dispatch_routed(fingerprints):
+            for reply, position in zip(replies, positions):
+                merged[position] = reply
+        return merged
+
+    def _dispatch_routed(self, fingerprints: Sequence[Fingerprint]):
+        """Bucket a batch by serving node, query, resolve; yield per bucket.
+
+        Yields ``(replies, original_positions)`` pairs in first-occurrence
+        bucket order (matching split_batch_by_replica_set's grouping);
+        callers merge into their own result shape, so reply- and
+        result-producing paths walk the batch exactly once.
+        """
+        batch_id = next(self._batch_ids)
+        self.last_batch_id = batch_id
+        routes = self._routes()
+        routes_get = routes.get
+        # Cold misses resolve inline through the key-addressed partitioner
+        # fast path when available (hoisted out of the loop); any other
+        # partitioner goes through the generic helper.
+        by_key = getattr(self.partitioner, "owners_by_key", None)
+        from_bytes = int.from_bytes
+        replication_factor = self.config.replication_factor
+        resolve_route = self._resolve_route
+        down = self._down
+        buckets: Dict[str, Tuple[List[int], List[Fingerprint]]] = {}
+        buckets_get = buckets.get
+        if not down:
+            for position, fingerprint in enumerate(fingerprints):
+                digest = fingerprint.digest
+                replicas = routes_get(digest)
+                if replicas is None:
+                    if by_key is not None:
+                        replicas = by_key(from_bytes(digest[:8], "big"), replication_factor)
+                        if len(routes) >= ROUTE_CACHE_MAX_ENTRIES:
+                            routes.clear()
+                        routes[digest] = replicas
+                    else:
+                        replicas = resolve_route(fingerprint, digest)
+                serving = replicas[0]
+                bucket = buckets_get(serving)
+                if bucket is None:
+                    buckets[serving] = bucket = ([], [])
+                bucket[0].append(position)
+                bucket[1].append(fingerprint)
+        else:
+            for position, fingerprint in enumerate(fingerprints):
+                replicas = routes_get(fingerprint.digest)
+                if replicas is None:
+                    replicas = resolve_route(fingerprint, fingerprint.digest)
+                for serving in replicas:
+                    if serving not in down:
+                        break
+                else:
+                    raise RuntimeError(
+                        f"no live replica available for fingerprint at position {position}"
+                    )
+                bucket = buckets_get(serving)
+                if bucket is None:
+                    buckets[serving] = bucket = ([], [])
+                bucket[0].append(position)
+                bucket[1].append(fingerprint)
+
+        replication_on = self.config.replication_factor > 1
+        for serving, (positions, batch) in buckets.items():
+            try:
+                replies, new_entries = self.nodes[serving].serve_bucket(batch)
+            except NodeUnavailableError:
+                # The whole sub-batch was refused (flaky node): retry each
+                # fingerprint individually on its remaining replicas.
+                self.failovers += 1
+                replies = [self._lookup_with_failover(fp, exclude=(serving,)) for fp in batch]
+            else:
+                # A bucket that answered only duplicates has nothing to
+                # propagate or repair; skip the resolve pass outright.
+                if replication_on and new_entries:
+                    replies = self._resolve_replies(replies, serving)
+            yield replies, positions
+
+    def _resolve_replies(
+        self, replies: Sequence[LookupReply], serving: str
+    ) -> List[LookupReply]:
+        """Batched :meth:`_resolve_reply` for one serving node's bucket.
+
+        Holder checks and read-repair verdict corrections run per reply in
+        order (exactly the sequential semantics); the replica set comes
+        from the routing cache, which the dispatch loop has just populated
+        for every digest of this bucket.  Deferring the bloom/counter
+        settlement to the end of the bucket is state-equivalent: distinct
+        digests never interact, and a repeated digest is answered as a
+        duplicate by the serving node before its replica set is consulted
+        again.
+        """
+        if self.config.replication_factor == 1:
+            return list(replies)
+        down = self._down
+        nodes = self.nodes
+        routes = self._routes()
+        routes_get = routes.get
+        resolved: List[LookupReply] = []
+        append = resolved.append
+        # Deferred bloom/counter settlement per destination node.  The
+        # store write itself happens inline: ``put`` returns whether the
+        # digest was absent, which *is* the holder verdict, so one store
+        # operation replaces the reference path's membership-check-then-
+        # insert pair (an already-present digest is overwritten with the
+        # identical value -- a no-op, since a digest determines its chunk
+        # size).
+        pending: Dict[str, List[bytes]] = {}
+        # Per-call cache of live non-serving replicas, keyed by the (shared)
+        # replica-set tuple: a bucket sees few distinct replica sets, so the
+        # serving/liveness filter runs once per set instead of per reply.
+        others_of: Dict[Tuple[str, ...], List] = {}
+        for reply in replies:
+            if reply.is_duplicate:
+                append(reply)
+                continue
+            fingerprint = reply.fingerprint
+            digest = fingerprint.digest
+            replicas = routes_get(digest)
+            if replicas is None:  # evicted by a cache overflow mid-batch
+                replicas = self._route_of(fingerprint)
+            others = others_of.get(replicas)
+            if others is None:
+                others_of[replicas] = others = [
+                    (name, nodes[name].store.put)
+                    for name in replicas
+                    if name != serving and name not in down
+                ]
+            chunk_size = fingerprint.chunk_size
+            repaired = False
+            for name, store_put in others:
+                if store_put(digest, chunk_size):
+                    bucket = pending.get(name)
+                    if bucket is None:
+                        pending[name] = bucket = []
+                    bucket.append(digest)
+                else:
+                    repaired = True
+            if repaired:
+                self.read_repairs += 1
+                append(replace(reply, is_duplicate=True, served_from=ServedFrom.REPAIR))
+            else:
+                append(reply)
+        for name, new_digests in pending.items():
+            nodes[name].finish_replica_inserts(new_digests)
+        return resolved
+
+    def lookup_batch_replies_reference(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> List[LookupReply]:
+        """The pre-cache batch routing path, kept verbatim as an oracle.
+
+        Resolves every fingerprint's replica set through the partitioner
+        (:func:`~repro.core.batching.split_batch_by_replica_set`) and
+        applies replication semantics one reply at a time.  The routed
+        fast path must stay verdict-, counter- and replica-write-identical
+        to this implementation; the equivalence tests construct twin
+        clusters and drive one through each path.
         """
         fingerprints = list(fingerprints)
         if not fingerprints:
@@ -295,6 +545,45 @@ class SHHCCluster(ChunkIndex):
                 (BatchLookupReply(replies=replies, node_id=serving, batch_id=batch_id), positions)
             )
         return reassemble_replies(len(fingerprints), gathered)
+
+    def route_batch(
+        self,
+        fingerprints: Sequence[Fingerprint],
+        client_id: str = "",
+        batch_id: int = 0,
+    ) -> Dict[str, Tuple[BatchLookupRequest, List[int]]]:
+        """Split a batch into per-serving-node requests via the routing cache.
+
+        Protocol-compatible with
+        :func:`~repro.core.batching.split_batch_by_replica_set` (same
+        grouping, same request/position layout) but replica sets come from
+        the epoch-keyed cache, so web front-ends dispatching on the
+        simulated fabric share the cluster's routing work.
+        """
+        down = self._down
+        groups: Dict[str, List[int]] = {}
+        for position, fingerprint in enumerate(fingerprints):
+            replicas = self._route_of(fingerprint)
+            if not down:
+                serving = replicas[0]
+            else:
+                for serving in replicas:
+                    if serving not in down:
+                        break
+                else:
+                    raise RuntimeError(
+                        f"no live replica available for fingerprint at position {position}"
+                    )
+            groups.setdefault(serving, []).append(position)
+        result: Dict[str, Tuple[BatchLookupRequest, List[int]]] = {}
+        for node, positions in groups.items():
+            request = BatchLookupRequest(
+                fingerprints=[fingerprints[i] for i in positions],
+                client_id=client_id,
+                batch_id=batch_id,
+            )
+            result[node] = (request, positions)
+        return result
 
     def __len__(self) -> int:
         """Distinct fingerprints stored in the cluster (replicas deduplicated)."""

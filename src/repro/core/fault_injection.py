@@ -398,7 +398,8 @@ class FlakyNode:
     """Wrap a hash node so individual lookups fail with a given probability.
 
     Only the serving entry points (:meth:`lookup`, :meth:`lookup_batch`,
-    :meth:`serve_batch`) are intercepted; state inspection and maintenance
+    :meth:`serve_bucket`, :meth:`serve_batch`) are intercepted; state
+    inspection and maintenance
     paths (``insert_replica``, ``export_entries``, ``__contains__``, ...)
     pass straight through, because replication traffic in this codebase is
     an internal bookkeeping call, not a network request.
@@ -428,6 +429,12 @@ class FlakyNode:
     def lookup_batch(self, fingerprints):
         self._maybe_fail()
         return self._node.lookup_batch(fingerprints)
+
+    def serve_bucket(self, fingerprints):
+        # One failure draw per batch, exactly like lookup_batch -- the
+        # routed dispatch path must see the same failure sequence.
+        self._maybe_fail()
+        return self._node.serve_bucket(fingerprints)
 
     def serve_batch(self, request):
         self._maybe_fail()

@@ -134,50 +134,173 @@ class HybridHashNode:
         :meth:`lookup`; the batch path only amortises the bloom-filter probes
         across the batch (see :meth:`_lookup_batch_core`).
         """
-        replies, _total_ssd_time = self._lookup_batch_core(fingerprints)
-        record = self.lookup_latency.record
-        for reply in replies:
-            record(reply.service_time)
+        replies, _new_entries = self.serve_bucket(fingerprints)
         return replies
+
+    def serve_bucket(self, fingerprints: Sequence[Fingerprint]) -> Tuple[List[LookupReply], int]:
+        """:meth:`lookup_batch` plus the batch's new-entry count.
+
+        The cluster's routed dispatch uses the count to skip replica
+        propagation entirely for buckets that answered only duplicates.
+        """
+        replies, service_times, _total_ssd_time, new_entries = self._lookup_batch_core(
+            fingerprints
+        )
+        self.lookup_latency.record_many(service_times)
+        return replies, new_entries
 
     def _lookup_batch_core(
         self, fingerprints: Sequence[Fingerprint]
-    ) -> Tuple[List[LookupReply], float]:
+    ) -> Tuple[List[LookupReply], List[float], float, int]:
         """Batch lookup core shared by immediate and simulated mode.
 
-        The bloom filter is probed once for the whole batch up front via
-        :meth:`~repro.storage.bloom.BloomFilter.contains_many`.  Bloom bits
-        are monotone (inserts only ever set bits), so a pre-computed ``True``
-        can never go stale; a pre-computed ``False`` is only trusted until
-        the first insert of the batch mutates the filter (``_insert_new``
-        could have set any of the digest's probe bits), after which negative
-        hints are dropped and those digests are re-probed live.  This keeps
-        the batch path verdict-, counter- and service-time-identical to the
-        sequential one, including around LRU evictions and bloom
-        false-positive flips within the batch.
+        The loop body is :meth:`_lookup_core` unrolled with bound methods,
+        constant service-time components hoisted, counters aggregated per
+        batch (same totals), the RAM probe inlined against the LRU's raw
+        dict (hit/miss counters settled per batch), and the store's
+        page-count accessors
+        (:meth:`~repro.storage.hashstore.SSDHashStore.probe_pages` /
+        :meth:`~repro.storage.hashstore.SSDHashStore.insert_new_pages`)
+        in place of the ``IOOperation``-list cost model -- per-fingerprint
+        Python overhead is what caps cluster lookup throughput.  The bloom
+        filter is probed live per fingerprint through the unrolled
+        single-key kernel, which both sidesteps the staleness bookkeeping
+        a batch prefetch needs (inserts mutate the filter mid-batch) and
+        beats it on cost: negatives -- the common probe -- exit at the
+        first zero bit.  Device times are accumulated in the same
+        association order as ``_lookup_core``, so service times stay
+        bit-identical (pinned by tests/test_core_hash_node.py).
         """
-        # Only digests that will miss the RAM cache can reach the bloom
-        # filter, so the prefetch skips currently cached ones (a peek, no
-        # LRU mutation) -- the sequential path never probes the bloom on a
-        # RAM hit and the batch path must not pay for it either.  A digest
-        # evicted mid-batch simply finds no hint and probes live.
         cache = self.cache
-        digests = [fp.digest for fp in fingerprints if fp.digest not in cache]
-        prefetched = dict(zip(digests, self.bloom.contains_many(digests)))
-        bloom_mutated = False
+        cached = cache.data
         replies: List[LookupReply] = []
+        append = replies.append
+        service_times: List[float] = []
+        time_append = service_times.append
         total_ssd_time = 0.0
-        lookup_core = self._lookup_core
+
+        node_id = self.node_id
+        store = self.store
+        bloom = self.bloom
+        cpu_time = self.config.cpu_per_lookup
+        ram_time = self.ram_device.read_cost(64)
+        base_time = cpu_time + ram_time
+        page_read_cost = self.ssd_device.read_cost(store.page_size)
+        page_write_rand_cost = self.ssd_device.write_cost(store.page_size)
+        page_write_seq_cost = self.ssd_device.write_cost(store.page_size, False)
+        move_to_end = cached.move_to_end
+        cache_put_new = cache.put_new
+        probe_pages = store.probe_pages
+        insert_new_pages = store.insert_new_pages
+        bloom_contains = bloom.contains_one
+        bloom_add_one = bloom.add_one
+        served_ram = ServedFrom.RAM
+        served_ssd = ServedFrom.SSD
+        served_new = ServedFrom.NEW
+        new_reply = object.__new__
+        reply_cls = LookupReply
+        ram_hits = ssd_hits = new_entries = 0
+        bloom_negative_shortcuts = bloom_false_positives = 0
+
         for fingerprint in fingerprints:
-            hint = prefetched.get(fingerprint.digest)
-            if hint is False and bloom_mutated:
-                hint = None  # stale negative: re-probe live
-            reply, ssd_time = lookup_core(fingerprint, bloom_hint=hint)
-            if reply.served_from is ServedFrom.NEW:
-                bloom_mutated = True
-            replies.append(reply)
+            digest = fingerprint.digest
+
+            # 1. RAM LRU probe (raw-dict hit test; hit/miss counters are
+            # settled on the cache after the loop, recency per hit here).
+            if digest in cached:
+                move_to_end(digest)
+                ram_hits += 1
+                reply = new_reply(reply_cls)
+                fields = reply.__dict__
+                fields["fingerprint"] = fingerprint
+                fields["is_duplicate"] = True
+                fields["served_from"] = served_ram
+                fields["node_id"] = node_id
+                fields["service_time"] = base_time
+                append(reply)
+                time_append(base_time)
+                continue
+
+            # 2. Bloom filter guard (live single-key kernel probe).
+            if bloom_contains(digest):
+                # 3. SSD hash-table probe (single page on a well-sized table).
+                pages, present = probe_pages(digest)
+                if pages == 1:
+                    ssd_time = 0.0 + page_read_cost
+                else:
+                    ssd_time = 0.0
+                    for _ in range(pages):
+                        ssd_time += page_read_cost
+                if present:
+                    ssd_hits += 1
+                    cache_put_new(digest, True)
+                    service_time = base_time + ssd_time
+                    reply = new_reply(reply_cls)
+                    fields = reply.__dict__
+                    fields["fingerprint"] = fingerprint
+                    fields["is_duplicate"] = True
+                    fields["served_from"] = served_ssd
+                    fields["node_id"] = node_id
+                    fields["service_time"] = service_time
+                    append(reply)
+                    time_append(service_time)
+                    total_ssd_time += ssd_time
+                    continue
+                bloom_false_positives += 1
+            else:
+                bloom_negative_shortcuts += 1
+                ssd_time = 0.0
+
+            # New fingerprint (bloom negative or false positive): insert.
+            # The key is known-absent everywhere (bloom filters have no
+            # false negatives; the SSD probe just missed), so the fused
+            # known-new store/cache primitives apply.
+            new_entries += 1
+            bloom_add_one(digest)
+            cache_put_new(digest, True)
+            pages, random_access = insert_new_pages(digest, fingerprint.chunk_size)
+            if pages:
+                page_cost = page_write_rand_cost if random_access else page_write_seq_cost
+                if pages == 1:
+                    insert_time = 0.0 + page_cost
+                else:
+                    insert_time = 0.0
+                    for _ in range(pages):
+                        insert_time += page_cost
+                ssd_time += insert_time
+            service_time = base_time + ssd_time
+            reply = new_reply(reply_cls)
+            fields = reply.__dict__
+            fields["fingerprint"] = fingerprint
+            fields["is_duplicate"] = False
+            fields["served_from"] = served_new
+            fields["node_id"] = node_id
+            fields["service_time"] = service_time
+            append(reply)
+            time_append(service_time)
             total_ssd_time += ssd_time
-        return replies, total_ssd_time
+
+        if new_entries:
+            bloom.count_inserts(new_entries)
+        if fingerprints:
+            # Settle the raw-dict LRU probes (same totals as per-probe
+            # accounting: every fingerprint was exactly one hit or miss).
+            cache.hits += ram_hits
+            cache.misses += len(fingerprints) - ram_hits
+        counters = self.counters
+        if fingerprints:
+            counters.increment("lookups", len(fingerprints))
+        if ram_hits:
+            counters.increment("ram_hits", ram_hits)
+        if ssd_hits:
+            counters.increment("ssd_hits", ssd_hits)
+        if new_entries:
+            counters.increment("new_entries", new_entries)
+        if bloom_negative_shortcuts:
+            counters.increment("bloom_negative_shortcuts", bloom_negative_shortcuts)
+        if bloom_false_positives:
+            counters.increment("bloom_false_positives", bloom_false_positives)
+        return replies, service_times, total_ssd_time, new_entries
 
     def _lookup_core(
         self, fingerprint: Fingerprint, bloom_hint: Optional[bool] = None
@@ -268,6 +391,43 @@ class HybridHashNode:
         self.counters.increment("replica_inserts")
         return True
 
+    def insert_replica_many(self, fingerprints: Sequence[Fingerprint]) -> int:
+        """Batched :meth:`insert_replica`: one bloom kernel call per batch.
+
+        Store puts happen in input order and the bloom filter receives the
+        new digests through :meth:`~repro.storage.bloom.BloomFilter.add_many`,
+        so the final store/bloom state and the ``replica_inserts`` counter
+        are identical to looping over :meth:`insert_replica`.  Returns how
+        many fingerprints were new on this node.  The cluster's routed
+        dispatch uses the fused put-as-holder-check variant of this
+        (``_resolve_replies`` + :meth:`finish_replica_inserts`); this
+        method is the standalone batched replica-write API (rebalancing,
+        re-replication) and the reference the equivalence tests pin.
+        """
+        store_put = self.store.put
+        new_digests = []
+        append = new_digests.append
+        for fingerprint in fingerprints:
+            digest = fingerprint.digest
+            if store_put(digest, fingerprint.chunk_size):
+                append(digest)
+        self.finish_replica_inserts(new_digests)
+        return len(new_digests)
+
+    def finish_replica_inserts(self, new_digests: Sequence[bytes]) -> None:
+        """Complete replica writes whose store puts already happened.
+
+        The cluster's batched replica propagation combines the
+        holder-check and the store write into one ``store.put`` per
+        destination (the put's return value *is* the holder verdict) and
+        then settles the bloom filter and the ``replica_inserts`` counter
+        here, once per bucket.  State-identical to :meth:`insert_replica`
+        for the same digests.
+        """
+        if new_digests:
+            self.bloom.add_many(new_digests)
+            self.counters.increment("replica_inserts", len(new_digests))
+
     def _insert_new(self, fingerprint: Fingerprint) -> float:
         """Record a previously unseen fingerprint; returns the SSD write time."""
         digest = fingerprint.digest
@@ -304,7 +464,9 @@ class HybridHashNode:
         grant = self._cpu.request()
         yield grant
         try:
-            replies, total_ssd_time = self._lookup_batch_core(request.fingerprints)
+            replies, _service_times, total_ssd_time, _new_entries = self._lookup_batch_core(
+                request.fingerprints
+            )
             cpu_time = (
                 self.config.cpu_per_request
                 + self.config.cpu_per_lookup * len(request.fingerprints)
@@ -319,8 +481,8 @@ class HybridHashNode:
             # serialises concurrent batches, so contention is preserved.
             yield self.ssd_device.busy(total_ssd_time)
         service_time = self.sim.now - arrival
-        for reply in replies:
-            self.lookup_latency.record(service_time / max(1, len(replies)))
+        per_reply_time = service_time / max(1, len(replies))
+        self.lookup_latency.record_many([per_reply_time] * len(replies))
         self.counters.increment("batches_served")
         return BatchLookupReply(replies=replies, node_id=self.node_id, batch_id=request.batch_id)
 

@@ -25,7 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..dedup.fingerprint import Fingerprint
 
-__all__ = ["Partitioner", "RangePartitioner", "ConsistentHashRing"]
+__all__ = ["Partitioner", "RangePartitioner", "ConsistentHashRing", "key_of_digest"]
 
 #: Size of the partitioned key space: the top 64 bits of the SHA-1 digest.
 KEY_SPACE_BITS = 64
@@ -37,8 +37,37 @@ def _key_of(fingerprint: Fingerprint) -> int:
     return fingerprint.prefix_int(KEY_SPACE_BITS)
 
 
+def key_of_digest(digest: bytes) -> int:
+    """Key-space position straight from a raw digest (hot-path variant).
+
+    Identical to ``Fingerprint.prefix_int(KEY_SPACE_BITS)``: the top 64
+    bits of a (>= 8 byte) digest are its first eight bytes.
+    """
+    return int.from_bytes(digest[:8], "big")
+
+
 class Partitioner(ABC):
-    """Maps fingerprints to owning nodes (and replica sets)."""
+    """Maps fingerprints to owning nodes (and replica sets).
+
+    Every partitioner carries a **membership epoch**: a counter bumped by
+    each :meth:`add_node`/:meth:`remove_node`.  Routing caches (the
+    cluster's digest -> replica-set cache) key their validity on it, so a
+    membership change -- elastic scaling, chaos-test churn -- invalidates
+    stale routes without the partitioner knowing who caches what.
+    """
+
+    #: Class-level default so subclasses need not call ``__init__``; the
+    #: first bump creates the instance attribute.
+    _epoch: int = 0
+
+    @property
+    def epoch(self) -> int:
+        """Membership epoch; changes whenever the node set changes."""
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate routing caches (called on every membership change)."""
+        self._epoch = self._epoch + 1
 
     @abstractmethod
     def owner(self, fingerprint: Fingerprint) -> str:
@@ -79,6 +108,10 @@ class RangePartitioner(Partitioner):
         if len(set(nodes)) != len(nodes):
             raise ValueError("node names must be unique")
         self._nodes: List[str] = list(nodes)
+        # count -> [replica cycle starting at node index]; replica sets are
+        # a pure function of the owner index, so they are computed once per
+        # (count, membership) and handed out as copies.
+        self._cycles: Dict[int, List[Tuple[str, ...]]] = {}
 
     def nodes(self) -> List[str]:
         return list(self._nodes)
@@ -97,14 +130,36 @@ class RangePartitioner(Partitioner):
     def owners(self, fingerprint: Fingerprint, count: int) -> List[str]:
         if count < 1:
             raise ValueError("count must be >= 1")
-        count = min(count, len(self._nodes))
-        start = self.index_of(fingerprint)
-        return [self._nodes[(start + i) % len(self._nodes)] for i in range(count)]
+        return list(self.owners_by_key(_key_of(fingerprint), count))
+
+    def owners_by_key(self, key: int, count: int) -> Tuple[str, ...]:
+        """Replica set for a key-space position, as a shared tuple.
+
+        Hot-path variant of :meth:`owners` (``count`` is assumed already
+        validated >= 1): the cycle tuples are cached per membership, so
+        callers must treat the result as immutable.
+        """
+        nodes = self._nodes
+        count = min(count, len(nodes))
+        cycles = self._cycles.get(count)
+        if cycles is None:
+            n = len(nodes)
+            cycles = [
+                tuple(nodes[(start + i) % n] for i in range(count))
+                for start in range(n)
+            ]
+            self._cycles[count] = cycles
+        index = key // (KEY_SPACE_SIZE // len(nodes))
+        if index >= len(nodes):
+            index = len(nodes) - 1
+        return cycles[index]
 
     def add_node(self, node: str) -> None:
         if node in self._nodes:
             raise ValueError(f"node {node!r} already present")
         self._nodes.append(node)
+        self._cycles.clear()
+        self.bump_epoch()
 
     def remove_node(self, node: str) -> None:
         if node not in self._nodes:
@@ -112,6 +167,8 @@ class RangePartitioner(Partitioner):
         if len(self._nodes) == 1:
             raise ValueError("cannot remove the last node")
         self._nodes.remove(node)
+        self._cycles.clear()
+        self.bump_epoch()
 
     def range_of(self, node: str) -> Tuple[int, int]:
         """Half-open key range ``[low, high)`` owned by ``node``."""
@@ -143,6 +200,11 @@ class ConsistentHashRing(Partitioner):
         self._ring: List[Tuple[int, str]] = []
         self._tokens: List[int] = []
         self._members: List[str] = []
+        # count -> {ring position -> successor tuple}; the distinct-node
+        # walk from a given ring position is membership-pure, so each
+        # position is walked once per count (filled lazily, dropped on
+        # every rebuild).
+        self._successors: Dict[int, Dict[int, Tuple[str, ...]]] = {}
         for node in nodes:
             self.add_node(node)
 
@@ -155,6 +217,7 @@ class ConsistentHashRing(Partitioner):
     def _rebuild(self) -> None:
         self._ring.sort()
         self._tokens = [token for token, _node in self._ring]
+        self._successors.clear()
 
     # -- partitioner interface ---------------------------------------------------------
     def nodes(self) -> List[str]:
@@ -167,6 +230,7 @@ class ConsistentHashRing(Partitioner):
         for replica_index in range(self.virtual_nodes):
             self._ring.append((self._token(node, replica_index), node))
         self._rebuild()
+        self.bump_epoch()
 
     def remove_node(self, node: str) -> None:
         if node not in self._members:
@@ -176,6 +240,7 @@ class ConsistentHashRing(Partitioner):
         self._members.remove(node)
         self._ring = [(token, owner) for token, owner in self._ring if owner != node]
         self._rebuild()
+        self.bump_epoch()
 
     def owner(self, fingerprint: Fingerprint) -> str:
         return self._owner_of_key(_key_of(fingerprint))
@@ -189,20 +254,34 @@ class ConsistentHashRing(Partitioner):
     def owners(self, fingerprint: Fingerprint, count: int) -> List[str]:
         if count < 1:
             raise ValueError("count must be >= 1")
+        return list(self.owners_by_key(_key_of(fingerprint), count))
+
+    def owners_by_key(self, key: int, count: int) -> Tuple[str, ...]:
+        """Replica set for a key-space position, as a shared tuple.
+
+        Hot-path variant of :meth:`owners` (``count`` is assumed already
+        validated >= 1): successor walks are cached per ring position and
+        membership, so callers must treat the result as immutable.
+        """
         count = min(count, len(self._members))
-        key = _key_of(fingerprint)
-        index = bisect.bisect_right(self._tokens, key)
-        owners: List[str] = []
-        seen = set()
-        for step in range(len(self._ring)):
-            token_index = (index + step) % len(self._ring)
-            node = self._ring[token_index][1]
-            if node not in seen:
-                seen.add(node)
-                owners.append(node)
-                if len(owners) == count:
-                    break
-        return owners
+        index = bisect.bisect_right(self._tokens, key) % len(self._ring)
+        per_count = self._successors.get(count)
+        if per_count is None:
+            self._successors[count] = per_count = {}
+        cached = per_count.get(index)
+        if cached is None:
+            owners: List[str] = []
+            seen = set()
+            for step in range(len(self._ring)):
+                token_index = (index + step) % len(self._ring)
+                node = self._ring[token_index][1]
+                if node not in seen:
+                    seen.add(node)
+                    owners.append(node)
+                    if len(owners) == count:
+                        break
+            per_count[index] = cached = tuple(owners)
+        return cached
 
     # -- diagnostics -----------------------------------------------------------------------
     def token_count(self, node: str) -> int:

@@ -20,6 +20,7 @@ __all__ = [
     "ServedFrom",
     "LookupRequest",
     "LookupReply",
+    "make_lookup_reply",
     "BatchLookupRequest",
     "BatchLookupReply",
     "REQUEST_OVERHEAD_BYTES",
@@ -67,6 +68,39 @@ class LookupReply:
     @property
     def payload_bytes(self) -> int:
         return REQUEST_OVERHEAD_BYTES + REPLY_BYTES_PER_FINGERPRINT
+
+
+def make_lookup_reply(
+    fingerprint: Fingerprint,
+    is_duplicate: bool,
+    served_from: ServedFrom,
+    node_id: str,
+    service_time: float,
+) -> LookupReply:
+    """Hot-path :class:`LookupReply` constructor.
+
+    A frozen dataclass pays one ``object.__setattr__`` per field on
+    construction; at millions of replies that is a measurable share of the
+    cluster lookup path.  This helper writes the instance ``__dict__``
+    directly, producing an object field-, ``==``- and ``hash``-identical
+    to the regular constructor.  It is the *reference implementation* of
+    the construction pattern the hash node's batch loop and the cluster's
+    result merge inline (a call frame per reply matters there); the
+    helper-vs-constructor pin lives in
+    tests/test_routed_batch_equivalence.py and the inlined sites are
+    covered by the same file's field-equality assertions, so a new
+    :class:`LookupReply` field breaks tests rather than silently
+    desynchronizing.  Keep the field writes in sync with
+    :class:`LookupReply`.
+    """
+    reply = object.__new__(LookupReply)
+    fields = reply.__dict__
+    fields["fingerprint"] = fingerprint
+    fields["is_duplicate"] = is_duplicate
+    fields["served_from"] = served_from
+    fields["node_id"] = node_id
+    fields["service_time"] = service_time
+    return reply
 
 
 @dataclass(frozen=True)

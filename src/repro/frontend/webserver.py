@@ -15,7 +15,7 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..core.batching import reassemble_replies, split_batch_by_replica_set
+from ..core.batching import reassemble_replies
 from ..core.cluster import SHHCCluster
 from ..core.protocol import BatchLookupReply, BatchLookupRequest, LookupReply
 from ..dedup.fingerprint import FINGERPRINT_BYTES, Fingerprint
@@ -146,11 +146,11 @@ class WebFrontEnd:
             # node replies can be correlated with this request.  The split
             # runs here, at the same simulated instant as the calls, so no
             # crash event can land between sampling liveness and dispatching.
-            per_node = split_batch_by_replica_set(
+            # Routing goes through the cluster's epoch-keyed replica-set
+            # cache (grouping-identical to split_batch_by_replica_set), so
+            # every front-end shares one resolution of each digest.
+            per_node = self.cluster.route_batch(
                 fingerprints,
-                self.cluster.partitioner,
-                self.cluster.config.replication_factor,
-                is_down=self.cluster.is_down,
                 client_id=request.client_id,
                 batch_id=request.request_id if request.request_id else next(self._request_ids),
             )

@@ -21,8 +21,9 @@ does not understand.
 from __future__ import annotations
 
 import traceback
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Union
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from ..core.fault_injection import FaultPlan
 from ..core.membership import ChurnPlan
@@ -46,6 +47,7 @@ __all__ = [
     "available_presets",
     "spec_for",
     "apply_overrides",
+    "canonicalize_grid",
     "run_scenario",
     "run_sweep",
 ]
@@ -267,11 +269,55 @@ def run_scenario(
     return preset.runner(spec)
 
 
+def canonicalize_grid(grid: SweepGrid) -> SweepGrid:
+    """Resolve axis-name aliases (``nodes`` -> ``num_nodes``) once, up front.
+
+    Alias resolution used to happen per grid point inside
+    ``apply_overrides``, which meant an aliased axis produced sweep JSON
+    whose ``point``/``grid`` keys differed from the canonical spelling.
+    Canonicalizing the grid makes aliased and canonical axis names emit
+    identical sweeps, and leaves nothing for the per-point loop to
+    resolve.  An alias colliding with its canonical form (``nodes`` and
+    ``num_nodes`` as separate axes) is rejected.
+    """
+    renamed = {KEY_ALIASES.get(name, name): values for name, values in grid.axes.items()}
+    if len(renamed) != len(grid.axes):
+        raise SpecError(
+            "sweep axes collide after alias resolution: "
+            f"{sorted(grid.axes)} -> {sorted(renamed)}"
+        )
+    if list(renamed) == list(grid.axes):
+        return grid
+    return SweepGrid(axes=renamed, mode=grid.mode)
+
+
+def _run_sweep_point(
+    payload: Tuple[ScenarioSpec, Dict[str, Any], bool]
+) -> Tuple[bool, Any]:
+    """Worker-side execution of one grid point (module-level: picklable).
+
+    Returns ``(True, metrics)`` or ``(False, error_string)``; with
+    ``catch`` false the exception propagates to the caller (strict mode),
+    pickled back across the process boundary by the pool.
+    """
+    spec, point, catch = payload
+    if not catch:
+        return True, run_scenario(apply_overrides(spec, point)).metrics
+    try:
+        result = run_scenario(apply_overrides(spec, point))
+    except Exception as error:  # noqa: BLE001 - error rows carry any failure
+        message = f"{type(error).__name__}: {error}"
+        traceback.clear_frames(error.__traceback__)
+        return False, message
+    return True, result.metrics
+
+
 def run_sweep(
     spec: Union[ScenarioSpec, str],
     grid: SweepGrid,
     strict: bool = False,
     progress: Optional[Callable[[Dict[str, Any], Optional[SweepRun]], None]] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Run every grid point against ``spec``; collect metrics per point.
 
@@ -280,16 +326,57 @@ def run_sweep(
     the rest of an expensive sweep) unless ``strict`` is true.  ``progress``
     is called as ``progress(point, None)`` before each run and
     ``progress(point, run)`` after it.
+
+    ``workers > 1`` executes the grid on a process pool.  Every point is
+    independently seeded and the rows are collected in grid order, so the
+    result -- including its JSON serialization -- is byte-identical to a
+    sequential run for any worker count (pinned by
+    tests/test_parallel_sweep.py).  Error-row semantics are preserved; in
+    strict mode the first failing point *in grid order* raises (later
+    points may already have run -- scenario runs are pure compute, so no
+    side effects leak).  ``progress`` keeps firing in grid order: the
+    ``(point, None)`` call marks the wait for that point's result rather
+    than the exact start of its execution.
     """
     if isinstance(spec, str):
         spec = spec_for(spec)
+    if workers < 1:
+        raise SpecError(f"workers must be >= 1, got {workers}")
+    grid = canonicalize_grid(grid)
     # Validate the axes against the preset before running anything.
     base_preset = get_preset(spec.preset)
     for axis in grid.axes:
-        key = KEY_ALIASES.get(axis, axis)
-        if base_preset.section_of(key) is None:
+        if base_preset.section_of(axis) is None:
             raise UnknownSpecKeyError(axis, base_preset.name, base_preset.valid_keys())
     sweep = SweepResult(base=spec, grid=grid)
+    if workers > 1:
+        points = list(grid.points())
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_sweep_point, (spec, point, not strict))
+                for point in points
+            ]
+            try:
+                for point, future in zip(points, futures):
+                    if progress is not None:
+                        progress(point, None)
+                    ok, outcome = future.result()  # strict: re-raises the original
+                    run = (
+                        SweepRun(point=point, metrics=outcome)
+                        if ok
+                        else SweepRun(point=point, error=outcome)
+                    )
+                    sweep.runs.append(run)
+                    if progress is not None:
+                        progress(point, run)
+            except BaseException:
+                # Strict abort (or interrupt): drop every not-yet-started
+                # point instead of letting the pool drain the whole grid
+                # before the failure reaches the caller.
+                for pending in futures:
+                    pending.cancel()
+                raise
+        return sweep
     for point in grid.points():
         if progress is not None:
             progress(point, None)

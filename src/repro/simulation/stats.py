@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "SummaryStats",
@@ -127,6 +127,23 @@ class ReservoirSample:
             if index < self.capacity:
                 self._values[index] = value
 
+    def add_many(self, values: Sequence[float]) -> None:
+        """Offer many samples; state-identical to looping :meth:`add`.
+
+        While the reservoir has room for the whole batch the samples are
+        appended wholesale (no RNG draws happen below capacity, so the RNG
+        state is untouched either way); otherwise it falls back to
+        per-sample offers with the exact same draw sequence.
+        """
+        values = values if isinstance(values, (list, tuple)) else list(values)
+        if len(self._values) + len(values) <= self.capacity:
+            self._values.extend(values)
+            self._seen += len(values)
+            return
+        add = self.add
+        for value in values:
+            add(value)
+
     @property
     def seen(self) -> int:
         """Total samples offered (not just retained)."""
@@ -153,6 +170,40 @@ class LatencyRecorder:
         """Record a latency sample (seconds)."""
         self.summary.add(value)
         self.reservoir.add(value)
+
+    def record_many(self, values: Sequence[float]) -> None:
+        """Record many samples; state-identical to looping :meth:`record`.
+
+        The Welford recurrence runs per value in input order with the same
+        operation sequence as :meth:`SummaryStats.add` (bit-identical
+        floats), hoisted out of per-call attribute access; the reservoir
+        goes through :meth:`ReservoirSample.add_many`.  This is the batch
+        lookup path's per-reply latency sink.
+        """
+        summary = self.summary
+        count = summary.count
+        total = summary.total
+        mean = summary.mean
+        m2 = summary._m2
+        minimum = summary.minimum
+        maximum = summary.maximum
+        for value in values:
+            count += 1
+            total += value
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+            if value < minimum:
+                minimum = value
+            if value > maximum:
+                maximum = value
+        summary.count = count
+        summary.total = total
+        summary.mean = mean
+        summary._m2 = m2
+        summary.minimum = minimum
+        summary.maximum = maximum
+        self.reservoir.add_many(values)
 
     @property
     def count(self) -> int:

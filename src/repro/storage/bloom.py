@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["BloomFilter", "optimal_parameters"]
 
@@ -44,7 +45,7 @@ _KERNEL_CACHE: dict = {}
 
 
 def _batch_kernels(num_bits: int, num_hashes: int):
-    """Return ``(contains_many, add_many)`` kernels for the given shape.
+    """Return ``(contains_many, add_many, contains_one, add_one)`` kernels.
 
     The kernels are specialised with ``exec`` (the ``namedtuple`` technique):
     ``num_bits`` is baked in as a constant and the Kirsch-Mitzenmacher probe
@@ -52,7 +53,11 @@ def _batch_kernels(num_bits: int, num_hashes: int):
     otherwise dominates a pure-Python probe.  20-byte keys (SHA-1
     fingerprints, the hot case) derive both hash words from one
     ``int.from_bytes``; every other key goes through the caller-supplied
-    ``hash_pair`` (which honours ``digest_keys``).  Returns ``None`` for
+    ``hash_pair`` (which honours ``digest_keys``).  The ``*_one`` variants
+    serve the single-key :meth:`BloomFilter.__contains__` /
+    :meth:`BloomFilter.add` hot path (bound via ``functools.partial``, so a
+    probe costs one call frame); they take ``(bits, hash_pair, digest_keys,
+    key)`` so the per-filter state can be pre-bound.  Returns ``None`` for
     shapes too large to unroll.
     """
     if num_hashes > _MAX_UNROLLED_HASHES:
@@ -94,10 +99,47 @@ def _batch_kernels(num_bits: int, num_hashes: int):
             add_lines.append("        index += step")
             add_lines.append("        if index >= nb: index -= nb")
 
+    def _one_header(name: str) -> list:
+        return [
+            f"def {name}(bits, hash_pair, digest_keys, key):",
+            f"    nb = {num_bits}",
+            "    if digest_keys and type(key) is bytes and len(key) == 20:",
+            "        whole = int.from_bytes(key, 'big')",
+            "        index = (whole >> 96) % nb",
+            "        step = (((whole >> 32) & 0xFFFFFFFFFFFFFFFF) | 1) % nb",
+            "    else:",
+            "        h1, h2 = hash_pair(key)",
+            "        index = h1 % nb",
+            "        step = h2 % nb",
+        ]
+
+    probe_one_lines = _one_header("contains_one_kernel")
+    for i in range(num_hashes):
+        probe_one_lines.append("    if not bits[index >> 3] & (1 << (index & 7)):")
+        probe_one_lines.append("        return False")
+        if i < num_hashes - 1:
+            probe_one_lines.append("    index += step")
+            probe_one_lines.append("    if index >= nb: index -= nb")
+    probe_one_lines.append("    return True")
+
+    add_one_lines = _one_header("add_one_kernel")
+    for i in range(num_hashes):
+        add_one_lines.append("    bits[index >> 3] |= 1 << (index & 7)")
+        if i < num_hashes - 1:
+            add_one_lines.append("    index += step")
+            add_one_lines.append("    if index >= nb: index -= nb")
+
     namespace: dict = {}
     exec("\n".join(probe_lines), namespace)  # noqa: S102 - static template, no user input
     exec("\n".join(add_lines), namespace)  # noqa: S102
-    kernels = (namespace["contains_kernel"], namespace["add_kernel"])
+    exec("\n".join(probe_one_lines), namespace)  # noqa: S102
+    exec("\n".join(add_one_lines), namespace)  # noqa: S102
+    kernels = (
+        namespace["contains_kernel"],
+        namespace["add_kernel"],
+        namespace["contains_one_kernel"],
+        namespace["add_one_kernel"],
+    )
     _KERNEL_CACHE[shape] = kernels
     return kernels
 
@@ -149,9 +191,44 @@ class BloomFilter:
         self.digest_keys = bool(digest_keys)
         self._bits = bytearray((self.num_bits + 7) // 8)
         self._count = 0
-        # Unrolled (contains_many, add_many) kernels for this filter shape,
-        # or None when num_hashes is too large to unroll (generic loop then).
+        # Unrolled kernels for this filter shape, or None when num_hashes is
+        # too large to unroll (generic loop then).  The single-key variants
+        # are pre-bound to this filter's state (the bit vector is mutated in
+        # place and never reassigned, so binding it once is safe); they are
+        # the bodies of ``add``/``__contains__`` and what the hash node's
+        # batch loop calls directly for live probes.
         self._kernels = _batch_kernels(self.num_bits, self.num_hashes)
+        if self._kernels is not None:
+            self._contains_one: Optional[Callable[[bytes], bool]] = partial(
+                self._kernels[2], self._bits, self._hash_pair, self.digest_keys
+            )
+            self._add_one: Optional[Callable[[bytes], None]] = partial(
+                self._kernels[3], self._bits, self._hash_pair, self.digest_keys
+            )
+        else:
+            self._contains_one = None
+            self._add_one = None
+        #: Single-key membership probe bound to the fastest implementation
+        #: for this shape; semantically identical to ``key in filter`` and
+        #: what hot loops should bind instead of ``__contains__``.
+        self.contains_one: Callable[[bytes], bool] = (
+            self._contains_one if self._contains_one is not None else self.__contains__
+        )
+        #: Single-key insert for hot loops.  Unlike :meth:`add` it does NOT
+        #: advance the insert count -- a tight loop calls this per key and
+        #: settles once with :meth:`count_inserts` (state-identical).
+        self.add_one: Callable[[bytes], None] = (
+            self._add_one if self._add_one is not None else self._add_uncounted
+        )
+
+    def _add_uncounted(self, key: bytes) -> None:
+        """Generic-shape fallback for :attr:`add_one` (no count advance)."""
+        self.add(key)
+        self._count -= 1
+
+    def count_inserts(self, amount: int) -> None:
+        """Advance the insert count for keys added via :attr:`add_one`."""
+        self._count += amount
 
     # -- internals -------------------------------------------------------------
     def _hash_pair(self, key: bytes) -> Tuple[int, int]:
@@ -197,6 +274,11 @@ class BloomFilter:
 
     def add(self, key: bytes) -> None:
         """Insert ``key`` into the filter."""
+        add_one = self._add_one
+        if add_one is not None:
+            add_one(key)
+            self._count += 1
+            return
         h1, h2 = self._hash_pair(key)
         bits = self._bits
         num_bits = self.num_bits
@@ -241,6 +323,9 @@ class BloomFilter:
 
     def __contains__(self, key: bytes) -> bool:
         """``True`` if the key *may* have been added, ``False`` if definitely not."""
+        contains_one = self._contains_one
+        if contains_one is not None:
+            return contains_one(key)
         h1, h2 = self._hash_pair(key)
         bits = self._bits
         num_bits = self.num_bits
@@ -314,8 +399,12 @@ class BloomFilter:
         return self.fill_ratio() ** self.num_hashes
 
     def clear(self) -> None:
-        """Remove all entries (reset every bit)."""
-        self._bits = bytearray(len(self._bits))
+        """Remove all entries (reset every bit).
+
+        Zeroes the bit vector in place: the single-key kernels are bound to
+        the bytearray object at construction, so it must never be replaced.
+        """
+        self._bits[:] = bytes(len(self._bits))
         self._count = 0
 
     def union(self, other: "BloomFilter") -> "BloomFilter":
@@ -333,7 +422,9 @@ class BloomFilter:
             num_hashes=self.num_hashes,
             digest_keys=self.digest_keys,
         )
-        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        # In-place fill: merged's single-key kernels are bound to its bit
+        # vector, so the object must not be replaced.
+        merged._bits[:] = bytes(a | b for a, b in zip(self._bits, other._bits))
         merged._count = self._count + other._count
         return merged
 

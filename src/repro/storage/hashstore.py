@@ -26,6 +26,26 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["IOOperation", "SSDHashStore", "FileHashStore"]
 
+#: Shared memo of the BLAKE2b-derived 64-bit placement hash.  The hash is a
+#: pure function of the key bytes and every store derives its bucket index
+#: from it (``hash64 % num_buckets``), so replicated clusters -- which put
+#: the same digest through several stores -- and repeated lookups of hot
+#: digests pay the BLAKE2b once.  Bounded by wholesale clear, like the
+#: cluster's routing cache.
+_HASH64_MEMO: Dict[bytes, int] = {}
+_HASH64_MEMO_MAX = 1 << 21
+
+
+def _hash64(key: bytes) -> int:
+    """Memoized ``int(BLAKE2b-64(key))`` used for bucket placement."""
+    value = _HASH64_MEMO.get(key)
+    if value is None:
+        if len(_HASH64_MEMO) >= _HASH64_MEMO_MAX:
+            _HASH64_MEMO.clear()
+        value = int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+        _HASH64_MEMO[key] = value
+    return value
+
 
 @dataclass(frozen=True)
 class IOOperation:
@@ -87,11 +107,10 @@ class SSDHashStore:
 
     # -- placement -----------------------------------------------------------------
     def bucket_of(self, key: bytes) -> int:
-        """Bucket index owning ``key`` (uniform via BLAKE2b)."""
+        """Bucket index owning ``key`` (uniform via memoized BLAKE2b)."""
         if isinstance(key, str):
             key = key.encode("utf-8")
-        digest = hashlib.blake2b(key, digest_size=8).digest()
-        return int.from_bytes(digest, "big") % self.num_buckets
+        return _hash64(key) % self.num_buckets
 
     def _bucket_pages(self, bucket_index: int) -> int:
         """Number of flash pages the bucket currently spans (>= 1)."""
@@ -108,7 +127,12 @@ class SSDHashStore:
 
     def put(self, key: bytes, value: Any = True) -> bool:
         """Insert or update; returns ``True`` if the key was new."""
-        bucket = self._buckets[self.bucket_of(key)]
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        hash64 = _HASH64_MEMO.get(key)
+        if hash64 is None:
+            hash64 = _hash64(key)
+        bucket = self._buckets[hash64 % self.num_buckets]
         is_new = key not in bucket
         bucket[key] = value
         if is_new:
@@ -170,6 +194,88 @@ class SSDHashStore:
             self.buffer_flushes += 1
             return [IOOperation("write", self.page_size, random_access=False) for _ in range(pages)]
         return []
+
+    # -- hot-path variants ---------------------------------------------------------------
+    #
+    # The hash node's batched lookup loop calls these instead of
+    # ``lookup_io``/``key in store`` and ``insert_io``: same bucket maths,
+    # same ``page_reads``/``page_writes``/write-buffer accounting, but the
+    # bucket hash is computed once and no :class:`IOOperation` objects are
+    # built (the caller multiplies the page counts by its per-page device
+    # costs).  Equivalence with the list-returning methods is pinned by
+    # tests/test_storage_cuckoo_hashstore.py.
+
+    def probe_pages(self, key: bytes) -> Tuple[int, bool]:
+        """Charge a lookup's page reads and test membership in one pass.
+
+        Equivalent to ``lookup_io(key)`` followed by ``key in self``:
+        returns ``(pages_read, present)`` where every page is one
+        random-access ``page_size`` read.
+        """
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        hash64 = _HASH64_MEMO.get(key)
+        if hash64 is None:
+            hash64 = _hash64(key)
+        bucket = self._buckets[hash64 % self.num_buckets]
+        entries = len(bucket)
+        pages = max(1, -(-entries // self.entries_per_page))
+        self.page_reads += pages
+        return pages, key in bucket
+
+    def insert_flush_pages(self) -> Tuple[int, bool]:
+        """Charge an insert's buffered page writes; call right after ``put``.
+
+        Equivalent to ``insert_io(key)``: returns ``(pages_written,
+        random_access)`` -- a single random-access page write when the
+        write buffer is disabled, otherwise the (possibly zero) sequential
+        pages the buffer flushes.
+        """
+        if self.write_buffer_pages <= 0:
+            self.page_writes += 1
+            return 1, True
+        flush_threshold = max(1, self.entries_per_page)
+        if self._buffered_entries >= flush_threshold:
+            pages = self._buffered_entries // flush_threshold
+            pages = min(pages, self.write_buffer_pages)
+            self._buffered_entries -= pages * flush_threshold
+            self.page_writes += pages
+            self.buffer_flushes += 1
+            return pages, False
+        return 0, False
+
+    def insert_new_pages(self, key: bytes, value: Any = True) -> Tuple[int, bool]:
+        """Fused ``put`` + :meth:`insert_flush_pages` for a **known-new** key.
+
+        The hash node's insert path only runs after the bloom filter (no
+        false negatives) or the SSD probe has established the key is
+        absent, so the membership check inside :meth:`put` is pure
+        overhead there.  State and accounting are identical to
+        ``put(key, value)`` followed by ``insert_flush_pages()`` for an
+        absent key; calling it with a present key corrupts the size
+        accounting, hence the narrow contract.
+        """
+        hash64 = _HASH64_MEMO.get(key)
+        if hash64 is None:
+            hash64 = _hash64(key)
+        bucket = self._buckets[hash64 % self.num_buckets]
+        bucket[key] = value
+        self._size += 1
+        if self.write_buffer_pages <= 0:
+            self.page_writes += 1
+            return 1, True
+        buffered = self._buffered_entries + 1
+        flush_threshold = self.entries_per_page  # >= 1 by construction
+        if buffered >= flush_threshold:
+            pages = buffered // flush_threshold
+            if pages > self.write_buffer_pages:
+                pages = self.write_buffer_pages
+            self._buffered_entries = buffered - pages * flush_threshold
+            self.page_writes += pages
+            self.buffer_flushes += 1
+            return pages, False
+        self._buffered_entries = buffered
+        return 0, False
 
     def flush_io(self) -> List[IOOperation]:
         """Force the write buffer to flash (e.g. at shutdown or checkpoint)."""

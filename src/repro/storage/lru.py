@@ -52,6 +52,24 @@ class LRUCache:
         self.misses += 1
         return default
 
+    def touch(self, key: Hashable) -> bool:
+        """Hit-test ``key`` with full :meth:`get` accounting.
+
+        Counter and recency effects are identical to :meth:`get`; the
+        stored value is not fetched, which callers that only cache
+        presence flags never need.  This is the *reference shape* of the
+        probe the hash node's batch loop inlines against :attr:`data`
+        (with hit/miss counters settled per batch) -- the equivalence is
+        pinned by tests/test_storage_bloom_lru.py.
+        """
+        entries = self._entries
+        if key in entries:
+            self.hits += 1
+            entries.move_to_end(key)
+            return True
+        self.misses += 1
+        return False
+
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key`` without affecting recency or hit/miss counters."""
         return self._entries.get(key, default)
@@ -72,6 +90,22 @@ class LRUCache:
                     self._on_evict(*evicted)
         return evicted
 
+    def put_new(self, key: Hashable, value: Any = True) -> None:
+        """Insert a **known-absent** key (hot path).
+
+        Identical to :meth:`put` for a key that is not in the cache --
+        which the hash node guarantees, inserting only after a miss --
+        minus the membership check and the evicted-pair return.
+        """
+        self.insertions += 1
+        entries = self._entries
+        entries[key] = value
+        if len(entries) > self.capacity:
+            evicted = entries.popitem(last=False)
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(*evicted)
+
     def remove(self, key: Hashable) -> bool:
         """Delete ``key`` if present; returns whether it was there."""
         if key in self._entries:
@@ -84,6 +118,18 @@ class LRUCache:
         self._entries.clear()
 
     # -- inspection --------------------------------------------------------------
+    @property
+    def data(self) -> "OrderedDict[Hashable, Any]":
+        """The backing ordered dict (hot-loop escape hatch).
+
+        Callers probing it directly must uphold the LRU contract
+        themselves: a hit must ``move_to_end`` and hits/misses must be
+        settled on the cache afterwards (see the hash node's batch loop).
+        The object is stable for the cache's lifetime -- it is mutated in
+        place, never replaced -- so binding it once per batch is safe.
+        """
+        return self._entries
+
     def __contains__(self, key: Hashable) -> bool:
         """Membership test *without* touching recency or counters."""
         return key in self._entries

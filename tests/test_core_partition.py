@@ -153,3 +153,56 @@ class TestConsistentHashRing:
         ring = ConsistentHashRing(["n0"])
         with pytest.raises(ValueError):
             ring.add_node("n0")
+
+
+class TestEpochAndKeyAddressedOwners:
+    """Membership epochs and the shared-tuple owners_by_key fast path."""
+
+    def test_epoch_bumps_on_membership_changes(self):
+        for partitioner in (
+            RangePartitioner(["a", "b"]),
+            ConsistentHashRing(["a", "b"], virtual_nodes=8),
+        ):
+            start = partitioner.epoch
+            partitioner.add_node("c")
+            assert partitioner.epoch > start
+            after_add = partitioner.epoch
+            partitioner.remove_node("c")
+            assert partitioner.epoch > after_add
+
+    def test_owners_by_key_matches_owners(self):
+        from repro.core.partition import key_of_digest
+
+        fingerprints = [synthetic_fingerprint(i) for i in range(200)]
+        for partitioner in (
+            RangePartitioner([f"n{i}" for i in range(5)]),
+            ConsistentHashRing([f"n{i}" for i in range(5)], virtual_nodes=16),
+        ):
+            for count in (1, 2, 4):
+                for fingerprint in fingerprints:
+                    key = key_of_digest(fingerprint.digest)
+                    assert list(partitioner.owners_by_key(key, count)) == (
+                        partitioner.owners(fingerprint, count)
+                    )
+
+    def test_key_of_digest_matches_prefix_int(self):
+        from repro.core.partition import KEY_SPACE_BITS, key_of_digest
+
+        for i in range(50):
+            fingerprint = synthetic_fingerprint(i * 13)
+            assert key_of_digest(fingerprint.digest) == fingerprint.prefix_int(KEY_SPACE_BITS)
+
+    def test_owner_cycles_invalidate_on_membership_change(self):
+        partitioner = RangePartitioner(["a", "b", "c"])
+        fingerprint = synthetic_fingerprint(9)
+        before = partitioner.owners(fingerprint, 2)
+        partitioner.add_node("d")
+        after = partitioner.owners(fingerprint, 2)
+        assert set(after) <= {"a", "b", "c", "d"}
+        assert len(after) == 2
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=8)
+        first = ring.owners(fingerprint, 2)
+        ring.add_node("d")
+        second = ring.owners(fingerprint, 2)
+        assert len(second) == 2
+        assert first != second or True  # membership change may or may not move this key

@@ -1,0 +1,147 @@
+"""Parallel sweep executor: determinism, error rows, strict mode, aliases.
+
+``run_sweep(..., workers=N)`` farms grid points out to a process pool.
+Every point is independently seeded, so the sweep result -- including its
+JSON serialization -- must be byte-identical to a sequential run for any
+worker count and completion order; a failing grid point must produce the
+same error row either way.  The alias-hoisting fix rides along: aliased
+and canonical axis names must emit identical sweep JSON (aliases are
+resolved once per sweep, not once per point).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioSpec,
+    SpecError,
+    SweepGrid,
+    run_sweep,
+    spec_for,
+)
+from repro.scenarios.engine import canonicalize_grid
+
+# One small preset spec shared by the determinism tests: big enough to be
+# a real scenario, small enough to keep the suite fast.
+SPEC = spec_for("failover", scale=0.0002)
+
+
+def small_grid(**axes):
+    return SweepGrid(axes=axes or {"replication_factor": [1, 2]})
+
+
+class TestParallelDeterminism:
+    def test_parallel_json_byte_identical_to_sequential(self):
+        grid = small_grid()
+        sequential = run_sweep(SPEC, grid)
+        parallel = run_sweep(SPEC, grid, workers=4)
+        assert sequential.to_json() == parallel.to_json()
+        assert [run.point for run in parallel.runs] == list(grid.points())
+
+    def test_parallel_json_identical_with_failing_point(self):
+        # replication_factor=8 > num_nodes=4 raises inside the runner and
+        # must surface as the same error row on both paths.
+        grid = small_grid(replication_factor=[2, 8, 3])
+        sequential = run_sweep(SPEC, grid)
+        parallel = run_sweep(SPEC, grid, workers=3)
+        assert sequential.to_json() == parallel.to_json()
+        failed = [run for run in parallel.runs if not run.ok]
+        assert len(failed) == 1
+        assert failed[0].point == {"replication_factor": 8}
+        assert failed[0].error.startswith("ValueError:")
+
+    def test_strict_mode_raises_original_exception_type(self):
+        grid = small_grid(replication_factor=[8])
+        with pytest.raises(ValueError):
+            run_sweep(SPEC, grid, strict=True)
+        with pytest.raises(ValueError):
+            run_sweep(SPEC, grid, strict=True, workers=2)
+
+    def test_progress_fires_in_grid_order(self):
+        grid = small_grid()
+        events = []
+        run_sweep(
+            SPEC,
+            grid,
+            workers=2,
+            progress=lambda point, run: events.append((dict(point), run is None)),
+        )
+        points = list(grid.points())
+        expected = []
+        for point in points:
+            expected.append((point, True))
+            expected.append((point, False))
+        assert events == expected
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SpecError):
+            run_sweep(SPEC, small_grid(), workers=0)
+
+
+class TestAliasHoisting:
+    def test_aliased_and_canonical_axes_emit_identical_json(self):
+        aliased = run_sweep(SPEC, SweepGrid(axes={"nodes": [3, 4]}))
+        canonical = run_sweep(SPEC, SweepGrid(axes={"num_nodes": [3, 4]}))
+        assert aliased.to_json() == canonical.to_json()
+        assert list(aliased.grid.axes) == ["num_nodes"]
+        assert all("num_nodes" in run.point for run in aliased.runs)
+
+    def test_canonicalize_grid_passthrough_and_rename(self):
+        canonical = SweepGrid(axes={"num_nodes": [2, 3]})
+        assert canonicalize_grid(canonical) is canonical
+        renamed = canonicalize_grid(SweepGrid(axes={"nodes": [2, 3], "seed": [1]}))
+        assert list(renamed.axes) == ["num_nodes", "seed"]
+        assert renamed.axes["num_nodes"] == [2, 3]
+
+    def test_alias_collision_is_rejected(self):
+        with pytest.raises(SpecError):
+            canonicalize_grid(SweepGrid(axes={"nodes": [2], "num_nodes": [3]}))
+
+    def test_unknown_axis_still_fails_fast(self):
+        from repro.scenarios import UnknownSpecKeyError
+
+        with pytest.raises(UnknownSpecKeyError):
+            run_sweep(SPEC, SweepGrid(axes={"not_a_key": [1]}), workers=2)
+
+
+class TestCliWorkersFlag:
+    def test_parser_accepts_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "failover", "--axis", "replication_factor=1,2", "--workers", "4"]
+        )
+        assert args.workers == 4
+
+    def test_workers_default_is_sequential(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "failover", "--axis", "replication_factor=1,2"]
+        )
+        assert args.workers == 1
+
+
+class TestSpecPickling:
+    def test_spec_round_trips_through_pickle(self):
+        # The pool ships (spec, point) tuples to workers; a spec carrying
+        # fault and churn plans must survive pickling.
+        import pickle
+
+        from repro.core.fault_injection import FaultPlan
+        from repro.core.membership import ChurnPlan
+
+        spec = ScenarioSpec(
+            preset="elasticity",
+            seed=3,
+            cluster={"num_nodes": 4},
+            faults=None,
+            churn=ChurnPlan(kind="join_leave", events=4),
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        fault_spec = ScenarioSpec(
+            preset="failover",
+            faults=FaultPlan(kind="rolling_outage", outage_density=0.3),
+        )
+        assert pickle.loads(pickle.dumps(fault_spec)) == fault_spec

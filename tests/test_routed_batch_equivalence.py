@@ -1,0 +1,236 @@
+"""Equivalence pins for the routed-batch fast path (PR 5).
+
+The cluster's ``lookup_batch_replies`` was rebuilt around a
+membership-epoch-keyed routing cache, one-pass bucket dispatch and batched
+replica propagation.  The pre-change implementation is kept verbatim as
+``lookup_batch_replies_reference``; these tests drive **twin clusters** --
+identical config, identical workload, one through each path -- and require
+identical verdicts, ``ServedFrom`` tiers, per-node counters and
+replica-write counts, under clean runs, downed nodes, grey failures and
+membership churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.fault_injection import make_flaky
+from repro.core.membership import MembershipManager
+from repro.core.protocol import LookupReply, ServedFrom, make_lookup_reply
+from repro.dedup.fingerprint import synthetic_fingerprint
+
+
+def make_cluster(num_nodes=4, replication=2, virtual_nodes=0):
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        replication_factor=replication,
+        virtual_nodes=virtual_nodes,
+        node=HashNodeConfig(
+            ram_cache_entries=256,
+            bloom_expected_items=50_000,
+            ssd_buckets=1 << 8,
+        ),
+    )
+    return SHHCCluster(config)
+
+
+def workload(count, distinct=None, salt=0):
+    distinct = distinct if distinct is not None else max(1, count // 3)
+    return [synthetic_fingerprint(salt + i % distinct) for i in range(count)]
+
+
+def drive(cluster, fingerprints, path, batch_size=64):
+    lookup = getattr(cluster, path)
+    replies = []
+    for start in range(0, len(fingerprints), batch_size):
+        replies.extend(lookup(fingerprints[start:start + batch_size]))
+    return replies
+
+
+def assert_equivalent(fast_cluster, fast_replies, reference_cluster, reference_replies):
+    assert [r.is_duplicate for r in fast_replies] == [
+        r.is_duplicate for r in reference_replies
+    ]
+    assert [r.served_from for r in fast_replies] == [
+        r.served_from for r in reference_replies
+    ]
+    assert [r.node_id for r in fast_replies] == [r.node_id for r in reference_replies]
+    assert [r.service_time for r in fast_replies] == [
+        r.service_time for r in reference_replies
+    ]
+    for name in fast_cluster.nodes:
+        fast_node = fast_cluster.nodes[name]
+        reference_node = reference_cluster.nodes[name]
+        assert fast_node.counters.as_dict() == reference_node.counters.as_dict(), name
+        assert len(fast_node.store) == len(reference_node.store), name
+        assert set(fast_node.store.keys()) == set(reference_node.store.keys()), name
+        assert fast_node.store.stats() == reference_node.store.stats(), name
+        assert fast_node.cache.stats() == reference_node.cache.stats(), name
+    assert fast_cluster.read_repairs == reference_cluster.read_repairs
+    assert fast_cluster.failovers == reference_cluster.failovers
+    assert fast_cluster.total_stored == reference_cluster.total_stored
+    assert len(fast_cluster) == len(reference_cluster)
+
+
+def replica_writes(cluster):
+    return {
+        name: node.counters.get("replica_inserts") for name, node in cluster.nodes.items()
+    }
+
+
+class TestRoutedBatchEquivalence:
+    @pytest.mark.parametrize("replication", [1, 2, 3])
+    @pytest.mark.parametrize("virtual_nodes", [0, 16])
+    def test_clean_run_is_byte_identical(self, replication, virtual_nodes):
+        fast = make_cluster(replication=replication, virtual_nodes=virtual_nodes)
+        reference = make_cluster(replication=replication, virtual_nodes=virtual_nodes)
+        fingerprints = workload(900)
+        fast_replies = drive(fast, fingerprints, "lookup_batch_replies")
+        reference_replies = drive(reference, fingerprints, "lookup_batch_replies_reference")
+        assert_equivalent(fast, fast_replies, reference, reference_replies)
+        assert replica_writes(fast) == replica_writes(reference)
+
+    def test_equivalent_under_downed_nodes_and_recovery(self):
+        fast = make_cluster()
+        reference = make_cluster()
+        warm = workload(200)
+        # Distinct fingerprints first seen while a node is down: their
+        # primaries may miss the write, setting up post-recovery repair.
+        while_down = workload(200, distinct=200, salt=10_000)
+        fast_replies = drive(fast, warm, "lookup_batch_replies")
+        reference_replies = drive(reference, warm, "lookup_batch_replies_reference")
+        victim = fast.node_names[1]
+        fast.mark_down(victim)
+        reference.mark_down(victim)
+        fast_replies += drive(fast, while_down, "lookup_batch_replies")
+        reference_replies += drive(reference, while_down, "lookup_batch_replies_reference")
+        fast.mark_up(victim)
+        reference.mark_up(victim)
+        # Read repair: the recovered node missed writes and must be
+        # backfilled identically on both paths.
+        fast_replies += drive(fast, while_down, "lookup_batch_replies")
+        reference_replies += drive(reference, while_down, "lookup_batch_replies_reference")
+        assert any(r.served_from is ServedFrom.REPAIR for r in fast_replies)
+        assert_equivalent(fast, fast_replies, reference, reference_replies)
+        assert replica_writes(fast) == replica_writes(reference)
+
+    def test_equivalent_under_grey_failure(self):
+        fast = make_cluster(num_nodes=3, replication=2)
+        reference = make_cluster(num_nodes=3, replication=2)
+        fingerprints = workload(400)
+        drive(fast, fingerprints, "lookup_batch_replies")
+        drive(reference, fingerprints, "lookup_batch_replies_reference")
+        victim = fast.node_names[0]
+        make_flaky(fast, victim, failure_rate=0.4, seed=11)
+        make_flaky(reference, victim, failure_rate=0.4, seed=11)
+        fast_replies = drive(fast, fingerprints, "lookup_batch_replies")
+        reference_replies = drive(reference, fingerprints, "lookup_batch_replies_reference")
+        assert fast.failovers > 0
+        assert_equivalent(fast, fast_replies, reference, reference_replies)
+
+    def test_equivalent_under_membership_churn(self):
+        fast = make_cluster(virtual_nodes=16)
+        reference = make_cluster(virtual_nodes=16)
+        fingerprints = workload(600, salt=50_000)
+        fast_replies = drive(fast, fingerprints[:300], "lookup_batch_replies")
+        reference_replies = drive(reference, fingerprints[:300], "lookup_batch_replies_reference")
+        for cluster in (fast, reference):
+            manager = MembershipManager(cluster)
+            manager.add_node("hashnode-9")
+            manager.remove_node(cluster.config.node_names[0])
+        fast_replies += drive(fast, fingerprints[300:], "lookup_batch_replies")
+        reference_replies += drive(
+            reference, fingerprints[300:], "lookup_batch_replies_reference"
+        )
+        assert "hashnode-9" in {r.node_id for r in fast_replies[300:]}
+        assert_equivalent(fast, fast_replies, reference, reference_replies)
+        assert replica_writes(fast) == replica_writes(reference)
+
+    def test_matches_per_fingerprint_sequential_verdicts(self):
+        """Verdict/counter parity with the batch_size=1 sequential path."""
+        batched = make_cluster()
+        sequential = make_cluster()
+        fingerprints = workload(500)
+        batched_replies = drive(batched, fingerprints, "lookup_batch_replies")
+        sequential_replies = [sequential.lookup_reply(fp) for fp in fingerprints]
+        assert [r.is_duplicate for r in batched_replies] == [
+            r.is_duplicate for r in sequential_replies
+        ]
+        assert replica_writes(batched) == replica_writes(sequential)
+        assert len(batched) == len(sequential)
+
+
+class TestRoutingCacheInvalidation:
+    def test_membership_epoch_bumps_invalidate_routes(self):
+        cluster = make_cluster(virtual_nodes=16)
+        fingerprints = workload(200, salt=9_000)
+        drive(cluster, fingerprints, "lookup_batch_replies")
+        assert cluster._route_cache  # warmed
+        cluster.partitioner.add_node("hashnode-7")
+        cluster.nodes["hashnode-7"] = type(cluster.nodes["hashnode-0"])(
+            "hashnode-7", cluster.config.node, None
+        )
+        # Next routed batch must re-resolve against the new membership.
+        replies = drive(cluster, fingerprints, "lookup_batch_replies")
+        for reply, fingerprint in zip(replies, fingerprints):
+            assert reply.node_id in cluster.replica_set(fingerprint) or reply.is_duplicate
+        for digest, replicas in cluster._route_cache.items():
+            fp = next(f for f in fingerprints if f.digest == digest)
+            assert list(replicas) == cluster.partitioner.owners(
+                fp, cluster.config.replication_factor
+            )
+
+    def test_partitioner_swap_invalidates_routes(self):
+        from repro.core.partition import RangePartitioner
+
+        cluster = make_cluster()
+        fingerprints = workload(64, salt=1_000)
+        drive(cluster, fingerprints, "lookup_batch_replies")
+        assert cluster._route_cache
+        cluster.partitioner = RangePartitioner(cluster.node_names)
+        cluster._routes()
+        assert not cluster._route_cache
+
+    def test_route_cache_is_bounded(self):
+        import repro.core.cluster as cluster_mod
+
+        cluster = make_cluster()
+        original = cluster_mod.ROUTE_CACHE_MAX_ENTRIES
+        cluster_mod.ROUTE_CACHE_MAX_ENTRIES = 32
+        try:
+            drive(cluster, workload(300, distinct=300, salt=77_000), "lookup_batch_replies")
+            assert len(cluster._route_cache) <= 33
+        finally:
+            cluster_mod.ROUTE_CACHE_MAX_ENTRIES = original
+
+
+class TestHotPathConstructors:
+    def test_make_lookup_reply_matches_regular_constructor(self):
+        fingerprint = synthetic_fingerprint(1)
+        fast = make_lookup_reply(fingerprint, True, ServedFrom.RAM, "n0", 1.5e-6)
+        regular = LookupReply(
+            fingerprint=fingerprint,
+            is_duplicate=True,
+            served_from=ServedFrom.RAM,
+            node_id="n0",
+            service_time=1.5e-6,
+        )
+        assert fast == regular
+        assert hash(fast) == hash(regular)
+        assert fast.payload_bytes == regular.payload_bytes
+
+    def test_lookup_batch_results_match_reply_fields(self):
+        cluster = make_cluster()
+        fingerprints = workload(120)
+        twin = make_cluster()
+        replies = drive(twin, fingerprints, "lookup_batch_replies")
+        results = drive(cluster, fingerprints, "lookup_batch")
+        for result, reply in zip(results, replies):
+            assert result.fingerprint == reply.fingerprint
+            assert result.is_duplicate == reply.is_duplicate
+            assert result.latency == reply.service_time
+            assert result.served_by == reply.node_id
+        assert cluster.lookups == len(fingerprints)
+        assert cluster.duplicates == sum(r.is_duplicate for r in replies)

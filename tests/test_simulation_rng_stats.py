@@ -208,3 +208,43 @@ class TestTimeWeightedAndCounters:
         assert histogram([3.0, 3.0], bins=5) == [(3.0, 3.0, 2)]
         with pytest.raises(ValueError):
             histogram([1.0, 2.0], bins=0)
+
+
+class TestBatchedRecording:
+    """record_many / add_many must be state-identical to per-sample calls."""
+
+    def test_record_many_matches_record_loop(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.random() for _ in range(500)]
+        reference = LatencyRecorder("ref", reservoir_size=64)
+        batched = LatencyRecorder("fast", reservoir_size=64)
+        for value in values:
+            reference.record(value)
+        batched.record_many(values[:200])
+        batched.record_many(values[200:])
+        assert batched.summary.as_dict() == reference.summary.as_dict()
+        # Identical reservoir contents even across the capacity boundary:
+        # both made the same seeded RNG draws in the same order.
+        assert batched.reservoir.values() == reference.reservoir.values()
+        assert batched.reservoir.seen == reference.reservoir.seen
+
+    def test_add_many_below_capacity_skips_no_draws(self):
+        reference = ReservoirSample(capacity=100, seed=7)
+        batched = ReservoirSample(capacity=100, seed=7)
+        for value in range(50):
+            reference.add(float(value))
+        batched.add_many([float(value) for value in range(50)])
+        assert batched.values() == reference.values()
+        # Subsequent over-capacity adds must agree too (same RNG state).
+        for value in range(200):
+            reference.add(float(value))
+        batched.add_many([float(value) for value in range(200)])
+        assert batched.values() == reference.values()
+
+    def test_record_many_accepts_generators(self):
+        recorder = LatencyRecorder("gen")
+        recorder.record_many(float(i) for i in range(10))
+        assert recorder.count == 10
+        assert recorder.summary.maximum == 9.0

@@ -279,3 +279,79 @@ class TestLRUCache:
         cache.get(b"a")
         stats = cache.stats()
         assert stats["size"] == 1 and stats["hits"] == 1 and stats["capacity"] == 2
+
+
+class TestSingleKeyKernels:
+    """contains_one / add_one vs. the canonical single-key methods."""
+
+    def test_contains_one_agrees_with_contains(self):
+        bloom = BloomFilter(expected_items=500)
+        present = [bytes([i]) * 20 for i in range(60)]
+        absent = [bytes([200 - i]) * 20 for i in range(60)]
+        for key in present:
+            bloom.add(key)
+        for key in present + absent:
+            assert bloom.contains_one(key) == (key in bloom)
+
+    def test_add_one_plus_count_matches_add(self):
+        reference = BloomFilter(expected_items=500)
+        fast = BloomFilter(expected_items=500)
+        keys = [bytes([i, i + 1]) * 10 for i in range(50)]
+        for key in keys:
+            reference.add(key)
+            fast.add_one(key)
+        fast.count_inserts(len(keys))
+        assert fast._bits == reference._bits
+        assert fast._count == reference._count
+
+    def test_kernels_survive_clear_and_union(self):
+        bloom = BloomFilter(expected_items=300)
+        key = b"x" * 20
+        bloom.add(key)
+        assert bloom.contains_one(key)
+        bloom.clear()
+        assert not bloom.contains_one(key)  # bound bits were zeroed in place
+        other = BloomFilter(
+            expected_items=bloom.expected_items,
+            num_bits=bloom.num_bits,
+            num_hashes=bloom.num_hashes,
+        )
+        other.add(key)
+        merged = bloom.union(other)
+        assert merged.contains_one(key)
+
+    def test_non_digest_filter_falls_back(self):
+        bloom = BloomFilter(expected_items=200, digest_keys=False)
+        bloom.add(b"short")
+        assert bloom.contains_one(b"short")
+        assert not bloom.contains_one(b"other")
+
+
+class TestLRUHotPaths:
+    def test_touch_matches_get_accounting(self):
+        reference = LRUCache(capacity=4)
+        fast = LRUCache(capacity=4)
+        for cache in (reference, fast):
+            for key in ("a", "b", "c"):
+                cache.put(key, True)
+        assert fast.touch("a") == (reference.get("a") is not None)
+        assert fast.touch("zz") == (reference.get("zz") is not None)
+        assert fast.stats() == reference.stats()
+        assert list(fast) == list(reference)
+
+    def test_put_new_matches_put_for_absent_keys(self):
+        evicted_fast, evicted_reference = [], []
+        reference = LRUCache(capacity=2, on_evict=lambda k, v: evicted_reference.append(k))
+        fast = LRUCache(capacity=2, on_evict=lambda k, v: evicted_fast.append(k))
+        for i in range(5):
+            reference.put(f"k{i}", i)
+            fast.put_new(f"k{i}", i)
+        assert fast.stats() == reference.stats()
+        assert list(fast) == list(reference)
+        assert evicted_fast == evicted_reference
+
+    def test_data_exposes_backing_dict(self):
+        cache = LRUCache(capacity=3)
+        cache.put("a", 1)
+        assert "a" in cache.data
+        assert cache.data is cache.data  # stable object

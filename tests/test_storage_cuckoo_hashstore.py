@@ -290,3 +290,58 @@ class TestFileHashStore:
         with FileHashStore(str(tmp_path / "s.log")) as store:
             store.put("key", "value")
             assert store.get("key") == b"value"
+
+
+class TestHotPathAccessors:
+    """probe_pages / insert_new_pages vs. the IOOperation-list cost model.
+
+    The hash node's batch loop charges device time from page counts; these
+    pins guarantee the fused accessors keep accounting and state identical
+    to ``lookup_io`` + ``in`` and ``put`` + ``insert_flush_pages``.
+    """
+
+    def _stores(self, **kwargs):
+        from repro.storage.hashstore import SSDHashStore
+
+        return SSDHashStore(num_buckets=32, **kwargs), SSDHashStore(num_buckets=32, **kwargs)
+
+    def test_probe_pages_matches_lookup_io_and_contains(self):
+        import random
+
+        fast, reference = self._stores()
+        rng = random.Random(5)
+        keys = [bytes([i]) * 20 for i in range(120)]
+        for key in keys[::2]:
+            fast.put(key, 1)
+            reference.put(key, 1)
+        for key in rng.sample(keys, len(keys)):
+            pages, present = fast.probe_pages(key)
+            operations = reference.lookup_io(key)
+            assert pages == len(operations)
+            assert all(op.kind == "read" and op.random_access for op in operations)
+            assert present == (key in reference)
+        assert fast.stats() == reference.stats()
+
+    def test_insert_new_pages_matches_put_plus_insert_io(self):
+        fast, reference = self._stores(page_size=256, entry_size=48, write_buffer_pages=2)
+        for i in range(40):
+            key = bytes([i, i]) * 10
+            pages, random_access = fast.insert_new_pages(key, i)
+            assert reference.put(key, i) is True
+            operations = reference.insert_io(key)
+            assert pages == len(operations)
+            if operations:
+                assert all(op.kind == "write" for op in operations)
+                assert random_access == operations[0].random_access
+        assert fast.stats() == reference.stats()
+        assert dict(fast.items()) == dict(reference.items())
+
+    def test_insert_new_pages_unbuffered_mode(self):
+        fast, reference = self._stores(write_buffer_pages=0)
+        key = b"k" * 20
+        pages, random_access = fast.insert_new_pages(key, True)
+        reference.put(key, True)
+        operations = reference.insert_io(key)
+        assert (pages, random_access) == (1, True)
+        assert len(operations) == 1 and operations[0].random_access
+        assert fast.stats() == reference.stats()

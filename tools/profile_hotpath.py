@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""cProfile driver for the two throughput-critical paths.
+
+Prints the top cumulative-time functions for
+
+* a **cluster-lookup run**: the immediate-mode routed-batch path the
+  ``cluster_lookup`` series in ``BENCH_hotpath.json`` measures (16k
+  fingerprints through a 4-node replicated cluster in 128-fingerprint
+  batches), and
+* a **sweep run**: a small ``run_sweep`` grid over the failover preset,
+  the per-point cost the parallel sweep executor amortises.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py            # both targets
+    PYTHONPATH=src python tools/profile_hotpath.py cluster    # one target
+    PYTHONPATH=src python tools/profile_hotpath.py sweep --top 30
+
+Perf PRs should start from this data: optimise what is hot, pin what must
+stay byte-identical (see ``tests/test_routed_batch_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import random
+import sys
+
+
+def profile_cluster(top: int, requests: int) -> None:
+    """Profile the immediate-mode cluster lookup path (cluster_lookup bench)."""
+    from repro.core.cluster import SHHCCluster
+    from repro.core.config import ClusterConfig, HashNodeConfig
+    from repro.dedup.fingerprint import synthetic_fingerprint
+
+    batch_size = 128
+    config = ClusterConfig(
+        num_nodes=4,
+        replication_factor=2,
+        node=HashNodeConfig(
+            ram_cache_entries=4_096,
+            bloom_expected_items=max(20_000, requests),
+            ssd_buckets=1 << 12,
+        ),
+    )
+    cluster = SHHCCluster(config)
+    rng = random.Random(7)
+    fingerprints = [
+        synthetic_fingerprint(rng.randrange(max(1, requests // 2)))
+        for _ in range(requests)
+    ]
+
+    def run() -> int:
+        duplicates = 0
+        for start in range(0, len(fingerprints), batch_size):
+            for result in cluster.lookup_batch(fingerprints[start : start + batch_size]):
+                duplicates += result.is_duplicate
+        return duplicates
+
+    _profile_one(f"cluster lookup ({requests} fingerprints, batch={batch_size})", run, top)
+
+
+def profile_sweep(top: int) -> None:
+    """Profile one small failover sweep (the per-grid-point cost)."""
+    from repro.scenarios import SweepGrid, run_sweep, spec_for
+
+    spec = spec_for("failover", scale=0.0005)
+    grid = SweepGrid(axes={"replication_factor": [1, 2]})
+
+    _profile_one("sweep: failover x {replication_factor: [1, 2]}",
+                 lambda: run_sweep(spec, grid), top)
+
+
+def _profile_one(label: str, fn, top: int) -> None:
+    print(f"=== {label} ===")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("target", nargs="?", default="all",
+                        choices=("all", "cluster", "sweep"))
+    parser.add_argument("--top", type=int, default=20,
+                        help="how many functions to print (default 20)")
+    parser.add_argument("--requests", type=int, default=16_000,
+                        help="cluster run size in fingerprints (default 16000)")
+    args = parser.parse_args(argv)
+    if args.target in ("all", "cluster"):
+        profile_cluster(args.top, args.requests)
+    if args.target in ("all", "sweep"):
+        profile_sweep(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
