@@ -424,6 +424,47 @@ def _bench_sweep(scale: float) -> dict:
     }
 
 
+def _bench_control_plane(scale: float) -> dict:
+    """The control-plane tax, measured in deterministic virtual time.
+
+    Runs ``run_failover_timed`` (cost model on, rolling outage) and records
+    the degraded/steady p99 lookup-latency ratio as the series' ``speedup``
+    field: the replication-tax figure the cost model exists to surface.
+    Unlike the wall-clock series, both sides live on the ledger's virtual
+    clock, so the ratio is exactly reproducible on any machine -- but only
+    for a fixed workload, hence ``REPRO_BENCH_SCALE`` is ignored (CI
+    regenerates at a smaller scale and compares against the committed
+    value via tools/check_bench_floors.py).  A change that silently makes
+    the control plane free again collapses the ratio to ~1.0 and trips
+    the floor guard.
+    """
+    del scale
+    from repro.analysis.experiments.control_plane import run_failover_timed
+
+    result = run_failover_timed(scale=0.001, seed=0)
+    steady, degraded = result.steady, result.taxed
+    assert steady is not None and degraded is not None
+    return {
+        "unit": "p99 tax (degraded p99 / steady p99, virtual time)",
+        "baseline": {
+            "phase": "steady",
+            "lookups": steady.count,
+            "p50_latency_us": steady.p50 * 1e6,
+            "p99_latency_us": steady.p99 * 1e6,
+        },
+        "fast": {
+            "phase": "degraded",
+            "lookups": degraded.count,
+            "p50_latency_us": degraded.p50 * 1e6,
+            "p99_latency_us": degraded.p99 * 1e6,
+        },
+        "offered_load": result.offered_load,
+        "replica_writes": result.counters.get("replica_writes", 0),
+        "control_plane_cpu_seconds": result.control_plane_cpu_seconds,
+        "speedup": result.p99_tax,
+    }
+
+
 def test_bench_hotpath(results_dir, scale):
     series = {
         "chunking": _bench_chunking(scale),
@@ -432,6 +473,7 @@ def test_bench_hotpath(results_dir, scale):
         "engine_events": _bench_engine(scale),
         "cluster_lookup": _bench_cluster(scale),
         "sweep_wall_clock": _bench_sweep(scale),
+        "control_plane_tax": _bench_control_plane(scale),
     }
 
     payload = {
@@ -459,6 +501,7 @@ def test_bench_hotpath(results_dir, scale):
                 "events_per_s",
                 "fingerprints_per_s",
                 "wall_clock_s",
+                "p99_latency_us",
             ):
                 if key in record:
                     return round(record[key], 2)
@@ -495,6 +538,9 @@ def test_bench_hotpath(results_dir, scale):
             "cuckoo_ops": 1.2,
             "engine_events": 1.1,
             "cluster_lookup": 2.0,
+            # Virtual-time ratio (deterministic): degraded p99 must stay
+            # measurably above steady p99 while the cost model is charging.
+            "control_plane_tax": 1.2,
         }
         for name, floor in floors.items():
             assert series[name]["speedup"] >= floor, (name, floor, series[name])

@@ -35,6 +35,12 @@ from .ablations import (
 from .ablations import run_batch_tradeoff as _run_batch_tradeoff
 from .ablations import run_scaling_ablation as _run_scaling_ablation
 from .ablations import run_tier_ablation as _run_tier_ablation
+from .control_plane import (
+    ControlPlaneResult,
+    PhaseLatency,
+    run_churn_timed,
+    run_failover_timed,
+)
 from .elasticity import ElasticityResult
 from .elasticity import run_elasticity as _run_elasticity
 from .failover import FailoverResult
@@ -59,6 +65,10 @@ __all__ = [
     "run_batch_tradeoff",
     "run_scaling_ablation",
     "run_tier_ablation",
+    "ControlPlaneResult",
+    "PhaseLatency",
+    "run_failover_timed",
+    "run_churn_timed",
     "ElasticityResult",
     "run_elasticity",
     "FailoverResult",

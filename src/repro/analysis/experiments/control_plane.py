@@ -1,0 +1,444 @@
+"""Timed control-plane experiments -- latency *during* outages and churn.
+
+The failover and elasticity experiments answer "does the cluster stay
+correct?"; these runs answer the paper's harder question: "what does lookup
+latency look like *while* the control plane is working?".  A mixed backup
+workload is streamed through an immediate-mode cluster built with a
+:class:`~repro.simulation.costmodel.CostModel`, so every replica write,
+read repair and migration copy is charged as deferred CPU + fabric time on
+the target node's timeline (see docs/control_plane.md).  Batches arrive on
+an open-loop clock calibrated so the busiest node runs at ``offered_load``
+utilisation in steady state; when a node crashes (``run_failover_timed``)
+or a membership change migrates entries (``run_churn_timed``), the
+surviving/affected nodes queue up and the per-phase latency recorders
+capture the replication/elasticity tax directly:
+
+* phase ``steady`` -- no outage, no migration backlog;
+* phase ``degraded`` -- at least one node marked down;
+* phase ``migrating`` -- a membership change fired recently or its copy
+  traffic is still draining;
+* phase ``warmup`` -- the calibration batch (index 0), excluded from the
+  tax comparison.
+
+The headline figure is ``p99_tax``: degraded (or migrating) p99 lookup
+latency divided by steady-state p99 -- the Figure-5-style curve the
+``failover_timed``/``churn_timed`` scenario presets sweep against
+replication factor and churn rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...core.cluster import SHHCCluster
+from ...core.config import ClusterConfig, HashNodeConfig
+from ...core.fault_injection import FaultInjector, FaultPlan
+from ...core.membership import ChurnPlan, MembershipManager
+from ...dedup.fingerprint import Fingerprint
+from ...simulation.costmodel import CostModel
+from ...workloads.mixer import WorkloadMix, table_i_mix
+from ..reporting import format_table
+from .elasticity import DEFAULT_CHURN_EVENTS, MIN_NODES
+
+__all__ = [
+    "PhaseLatency",
+    "ControlPlaneResult",
+    "run_failover_timed",
+    "run_churn_timed",
+]
+
+WARMUP_PHASE = "warmup"
+STEADY_PHASE = "steady"
+DEGRADED_PHASE = "degraded"
+MIGRATING_PHASE = "migrating"
+
+#: Default outage density for ``run_failover_timed`` (fraction of the run
+#: during which some node is down, as in ``FaultPlan.rolling_outage``).
+DEFAULT_OUTAGE_DENSITY = 0.3
+
+
+@dataclass(frozen=True)
+class PhaseLatency:
+    """Lookup-latency summary for one phase of a timed run (seconds)."""
+
+    phase: str
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_recorder(cls, phase: str, recorder) -> "PhaseLatency":
+        return cls(
+            phase=phase,
+            count=recorder.count,
+            mean=recorder.mean,
+            p50=recorder.percentile(0.50),
+            p95=recorder.percentile(0.95),
+            p99=recorder.percentile(0.99),
+        )
+
+
+@dataclass
+class ControlPlaneResult:
+    """Outcome of one timed control-plane run."""
+
+    kind: str  # "failover_timed" | "churn_timed"
+    num_nodes: int
+    replication_factor: int
+    virtual_nodes: int
+    batch_size: int
+    offered_load: float
+    headline_phase: str  # the taxed phase: degraded or migrating
+    fingerprints_processed: int = 0
+    batches: int = 0
+    #: Open-loop batch arrival interval (seconds), calibrated from a
+    #: fault-free probe run of the same workload.
+    interval: float = 0.0
+    phases: Dict[str, PhaseLatency] = field(default_factory=dict)
+    #: Served lookups per second of virtual time over the whole run.
+    throughput: float = 0.0
+    #: Control-plane CPU seconds deferred onto node timelines.
+    control_plane_cpu_seconds: float = 0.0
+    #: Ledger + scenario counters (replica_writes, migration_entries, ...).
+    counters: Dict[str, int] = field(default_factory=dict)
+    unserved: int = 0
+
+    @property
+    def steady(self) -> Optional[PhaseLatency]:
+        return self.phases.get(STEADY_PHASE)
+
+    @property
+    def taxed(self) -> Optional[PhaseLatency]:
+        return self.phases.get(self.headline_phase)
+
+    @property
+    def p99_tax(self) -> float:
+        """Taxed-phase p99 over steady-state p99 (1.0 = control plane free)."""
+        steady, taxed = self.steady, self.taxed
+        if steady is None or taxed is None or steady.p99 <= 0.0:
+            return 1.0
+        return taxed.p99 / steady.p99
+
+    def render(self) -> str:
+        rows = [
+            ["nodes", self.num_nodes],
+            ["replication factor", self.replication_factor],
+            ["virtual nodes", self.virtual_nodes],
+            ["batch size", self.batch_size],
+            ["offered load", self.offered_load],
+            ["fingerprints", self.fingerprints_processed],
+            ["batches", self.batches],
+            ["arrival interval us", round(self.interval * 1e6, 2)],
+            ["throughput (lookups/s)", round(self.throughput, 1)],
+            ["control-plane CPU ms", round(self.control_plane_cpu_seconds * 1e3, 3)],
+            [f"p99 tax ({self.headline_phase}/steady)", round(self.p99_tax, 3)],
+        ]
+        if self.unserved:
+            rows.append(["unserved lookups", self.unserved])
+        for name in (STEADY_PHASE, self.headline_phase, WARMUP_PHASE):
+            stats = self.phases.get(name)
+            if stats is None:
+                continue
+            rows += [
+                [f"{name} lookups", stats.count],
+                [f"{name} p50 us", round(stats.p50 * 1e6, 2)],
+                [f"{name} p99 us", round(stats.p99 * 1e6, 2)],
+            ]
+        for counter in sorted(self.counters):
+            rows.append([counter, self.counters[counter]])
+        return format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"{self.kind}: lookup latency during control-plane work "
+                f"({self.num_nodes} nodes, k={self.replication_factor})"
+            ),
+        )
+
+
+def _make_batches(
+    mix: Optional[WorkloadMix], scale: float, batch_size: int, seed: int
+) -> Tuple[List[Fingerprint], List[List[Fingerprint]]]:
+    workload = mix if mix is not None else table_i_mix(seed=seed)
+    fingerprints: List[Fingerprint] = list(workload.interleaved(scale=scale))
+    batches = [
+        fingerprints[start:start + batch_size]
+        for start in range(0, len(fingerprints), batch_size)
+    ]
+    return fingerprints, batches
+
+
+def _calibrate_interval(
+    make_cluster, batches: List[List[Fingerprint]], offered_load: float
+) -> float:
+    """Open-loop arrival interval targeting ``offered_load`` utilisation.
+
+    Runs the whole workload through a fault-free probe cluster back-to-back
+    (arrival clock pinned at zero), so the ledger's end time is the busiest
+    node's total demand -- lookups *and* steady-state replica propagation
+    included.  The measured run then spaces batches so that demand fills
+    ``offered_load`` of the timeline, leaving headroom that only outage
+    shift or migration backlog can consume.
+    """
+    probe = make_cluster()
+    for batch in batches:
+        probe.lookup_batch(batch)
+    demand = probe.ledger.end_time() / len(batches)
+    if demand <= 0.0:
+        raise RuntimeError("calibration probe measured zero service demand")
+    return demand / offered_load
+
+
+def _validate(scale: float, batch_size: int, offered_load: float) -> None:
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if not 0.0 < offered_load < 1.0:
+        raise ValueError("offered_load must be in (0, 1)")
+
+
+def _finish(
+    result: ControlPlaneResult, cluster: SHHCCluster, extra: Dict[str, int]
+) -> ControlPlaneResult:
+    ledger = cluster.ledger
+    for name, recorder in ledger.phases.items():
+        if recorder.count:
+            result.phases[name] = PhaseLatency.from_recorder(name, recorder)
+    end = ledger.end_time()
+    served = ledger.counters.get("lookups")
+    result.throughput = served / end if end > 0 else 0.0
+    result.control_plane_cpu_seconds = ledger.control_plane_cpu_seconds
+    counters = ledger.counters.as_dict()
+    counters.update(extra)
+    counters["read_repairs"] = cluster.read_repairs
+    counters["failovers"] = cluster.failovers
+    result.counters = counters
+    return result
+
+
+def run_failover_timed(
+    scale: float = 0.002,
+    num_nodes: int = 4,
+    replication_factor: int = 2,
+    virtual_nodes: int = 64,
+    batch_size: int = 256,
+    offered_load: float = 0.7,
+    mix: Optional[WorkloadMix] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    outage_density: Optional[float] = None,
+    node_config: Optional[HashNodeConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    seed: int = 0,
+) -> ControlPlaneResult:
+    """Measure the lookup-latency distribution *during* node outages.
+
+    Streams the workload on an open-loop arrival clock while a
+    :class:`~repro.core.fault_injection.FaultPlan` (default: a rolling
+    outage covering ``DEFAULT_OUTAGE_DENSITY`` of the run) crashes and
+    recovers nodes.  While a node is down its traffic shifts to the
+    surviving replicas, whose timelines back up beyond the calibrated
+    ``offered_load``; the ``degraded`` phase records those latencies
+    separately from ``steady``, and ``p99_tax`` is their p99 ratio --
+    strictly above 1 whenever the outage actually concentrated load.
+
+    Fingerprints whose whole replica set is down are not sent (counted as
+    ``unserved``), mirroring :func:`~repro.analysis.experiments.failover.run_failover`.
+    """
+    _validate(scale, batch_size, offered_load)
+    if fault_plan is not None and outage_density is not None:
+        raise ValueError("pass at most one of fault_plan, outage_density")
+    if fault_plan is None:
+        fault_plan = FaultPlan.rolling_outage(
+            outage_density if outage_density is not None else DEFAULT_OUTAGE_DENSITY
+        )
+    model = cost_model if cost_model is not None else CostModel()
+    fingerprints, batches = _make_batches(mix, scale, batch_size, seed)
+    if fault_plan.has_outages and len(batches) <= fault_plan.start:
+        raise ValueError(
+            f"only {len(batches)} batch(es) at batch_size={batch_size}: too short for "
+            f"an outage plan starting at t={fault_plan.start:g}; lower batch_size or "
+            "raise scale"
+        )
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
+    )
+
+    def make_cluster() -> SHHCCluster:
+        return SHHCCluster(
+            ClusterConfig(
+                num_nodes=num_nodes,
+                node=config,
+                virtual_nodes=virtual_nodes,
+                replication_factor=replication_factor,
+            ),
+            cost_model=model,
+        )
+
+    interval = _calibrate_interval(make_cluster, batches, offered_load)
+
+    cluster = make_cluster()
+    ledger = cluster.ledger
+    schedule = fault_plan.schedule(cluster.node_names, horizon=float(len(batches)))
+    injector = FaultInjector(cluster, schedule)
+    result = ControlPlaneResult(
+        kind="failover_timed",
+        num_nodes=num_nodes,
+        replication_factor=replication_factor,
+        virtual_nodes=virtual_nodes,
+        batch_size=batch_size,
+        offered_load=offered_load,
+        headline_phase=DEGRADED_PHASE,
+        fingerprints_processed=len(fingerprints),
+        batches=len(batches),
+        interval=interval,
+    )
+
+    for index, batch in enumerate(batches):
+        ledger.advance_to(index * interval)
+        injector.advance(index)
+        degraded = any(cluster.is_down(name) for name in cluster.node_names)
+        if index == 0:
+            ledger.set_phase(WARMUP_PHASE)
+        elif degraded:
+            ledger.set_phase(DEGRADED_PHASE)
+        else:
+            ledger.set_phase(STEADY_PHASE)
+        if degraded:
+            servable = []
+            for fingerprint in batch:
+                if any(not cluster.is_down(n) for n in cluster.replica_set(fingerprint)):
+                    servable.append(fingerprint)
+                else:
+                    result.unserved += 1
+        else:
+            servable = batch
+        cluster.lookup_batch(servable)
+    injector.drain()
+
+    return _finish(
+        result,
+        cluster,
+        {"crashes": injector.crashes, "recoveries": injector.recoveries},
+    )
+
+
+def run_churn_timed(
+    scale: float = 0.002,
+    num_nodes: int = 4,
+    replication_factor: int = 2,
+    virtual_nodes: int = 64,
+    batch_size: int = 256,
+    offered_load: float = 0.7,
+    mix: Optional[WorkloadMix] = None,
+    churn_plan: Optional[ChurnPlan] = None,
+    node_config: Optional[HashNodeConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    seed: int = 0,
+) -> ControlPlaneResult:
+    """Measure the lookup-latency distribution *during* membership churn.
+
+    Like :func:`run_failover_timed`, but the disturbance is a
+    :class:`~repro.core.membership.ChurnPlan` (default: alternating
+    join/leave).  Each membership change's copy traffic is charged to the
+    source and target nodes' timelines (export CPU, fabric transfer,
+    import CPU), so batches right after an event queue behind the
+    migration; they are recorded under the ``migrating`` phase until the
+    backlog drains back under one arrival interval.
+    """
+    _validate(scale, batch_size, offered_load)
+    if num_nodes < MIN_NODES:
+        raise ValueError(f"num_nodes must be >= {MIN_NODES}")
+    plan = churn_plan if churn_plan is not None else ChurnPlan.join_leave(DEFAULT_CHURN_EVENTS)
+    model = cost_model if cost_model is not None else CostModel()
+    fingerprints, batches = _make_batches(mix, scale, batch_size, seed)
+    if plan.has_churn and len(batches) <= plan.start:
+        raise ValueError(
+            f"only {len(batches)} batch(es) at batch_size={batch_size}: too short for "
+            f"a churn plan starting at t={plan.start:g}; lower batch_size or raise scale"
+        )
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
+    )
+
+    def make_cluster() -> SHHCCluster:
+        return SHHCCluster(
+            ClusterConfig(
+                num_nodes=num_nodes,
+                node=config,
+                virtual_nodes=virtual_nodes,
+                replication_factor=replication_factor,
+            ),
+            cost_model=model,
+        )
+
+    interval = _calibrate_interval(make_cluster, batches, offered_load)
+
+    cluster = make_cluster()
+    ledger = cluster.ledger
+    manager = MembershipManager(cluster)
+    schedule = plan.schedule(horizon=float(len(batches))) if plan.has_churn else []
+    result = ControlPlaneResult(
+        kind="churn_timed",
+        num_nodes=num_nodes,
+        replication_factor=replication_factor,
+        virtual_nodes=virtual_nodes,
+        batch_size=batch_size,
+        offered_load=offered_load,
+        headline_phase=MIGRATING_PHASE,
+        fingerprints_processed=len(fingerprints),
+        batches=len(batches),
+        interval=interval,
+    )
+    joins = leaves = skipped = entries_moved = 0
+    next_index = {"value": num_nodes}
+
+    def _fire(event) -> bool:
+        nonlocal joins, leaves, skipped, entries_moved
+        if event.action == "join":
+            node_id = f"{cluster.config.node_name_prefix}-{next_index['value']}"
+            next_index["value"] += 1
+            report = manager.add_node(node_id)
+            joins += 1
+        else:
+            if len(cluster.nodes) <= MIN_NODES:
+                skipped += 1
+                return False
+            node_id = sorted(cluster.nodes)[0]
+            report = manager.remove_node(node_id)
+            leaves += 1
+        entries_moved += report.entries_moved
+        return True
+
+    pending = list(schedule)  # already time-ordered
+    for index, batch in enumerate(batches):
+        ledger.advance_to(index * interval)
+        fired = False
+        while pending and pending[0].time <= index:
+            fired = _fire(pending.pop(0)) or fired
+        if index == 0:
+            ledger.set_phase(WARMUP_PHASE)
+        elif fired or ledger.backlog() > interval:
+            # A change just happened, or its copy traffic is still draining.
+            ledger.set_phase(MIGRATING_PHASE)
+        else:
+            ledger.set_phase(STEADY_PHASE)
+        cluster.lookup_batch(batch)
+    for event in pending:  # events past the last batch still fire
+        _fire(event)
+
+    return _finish(
+        result,
+        cluster,
+        {
+            "joins": joins,
+            "leaves": leaves,
+            "skipped_events": skipped,
+            "entries_moved": entries_moved,
+        },
+    )

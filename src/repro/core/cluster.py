@@ -59,6 +59,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..dedup.fingerprint import Fingerprint
 from ..dedup.index import ChunkIndex, ChunkLocation, LookupResult
 from ..network.rpc import RpcLayer
+from ..simulation.costmodel import ControlPlaneLedger, CostModel
 from ..simulation.engine import Simulator
 from .batching import reassemble_replies, split_batch_by_replica_set
 from .config import ClusterConfig
@@ -88,9 +89,21 @@ class SHHCCluster(ChunkIndex):
         config: Optional[ClusterConfig] = None,
         sim: Optional[Simulator] = None,
         partitioner: Optional[Partitioner] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.sim = sim
+        #: Optional control-plane cost model (see simulation/costmodel.py).
+        #: ``None`` (the default) keeps the historical free-control-plane
+        #: behaviour byte-identical; enabled, replica propagation, read
+        #: repair and migration copies are charged as deferred CPU + network
+        #: events instead of same-instant side effects.
+        self.cost_model = cost_model
+        #: Immediate-mode charging timeline.  In simulated mode (``sim`` set)
+        #: costs are charged as scheduled CPU occupancy on the nodes instead.
+        self.ledger: Optional[ControlPlaneLedger] = (
+            ControlPlaneLedger(cost_model) if cost_model is not None and sim is None else None
+        )
         node_names = self.config.node_names
         if partitioner is not None:
             self.partitioner = partitioner
@@ -295,9 +308,11 @@ class SHHCCluster(ChunkIndex):
             n for n in self.replica_set(fingerprint) if n != serving and n not in self._down
         ]
         holders = [n for n in others if fingerprint in self.nodes[n]]
-        for node_name in others:
-            if node_name not in holders:
-                self.nodes[node_name].insert_replica(fingerprint)
+        targets = [n for n in others if n not in holders]
+        for node_name in targets:
+            self.nodes[node_name].insert_replica(fingerprint)
+        if targets and self.cost_model is not None:
+            self._charge_replica_writes({name: 1 for name in targets})
         if holders:
             self.read_repairs += 1
             return replace(reply, is_duplicate=True, served_from=ServedFrom.REPAIR)
@@ -421,6 +436,7 @@ class SHHCCluster(ChunkIndex):
                 bucket[1].append(fingerprint)
 
         replication_on = self.config.replication_factor > 1
+        ledger = self.ledger
         for serving, (positions, batch) in buckets.items():
             try:
                 replies, new_entries = self.nodes[serving].serve_bucket(batch)
@@ -429,7 +445,17 @@ class SHHCCluster(ChunkIndex):
                 # fingerprint individually on its remaining replicas.
                 self.failovers += 1
                 replies = [self._lookup_with_failover(fp, exclude=(serving,)) for fp in batch]
+                if ledger is not None:
+                    # Failed-over replies were served by whichever replica
+                    # answered; charge each to the node that did the work.
+                    for reply in replies:
+                        ledger.charge_bucket(reply.node_id, (reply,))
             else:
+                if ledger is not None:
+                    # Queue the bucket on the serving node's timeline first:
+                    # replica propagation below leaves at the bucket's
+                    # completion instant, not at dispatch.
+                    ledger.charge_bucket(serving, replies)
                 # A bucket that answered only duplicates has nothing to
                 # propagate or repair; skip the resolve pass outright.
                 if replication_on and new_entries:
@@ -503,7 +529,63 @@ class SHHCCluster(ChunkIndex):
                 append(reply)
         for name, new_digests in pending.items():
             nodes[name].finish_replica_inserts(new_digests)
+        if pending and self.cost_model is not None:
+            self._charge_replica_writes(
+                {name: len(new_digests) for name, new_digests in pending.items()}
+            )
         return resolved
+
+    # ------------------------------------------------------------------ cost charging
+    def _charge_replica_writes(self, pending: Dict[str, int]) -> None:
+        """Charge replica-propagation cost to the targets' timelines.
+
+        ``pending`` maps target node -> number of new entries shipped to it.
+        No-op without a cost model.  In immediate mode the ledger defers
+        apply CPU onto each target's busy-until frontier after the fabric
+        transfer; in simulated mode the same prices become scheduled CPU
+        occupancy on the target's worker pool, contending with lookups.
+        """
+        model = self.cost_model
+        if model is None or not pending:
+            return
+        if self.ledger is not None:
+            self.ledger.charge_replica_writes(pending)
+            return
+        if self.sim is None:  # pragma: no cover - ledger covers immediate mode
+            return
+        for target, entries in pending.items():
+            node = self.nodes.get(target)
+            if node is not None:
+                node.occupy_cpu(
+                    model.replica_apply_cpu(entries),
+                    delay=model.replica_transfer_time(entries),
+                )
+
+    def _charge_migration(self, transfers: Dict[Tuple[str, str], int]) -> None:
+        """Charge membership-migration copy traffic over the fabric.
+
+        ``transfers`` maps ``(source, target)`` -> entries copied during a
+        membership rebuild (:meth:`~repro.core.membership.MembershipManager._rebuild`).
+        The source pays export CPU, the entries cross the fabric at the
+        migration entry size, and the target pays import CPU on arrival.
+        No-op without a cost model.
+        """
+        model = self.cost_model
+        if model is None or not transfers:
+            return
+        if self.ledger is not None:
+            self.ledger.charge_migration(transfers)
+            return
+        if self.sim is None:  # pragma: no cover - ledger covers immediate mode
+            return
+        for (source, target), entries in transfers.items():
+            cpu = model.migration_cpu(entries)
+            src = self.nodes.get(source)
+            if src is not None:  # source may have just left the cluster
+                src.occupy_cpu(cpu)
+            dst = self.nodes.get(target)
+            if dst is not None:
+                dst.occupy_cpu(cpu, delay=model.migration_transfer_time(entries))
 
     def lookup_batch_replies_reference(
         self, fingerprints: Sequence[Fingerprint]
@@ -618,10 +700,13 @@ class SHHCCluster(ChunkIndex):
         node_id = node.node_id
 
         def _finalize(raw: BatchLookupReply) -> BatchLookupReply:
-            # Replica propagation / read repair for RPC-served batches.  In
-            # simulated mode the replica writes happen at the reply instant
-            # and cost no simulated time (replication bandwidth is not
-            # modelled, matching immediate mode).
+            # Replica propagation / read repair for RPC-served batches.  The
+            # writes are applied logically at the reply instant (verdicts are
+            # deterministic either way); with a cost model configured their
+            # *cost* is charged as deferred CPU occupancy on the target nodes
+            # after the fabric transfer (_charge_replica_writes via
+            # _resolve_reply), so replication contends with later lookups.
+            # Without one they stay free, matching the historical behaviour.
             replies = [self._resolve_reply(reply, node_id) for reply in raw.replies]
             return BatchLookupReply(replies=replies, node_id=node_id, batch_id=raw.batch_id)
 

@@ -245,6 +245,10 @@ class MembershipManager:
 
         by_target = action == "remove"
         breakdown: Dict[str, int] = {}
+        # Copy traffic per (source, target) pair, for the cluster's optional
+        # control-plane cost model: each pair becomes one sized transfer over
+        # the simulated fabric plus export/import CPU on both ends.
+        transfers: Dict[Tuple[str, str], int] = {}
         primary_moves = replica_copies = replica_drops = 0
         unreachable = sum(
             1 for digest in (lost_candidates or ()) if digest not in placement
@@ -273,11 +277,17 @@ class MembershipManager:
                         replica_copies += 1
                     key = target if by_target else source
                     breakdown[key] = breakdown.get(key, 0) + 1
+                    pair = (source, target)
+                    transfers[pair] = transfers.get(pair, 0) + 1
             for extra in sorted(holders - set(desired)):
                 if cluster.is_down(extra):
                     continue  # unreadable store; recovery repair reconciles it
                 if cluster.nodes[extra].remove_entry(digest):
                     replica_drops += 1
+
+        # Charge the copy traffic to the cluster's cost model (no-op when
+        # disabled): migration CPU and fabric time then contend with lookups.
+        cluster._charge_migration(transfers)
 
         return MigrationReport(
             action=action,

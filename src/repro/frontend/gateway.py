@@ -23,6 +23,7 @@ from ..core.fault_injection import FaultInjector, FaultPlan, FaultSchedule
 from ..dedup.chunking import Chunker, FixedSizeChunker
 from ..network.loadbalancer import LoadBalancer, RoundRobinPolicy
 from ..network.topology import BuiltNetwork, ClusterTopology
+from ..simulation.costmodel import CostModel
 from ..simulation.engine import Simulator
 from ..storage.object_store import CloudObjectStore
 from .client import BackupClient
@@ -140,6 +141,7 @@ def build_simulated_service(
     fault_plan: Optional[FaultPlan] = None,
     fault_horizon: float = 0.0,
     drop_in_flight: bool = False,
+    cost_model: Optional[CostModel] = None,
 ) -> SimulatedDeployment:
     """Construct the simulated Figure-2 deployment on ``sim``.
 
@@ -168,6 +170,15 @@ def build_simulated_service(
     arrive); with ``drop_in_flight=True`` those replies are lost and clients
     must recover through their timeout/retry path (see
     :class:`~repro.frontend.client.SimulatedClient` ``request_timeout``).
+
+    ``cost_model`` enables timing-true control-plane accounting: replica
+    propagation and read repair become deferred CPU occupancy on the target
+    hash nodes (after the modelled fabric transfer) instead of free
+    same-instant side effects, so a deployment built with
+    ``fault_plan=..., cost_model=CostModel()`` reports the latency
+    distribution *during* outages, replication tax included.  ``None`` (the
+    default) keeps the historical free control plane.  See
+    docs/control_plane.md.
     """
     if fault_plan is not None and fault_schedule is not None:
         raise ValueError("pass either fault_schedule or fault_plan, not both")
@@ -179,7 +190,7 @@ def build_simulated_service(
         hash_prefix=config.node_name_prefix,
     )
     network = topo.build_network(sim)
-    cluster = SHHCCluster(config, sim=sim)
+    cluster = SHHCCluster(config, sim=sim, cost_model=cost_model)
     cluster.register_services(network.rpc)
 
     load_balancer = LoadBalancer(RoundRobinPolicy())

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..simulation.engine import Event, Simulator
+from ..simulation.engine import Event, SimulationError, Simulator
 from ..simulation.resources import Resource
 from ..simulation.stats import Counter, LatencyRecorder
 from .message import Message
@@ -133,7 +133,26 @@ class NetworkLink:
 
 
 class _ImmediateEventSim:
-    def schedule(self, _delay: float, callback, *args) -> None:
+    """Zero-delay scheduler backing immediate-mode (``sim=None``) events.
+
+    :class:`~repro.simulation.engine.Event` needs a ``sim`` with a
+    ``schedule`` method so deferred callbacks added via ``add_callback``
+    after triggering can be dispatched.  In immediate mode there is no
+    clock, so this stub runs callbacks synchronously -- but only for a
+    zero delay.  It *honors* the delay argument by rejecting anything it
+    cannot model: a positive delay here would be silently collapsed to
+    "now", which is exactly the free-control-plane bug the cost model
+    exists to prevent.  Anything that needs real delays must run on a
+    :class:`~repro.simulation.engine.Simulator` (or charge a
+    :class:`~repro.simulation.costmodel.ControlPlaneLedger`).
+    """
+
+    def schedule(self, delay: float, callback, *args) -> None:
+        if delay > 0:
+            raise SimulationError(
+                "immediate-mode events cannot schedule a positive delay "
+                f"({delay!r}); use a Simulator for timed behaviour"
+            )
         callback(*args)
 
 

@@ -26,6 +26,7 @@ from ..workloads.mixer import WorkloadMix, table_i_mix
 from ..workloads.profiles import WorkloadProfile, profile_by_name
 from ..analysis.experiments import (
     ablations,
+    control_plane,
     elasticity,
     failover,
     figure1,
@@ -541,6 +542,94 @@ register_preset(
         node_keys=NODE_KEYS,
         workload_keys=frozenset({"scale", "profiles"}),
         client_keys=frozenset({"batch_size"}),
+        accepts_churn=True,
+    )
+)
+
+
+# ----------------------------------------------------------- timed control plane
+def _timed_metrics(result: Any) -> Dict[str, Any]:
+    """Common metrics schema for the timed control-plane presets."""
+    steady, taxed = result.steady, result.taxed
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.fingerprints_processed,
+        "offered_load": result.offered_load,
+        "arrival_interval_us": result.interval * 1e6,
+        "throughput": result.throughput,
+        "p99_tax": result.p99_tax,
+        "control_plane_cpu_seconds": result.control_plane_cpu_seconds,
+        "unserved": result.unserved,
+    }
+    for label, stats in (("steady", steady), (result.headline_phase, taxed)):
+        if stats is None:
+            continue
+        metrics[f"{label}_lookups"] = stats.count
+        metrics[f"{label}_mean_latency_us"] = stats.mean * 1e6
+        metrics[f"{label}_p50_latency_us"] = stats.p50 * 1e6
+        metrics[f"{label}_p99_latency_us"] = stats.p99 * 1e6
+    metrics.update(result.counters)
+    return metrics
+
+
+def _run_failover_timed(spec: ScenarioSpec) -> ScenarioResult:
+    cluster, client, workload = spec.cluster, spec.client, spec.workload
+    seed = _seed(spec, 0)
+    result = control_plane.run_failover_timed(
+        scale=workload.get("scale", 0.002),
+        num_nodes=cluster.get("num_nodes", 4),
+        replication_factor=cluster.get("replication_factor", 2),
+        virtual_nodes=cluster.get("virtual_nodes", 64),
+        batch_size=client.get("batch_size", 256),
+        offered_load=client.get("offered_load", 0.7),
+        mix=_mix(spec, seed),
+        fault_plan=spec.faults,
+        node_config=_node_config(spec),
+        seed=seed,
+    )
+    return ScenarioResult(spec=spec, metrics=_timed_metrics(result), detail=result)
+
+
+register_preset(
+    Preset(
+        name="failover_timed",
+        description="Lookup p50/p99 and throughput during outages, control-plane costs charged",
+        runner=_run_failover_timed,
+        cluster_keys=frozenset({"num_nodes", "replication_factor", "virtual_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "profiles"}),
+        client_keys=frozenset({"batch_size", "offered_load"}),
+        accepts_faults=True,
+    )
+)
+
+
+def _run_churn_timed(spec: ScenarioSpec) -> ScenarioResult:
+    cluster, client, workload = spec.cluster, spec.client, spec.workload
+    seed = _seed(spec, 0)
+    result = control_plane.run_churn_timed(
+        scale=workload.get("scale", 0.002),
+        num_nodes=cluster.get("num_nodes", 4),
+        replication_factor=cluster.get("replication_factor", 2),
+        virtual_nodes=cluster.get("virtual_nodes", 64),
+        batch_size=client.get("batch_size", 256),
+        offered_load=client.get("offered_load", 0.7),
+        mix=_mix(spec, seed),
+        churn_plan=spec.churn,
+        node_config=_node_config(spec),
+        seed=seed,
+    )
+    return ScenarioResult(spec=spec, metrics=_timed_metrics(result), detail=result)
+
+
+register_preset(
+    Preset(
+        name="churn_timed",
+        description="Lookup p50/p99 and throughput during membership churn, migration costs charged",
+        runner=_run_churn_timed,
+        cluster_keys=frozenset({"num_nodes", "replication_factor", "virtual_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "profiles"}),
+        client_keys=frozenset({"batch_size", "offered_load"}),
         accepts_churn=True,
     )
 )

@@ -180,6 +180,9 @@ class LatencyRecorder:
         goes through :meth:`ReservoirSample.add_many`.  This is the batch
         lookup path's per-reply latency sink.
         """
+        # Materialise one-shot iterables first: the Welford loop below would
+        # otherwise exhaust a generator before the reservoir sees it.
+        values = values if isinstance(values, (list, tuple)) else list(values)
         summary = self.summary
         count = summary.count
         total = summary.total

@@ -1,0 +1,266 @@
+"""Tests for the control-plane cost model (simulation/costmodel.py).
+
+Covers the pricing math, the immediate-mode ledger's queueing semantics,
+the byte-identity of the disabled path, the strict latency tax the timed
+experiments must report, and the simulated-mode CPU-occupancy charging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments.control_plane import (
+    DEGRADED_PHASE,
+    MIGRATING_PHASE,
+    STEADY_PHASE,
+    run_churn_timed,
+    run_failover_timed,
+)
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.membership import MembershipManager
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.network.link import DEFAULT_LINK_LATENCY, GIGABIT_BANDWIDTH, _ImmediateEventSim
+from repro.scenarios import run_scenario
+from repro.simulation.costmodel import ControlPlaneLedger, CostModel
+from repro.simulation.engine import SimulationError, Simulator
+
+
+def _small_config(num_nodes: int = 3, replication_factor: int = 2) -> ClusterConfig:
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        replication_factor=replication_factor,
+        virtual_nodes=16,
+        node=HashNodeConfig(ram_cache_entries=1_024, bloom_expected_items=20_000),
+    )
+
+
+def _workload(count: int, distinct: int, seed: int = 5):
+    import random
+
+    rng = random.Random(seed)
+    return [synthetic_fingerprint(rng.randrange(distinct)) for _ in range(count)]
+
+
+class TestCostModel:
+    def test_transfer_time_prices_hops_and_bytes(self):
+        model = CostModel()
+        assert model.transfer_time(0, 64, 2) == pytest.approx(2 * DEFAULT_LINK_LATENCY)
+        one_entry = model.replica_transfer_time(1)
+        assert one_entry == pytest.approx(
+            model.replica_hops * model.hop_latency + 64 / GIGABIT_BANDWIDTH
+        )
+        # Bytes scale linearly, the hop latency is paid once per message.
+        assert model.replica_transfer_time(10) == pytest.approx(
+            model.replica_hops * model.hop_latency + 10 * 64 / GIGABIT_BANDWIDTH
+        )
+
+    def test_cpu_prices_are_per_entry(self):
+        model = CostModel(replica_write_cpu=3e-6, migration_entry_cpu=2e-6)
+        assert model.replica_apply_cpu(5) == pytest.approx(15e-6)
+        assert model.migration_cpu(4) == pytest.approx(8e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(replica_write_cpu=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            CostModel(replica_hops=-1)
+
+
+class _Reply:
+    """Minimal stand-in: the ledger only reads ``service_time``."""
+
+    def __init__(self, service_time: float) -> None:
+        self.service_time = service_time
+
+
+class TestControlPlaneLedger:
+    def test_begin_service_queues_fifo_per_node(self):
+        ledger = ControlPlaneLedger(CostModel())
+        start, end = ledger.begin_service("a", 2.0)
+        assert (start, end) == (0.0, 2.0)
+        start, end = ledger.begin_service("a", 1.0)  # queues behind the first
+        assert (start, end) == (2.0, 3.0)
+        start, end = ledger.begin_service("b", 1.0)  # other node: idle
+        assert (start, end) == (0.0, 1.0)
+        ledger.advance_to(10.0)
+        start, end = ledger.begin_service("a", 1.0)  # backlog drained by now
+        assert (start, end) == (10.0, 11.0)
+
+    def test_defer_delays_later_lookups(self):
+        ledger = ControlPlaneLedger(CostModel())
+        done = ledger.defer("a", at=5.0, cpu_time=2.0)
+        assert done == 7.0
+        assert ledger.control_plane_cpu_seconds == pytest.approx(2.0)
+        # A lookup arriving at t=0 still queues behind the deferred work.
+        _start, end = ledger.begin_service("a", 1.0)
+        assert end == 8.0
+        assert ledger.backlog() == pytest.approx(8.0)
+
+    def test_charge_bucket_records_per_phase(self):
+        ledger = ControlPlaneLedger(CostModel())
+        ledger.charge_bucket("a", [_Reply(1.0), _Reply(1.0)])
+        ledger.set_phase(DEGRADED_PHASE)
+        ledger.charge_bucket("a", [_Reply(1.0)])
+        phases = ledger.phases
+        assert phases[STEADY_PHASE].count == 2
+        assert phases[DEGRADED_PHASE].count == 1
+        # Second bucket queued behind the first: latency 2 + 1 from t=0.
+        assert phases[DEGRADED_PHASE].percentile(0.5) == pytest.approx(3.0)
+        assert ledger.counters.get("lookups") == 3
+
+    def test_charge_replica_writes_defers_on_targets(self):
+        model = CostModel()
+        ledger = ControlPlaneLedger(model)
+        ledger.charge_bucket("a", [_Reply(1.0)])
+        ledger.charge_replica_writes({"b": 4})
+        expected = 1.0 + model.replica_transfer_time(4) + model.replica_apply_cpu(4)
+        assert ledger.busy_until["b"] == pytest.approx(expected)
+        assert ledger.counters.get("replica_writes") == 4
+        assert ledger.counters.get("replica_messages") == 1
+
+    def test_charge_migration_chains_export_wire_import(self):
+        model = CostModel()
+        ledger = ControlPlaneLedger(model)
+        ledger.charge_migration({("a", "b"): 10})
+        export_done = model.migration_cpu(10)
+        assert ledger.busy_until["a"] == pytest.approx(export_done)
+        assert ledger.busy_until["b"] == pytest.approx(
+            export_done + model.migration_transfer_time(10) + model.migration_cpu(10)
+        )
+        assert ledger.counters.get("migration_entries") == 10
+
+
+class TestDisabledPathIdentity:
+    """Charging must never change verdicts, counters or replica writes."""
+
+    def test_enabled_replies_identical_to_disabled(self):
+        fingerprints = _workload(4_000, 1_500)
+        plain = SHHCCluster(_small_config())
+        charged = SHHCCluster(_small_config(), cost_model=CostModel())
+        for start in range(0, len(fingerprints), 256):
+            batch = fingerprints[start:start + 256]
+            assert charged.lookup_batch_replies(batch) == plain.lookup_batch_replies(batch)
+        assert charged.read_repairs == plain.read_repairs
+        assert charged.failovers == plain.failovers
+        assert charged.total_stored == plain.total_stored
+        for name in plain.nodes:
+            assert (
+                charged.nodes[name].counters.as_dict()
+                == plain.nodes[name].counters.as_dict()
+            )
+        # ...and the enabled cluster actually charged something.
+        assert charged.ledger is not None
+        assert charged.ledger.counters.get("replica_writes") > 0
+        assert plain.ledger is None
+
+    def test_migration_identical_with_charging(self):
+        fingerprints = _workload(2_000, 1_000)
+        plain = SHHCCluster(_small_config())
+        charged = SHHCCluster(_small_config(), cost_model=CostModel())
+        plain.lookup_batch(fingerprints)
+        charged.lookup_batch(fingerprints)
+        plain_report = MembershipManager(plain).add_node("hashnode-9")
+        charged_report = MembershipManager(charged).add_node("hashnode-9")
+        assert charged_report.entries_moved == plain_report.entries_moved
+        assert charged_report.source_breakdown == plain_report.source_breakdown
+        assert charged.total_stored == plain.total_stored
+        assert charged.ledger.counters.get("migration_entries") == plain_report.entries_moved
+
+
+class TestTimedExperiments:
+    def test_failover_timed_degraded_p99_strictly_higher(self):
+        result = run_failover_timed(scale=0.001, seed=0)
+        steady, degraded = result.phases[STEADY_PHASE], result.phases[DEGRADED_PHASE]
+        assert steady.count > 0 and degraded.count > 0
+        assert degraded.p99 > steady.p99
+        assert result.p99_tax > 1.0
+        assert result.throughput > 0.0
+        assert result.counters["crashes"] > 0
+        assert result.counters["recoveries"] > 0
+        assert result.counters["replica_writes"] > 0
+        assert result.control_plane_cpu_seconds > 0.0
+
+    def test_churn_timed_migrating_p99_strictly_higher(self):
+        result = run_churn_timed(scale=0.001, seed=0)
+        steady, migrating = result.phases[STEADY_PHASE], result.phases[MIGRATING_PHASE]
+        assert steady.count > 0 and migrating.count > 0
+        assert migrating.p99 > steady.p99
+        assert result.p99_tax > 1.0
+        assert result.counters["joins"] > 0
+        assert result.counters["migration_entries"] > 0
+
+    def test_presets_report_tax_metrics(self):
+        failover = run_scenario("failover_timed", scale=0.001)
+        assert failover.metrics["p99_tax"] > 1.0
+        assert failover.metrics["degraded_p99_latency_us"] > failover.metrics["steady_p99_latency_us"]
+        churn = run_scenario("churn_timed", scale=0.001)
+        assert churn.metrics["p99_tax"] > 1.0
+        assert churn.metrics["migrating_p99_latency_us"] > churn.metrics["steady_p99_latency_us"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_failover_timed(scale=0.001, offered_load=1.5)
+        with pytest.raises(ValueError):
+            # One giant batch: too short for an outage plan starting at t=1.
+            run_failover_timed(scale=0.0001, batch_size=1_000_000)
+        with pytest.raises(ValueError):
+            run_churn_timed(scale=0.001, num_nodes=1)
+
+
+class TestSimulatedModeCharging:
+    def test_occupy_cpu_contends_on_the_simulated_clock(self):
+        sim = Simulator()
+        config = _small_config()
+        cluster = SHHCCluster(config, sim=sim, cost_model=CostModel())
+        assert cluster.ledger is None  # sim mode charges node CPU, not a ledger
+        node = cluster.nodes["hashnode-0"]
+        process = node.occupy_cpu(duration=2e-3, delay=1e-3)
+        assert process is not None
+        sim.run()
+        assert sim.now == pytest.approx(3e-3)
+        assert node.counters.get("control_plane_tasks") == 1
+        assert node._cpu.total_requests == 1
+
+    def test_charge_replica_writes_occupies_target_cpu(self):
+        sim = Simulator()
+        model = CostModel()
+        cluster = SHHCCluster(_small_config(), sim=sim, cost_model=model)
+        cluster._charge_replica_writes({"hashnode-1": 3})
+        sim.run()
+        assert sim.now == pytest.approx(
+            model.replica_transfer_time(3) + model.replica_apply_cpu(3)
+        )
+        assert cluster.nodes["hashnode-1"].counters.get("control_plane_tasks") == 1
+
+    def test_charge_migration_occupies_both_ends(self):
+        sim = Simulator()
+        model = CostModel()
+        cluster = SHHCCluster(_small_config(), sim=sim, cost_model=model)
+        cluster._charge_migration({("hashnode-0", "hashnode-1"): 5})
+        sim.run()
+        assert cluster.nodes["hashnode-0"].counters.get("control_plane_tasks") == 1
+        assert cluster.nodes["hashnode-1"].counters.get("control_plane_tasks") == 1
+        # A source that already left the cluster is skipped, not an error.
+        cluster._charge_migration({("gone", "hashnode-2"): 5})
+        sim.run()
+        assert cluster.nodes["hashnode-2"].counters.get("control_plane_tasks") == 1
+
+    def test_occupy_cpu_is_noop_in_immediate_mode(self):
+        node = SHHCCluster(_small_config()).nodes["hashnode-0"]
+        assert node.occupy_cpu(1.0) is None
+        with pytest.raises(ValueError):
+            SHHCCluster(_small_config(), sim=Simulator()).nodes["hashnode-0"].occupy_cpu(-1.0)
+
+
+class TestImmediateEventSim:
+    def test_zero_delay_dispatches_synchronously(self):
+        fired = []
+        _ImmediateEventSim().schedule(0.0, fired.append, "x")
+        assert fired == ["x"]
+
+    def test_positive_delay_is_rejected(self):
+        with pytest.raises(SimulationError):
+            _ImmediateEventSim().schedule(1e-6, lambda: None)

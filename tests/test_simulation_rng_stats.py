@@ -248,3 +248,60 @@ class TestBatchedRecording:
         recorder.record_many(float(i) for i in range(10))
         assert recorder.count == 10
         assert recorder.summary.maximum == 9.0
+        # The one-shot iterable must reach the reservoir too, not just the
+        # Welford summary (a generator is exhausted after one pass).
+        assert sorted(recorder.reservoir.values()) == [float(i) for i in range(10)]
+
+    def test_empty_batch_is_a_noop(self):
+        recorder = LatencyRecorder("empty", reservoir_size=8)
+        recorder.record_many([])
+        assert recorder.count == 0
+        assert recorder.reservoir.values() == []
+        assert recorder.reservoir.seen == 0
+        # On a non-empty recorder too: summary, reservoir and RNG state all
+        # untouched (later draws must match a recorder that never saw the
+        # empty batch).
+        reference = LatencyRecorder("ref", reservoir_size=8)
+        values = [float(v) for v in range(20)]
+        recorder.record_many(values)
+        recorder.record_many([])
+        reference.record_many(values)
+        recorder.record_many(values)
+        reference.record_many(values)
+        assert recorder.summary.as_dict() == reference.summary.as_dict()
+        assert recorder.reservoir.values() == reference.reservoir.values()
+        sample = ReservoirSample(capacity=4, seed=11)
+        sample.add_many([1.0, 2.0, 3.0, 4.0, 5.0])  # beyond capacity: RNG engaged
+        snapshot, seen = sample.values(), sample.seen
+        sample.add_many([])
+        assert sample.values() == snapshot and sample.seen == seen
+
+    def test_single_element_batch_matches_single_add(self):
+        reference = LatencyRecorder("ref", reservoir_size=4)
+        batched = LatencyRecorder("fast", reservoir_size=4)
+        # Walk well past the reservoir capacity one element at a time so the
+        # single-element batch path is exercised both below and above it.
+        for value in range(12):
+            reference.record(float(value))
+            batched.record_many([float(value)])
+        assert batched.summary.as_dict() == reference.summary.as_dict()
+        assert batched.reservoir.values() == reference.reservoir.values()
+        assert batched.reservoir.seen == reference.reservoir.seen
+
+    def test_overflow_batch_ordering_matches_add_loop(self):
+        # A batch that crosses the capacity boundary mid-batch must fall back
+        # to per-sample offers in input order: the first elements still fill
+        # the free slots without RNG draws, the rest draw exactly the same
+        # replacement indices as a hand-written add() loop.
+        reference = ReservoirSample(capacity=10, seed=23)
+        batched = ReservoirSample(capacity=10, seed=23)
+        head = [float(v) for v in range(7)]
+        overflow = [float(v) for v in range(100, 130)]
+        for value in head:
+            reference.add(value)
+        batched.add_many(head)
+        for value in overflow:
+            reference.add(value)
+        batched.add_many(overflow)  # 7 + 30 > 10: boundary crossed mid-batch
+        assert batched.values() == reference.values()
+        assert batched.seen == reference.seen == 37
