@@ -465,6 +465,76 @@ def _bench_control_plane(scale: float) -> dict:
     }
 
 
+def _bench_recovery(scale: float) -> dict:
+    """Node restart: cold full-log replay vs snapshot warm restart.
+
+    Populates one node's on-disk persistence (container log of ``entries``
+    fingerprints) twice -- once bare, once with a bloom snapshot covering
+    the whole log -- then times :meth:`NodePersistence.recover_into` on a
+    fresh node for each.  The timed region includes opening the container
+    (the CRC scan) and rebuilding the store, so the ratio is end-to-end
+    restart time, not just the bloom delta.  Both paths must recover the
+    exact same entry count; the warm path must load the snapshot and
+    replay zero tail records.
+    """
+    import tempfile
+
+    from repro.core.persistence import NodePersistence
+    from repro.storage.hashstore import SSDHashStore
+
+    entries = max(10_000, int(60_000 * scale))
+    digests = [synthetic_fingerprint(i).digest for i in range(entries)]
+    expected_items = max(entries, 10_000)
+
+    class _Node:
+        def __init__(self) -> None:
+            self.node_id = "bench"
+            self.store = SSDHashStore(num_buckets=1 << 14)
+            self.bloom = BloomFilter(expected_items=expected_items, digest_keys=True)
+
+    def _populate(directory: str, snapshot: bool) -> None:
+        persistence = NodePersistence(directory)
+        persistence.log_insert_many((digest, 4096) for digest in digests)
+        if snapshot:
+            bloom = BloomFilter(expected_items=expected_items, digest_keys=True)
+            bloom.add_many(digests)
+            persistence.take_snapshot(bloom, entries=entries)
+        persistence.close()
+
+    def _recover(directory: str):
+        node = _Node()
+        with NodePersistence(directory) as persistence:
+            return persistence.recover_into(node)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as root:
+        cold_dir = os.path.join(root, "cold")
+        warm_dir = os.path.join(root, "warm")
+        _populate(cold_dir, snapshot=False)
+        _populate(warm_dir, snapshot=True)
+        cold_time, cold_report = _timed_best(lambda: _recover(cold_dir))
+        warm_time, warm_report = _timed_best(lambda: _recover(warm_dir))
+    assert cold_report.entries == warm_report.entries == entries
+    assert warm_report.snapshot_loaded and not cold_report.snapshot_loaded
+    assert warm_report.replayed == 0 and cold_report.replayed == entries
+    return {
+        "unit": "entries/s (restart recovery)",
+        "baseline": {
+            "path": "cold full-log replay",
+            "entries_per_s": entries / cold_time,
+            "entries": entries,
+            "replayed_records": cold_report.replayed,
+        },
+        "fast": {
+            "path": "snapshot warm restart",
+            "entries_per_s": entries / warm_time,
+            "entries": entries,
+            "replayed_records": warm_report.replayed,
+            "snapshot_bytes": warm_report.snapshot_bytes,
+        },
+        "speedup": cold_time / warm_time,
+    }
+
+
 def test_bench_hotpath(results_dir, scale):
     series = {
         "chunking": _bench_chunking(scale),
@@ -474,6 +544,7 @@ def test_bench_hotpath(results_dir, scale):
         "cluster_lookup": _bench_cluster(scale),
         "sweep_wall_clock": _bench_sweep(scale),
         "control_plane_tax": _bench_control_plane(scale),
+        "recovery_time": _bench_recovery(scale),
     }
 
     payload = {
@@ -500,6 +571,7 @@ def test_bench_hotpath(results_dir, scale):
                 "ops_per_s",
                 "events_per_s",
                 "fingerprints_per_s",
+                "entries_per_s",
                 "wall_clock_s",
                 "p99_latency_us",
             ):
@@ -541,6 +613,11 @@ def test_bench_hotpath(results_dir, scale):
             # Virtual-time ratio (deterministic): degraded p99 must stay
             # measurably above steady p99 while the cost model is charging.
             "control_plane_tax": 1.2,
+            # Warm (snapshot) restart vs cold full-log replay: the store
+            # rebuild is common to both sides, so the measured ratio sits
+            # around 1.2-1.3x; the floor asserts the snapshot path stays
+            # measurably ahead without being timing-fragile.
+            "recovery_time": 1.1,
         }
         for name, floor in floors.items():
             assert series[name]["speedup"] >= floor, (name, floor, series[name])

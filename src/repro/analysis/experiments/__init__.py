@@ -45,6 +45,7 @@ from .elasticity import ElasticityResult
 from .elasticity import run_elasticity as _run_elasticity
 from .failover import FailoverResult
 from .failover import run_failover as _run_failover
+from .restart import RestartResult, run_restart
 from .figure1 import Figure1Point, Figure1Result
 from .figure1 import run_figure1 as _run_figure1
 from .generational import GenerationalResult, GenerationRow
@@ -73,6 +74,8 @@ __all__ = [
     "run_elasticity",
     "FailoverResult",
     "run_failover",
+    "RestartResult",
+    "run_restart",
     "Figure1Point",
     "Figure1Result",
     "run_figure1",

@@ -1,0 +1,433 @@
+"""Kill/restart experiment -- recovery time and degraded-mode latency.
+
+The timed failover runs (:mod:`.control_plane`) crash nodes *reachability-
+wise*: a downed node keeps its RAM state and comes back instantly.  This
+experiment measures the harder event the paper's cluster must survive: a
+node process dies for real (cache, bloom filter and flash-store index all
+gone) and is restarted from its on-disk container log and bloom snapshot
+(see docs/persistence.md).
+
+One victim node is killed mid-workload and restarted ``downtime`` batches
+later.  The cluster is built with a :class:`~repro.core.persistence.PersistencePolicy`
+(files live in a temporary directory unless ``data_dir`` is given) and a
+:class:`~repro.simulation.costmodel.CostModel`, so the restart charges the
+recovery replay onto the victim's timeline: lookups landing on it while
+the index rebuilds queue behind the replay, and the per-phase recorders
+separate that warm-up tail out:
+
+* phase ``steady`` -- all nodes up, no recovery backlog;
+* phase ``degraded`` -- the victim is down, survivors absorb its load;
+* phase ``recovering`` -- the victim is back but its replay backlog has
+  not drained below one arrival interval yet;
+* phase ``warmup`` -- the calibration batch (index 0).
+
+Correctness is scored two ways.  A client-side oracle replays the stream
+(as in :mod:`.failover`) and counts wrong dedup verdicts; separately every
+*acknowledged* fingerprint -- one the cluster answered for before the kill
+-- is audited right after the restart: it must still be resident on some
+live replica, else it counts as ``lost_acknowledged``.  With persistence
+enabled the expected number is zero at every kill point; that is the
+crash-consistency claim the ``restart`` scenario preset asserts in CI.
+
+``warm_restart`` toggles the snapshot path: ``True`` (default) lets the
+victim restore its bloom filter from the latest snapshot and replay only
+the container tail; ``False`` disables snapshots so the restart replays
+the full log.  ``recovery_time`` (the charged CPU seconds) is the series
+the hot-path benchmark floors.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...core.cluster import SHHCCluster
+from ...core.config import ClusterConfig, HashNodeConfig
+from ...core.persistence import PersistencePolicy, RecoveryReport
+from ...dedup.fingerprint import Fingerprint
+from ...simulation.costmodel import CostModel
+from ...workloads.mixer import WorkloadMix
+from ..reporting import format_table
+from .control_plane import (
+    DEGRADED_PHASE,
+    STEADY_PHASE,
+    WARMUP_PHASE,
+    PhaseLatency,
+    _calibrate_interval,
+    _finish,
+    _make_batches,
+    _validate,
+)
+
+__all__ = ["RestartResult", "run_restart", "RECOVERING_PHASE"]
+
+RECOVERING_PHASE = "recovering"
+
+
+@dataclass
+class RestartResult:
+    """Outcome of one kill/restart run."""
+
+    num_nodes: int
+    replication_factor: int
+    virtual_nodes: int
+    batch_size: int
+    offered_load: float
+    warm_restart: bool
+    snapshot_every: int
+    victim: str
+    kill_batch: int
+    restart_batch: int
+    fingerprints_processed: int = 0
+    batches: int = 0
+    interval: float = 0.0
+    phases: Dict[str, PhaseLatency] = field(default_factory=dict)
+    throughput: float = 0.0
+    control_plane_cpu_seconds: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Fingerprints never sent because their whole replica set was down.
+    unserved: int = 0
+    #: Dedup verdict errors against the client-side oracle.
+    false_uniques: int = 0
+    false_duplicates: int = 0
+    #: Fingerprints the cluster had answered for before the kill, and how
+    #: many of them were missing from every live replica after the restart.
+    acknowledged: int = 0
+    lost_acknowledged: int = 0
+    #: Simulated CPU seconds the restart charged onto the victim's timeline
+    #: (the headline recovery-time figure), and the host wall time of the
+    #: actual on-disk rebuild.
+    recovery_time: float = 0.0
+    recovery_wall_seconds: float = 0.0
+    recovered_entries: int = 0
+    replayed_records: int = 0
+    snapshot_loaded: bool = False
+    snapshot_bytes: int = 0
+
+    @property
+    def steady(self) -> Optional[PhaseLatency]:
+        return self.phases.get(STEADY_PHASE)
+
+    @property
+    def degraded(self) -> Optional[PhaseLatency]:
+        return self.phases.get(DEGRADED_PHASE)
+
+    @property
+    def recovering(self) -> Optional[PhaseLatency]:
+        return self.phases.get(RECOVERING_PHASE)
+
+    @property
+    def dedup_errors(self) -> int:
+        return self.false_uniques + self.false_duplicates
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of the stream that got the correct, served verdict."""
+        if self.fingerprints_processed == 0:
+            return 1.0
+        wrong = self.dedup_errors + self.unserved
+        return 1.0 - wrong / self.fingerprints_processed
+
+    @property
+    def acknowledged_accuracy(self) -> float:
+        """Fraction of pre-kill acknowledged fingerprints still resident."""
+        if self.acknowledged == 0:
+            return 1.0
+        return 1.0 - self.lost_acknowledged / self.acknowledged
+
+    def _tax(self, phase: Optional[PhaseLatency]) -> float:
+        steady = self.steady
+        if steady is None or phase is None or steady.p99 <= 0.0:
+            return 1.0
+        return phase.p99 / steady.p99
+
+    @property
+    def degraded_p99_tax(self) -> float:
+        """Degraded-phase p99 over steady p99 (survivors absorbing load)."""
+        return self._tax(self.degraded)
+
+    @property
+    def recovery_p99_tax(self) -> float:
+        """Recovering-phase p99 over steady p99 (replay queueing on the victim)."""
+        return self._tax(self.recovering)
+
+    def render(self) -> str:
+        rows = [
+            ["nodes", self.num_nodes],
+            ["replication factor", self.replication_factor],
+            ["batch size", self.batch_size],
+            ["offered load", self.offered_load],
+            ["warm restart (snapshot)", self.warm_restart],
+            ["snapshot cadence (records)", self.snapshot_every],
+            ["victim", self.victim],
+            ["kill batch / restart batch", f"{self.kill_batch} / {self.restart_batch}"],
+            ["fingerprints", self.fingerprints_processed],
+            ["batches", self.batches],
+            ["arrival interval us", round(self.interval * 1e6, 2)],
+            ["throughput (lookups/s)", round(self.throughput, 1)],
+            ["recovery time ms (charged)", round(self.recovery_time * 1e3, 3)],
+            ["recovery wall ms", round(self.recovery_wall_seconds * 1e3, 3)],
+            ["recovered entries", self.recovered_entries],
+            ["replayed tail records", self.replayed_records],
+            ["snapshot loaded", self.snapshot_loaded],
+            ["snapshot bytes", self.snapshot_bytes],
+            ["dedup accuracy", round(self.accuracy, 6)],
+            ["acknowledged before kill", self.acknowledged],
+            ["lost acknowledged", self.lost_acknowledged],
+            ["degraded p99 tax", round(self.degraded_p99_tax, 3)],
+            ["recovery p99 tax", round(self.recovery_p99_tax, 3)],
+        ]
+        if self.unserved:
+            rows.append(["unserved lookups", self.unserved])
+        if self.dedup_errors:
+            rows += [
+                ["false uniques", self.false_uniques],
+                ["false duplicates", self.false_duplicates],
+            ]
+        for name in (STEADY_PHASE, DEGRADED_PHASE, RECOVERING_PHASE, WARMUP_PHASE):
+            stats = self.phases.get(name)
+            if stats is None:
+                continue
+            rows += [
+                [f"{name} lookups", stats.count],
+                [f"{name} p50 us", round(stats.p50 * 1e6, 2)],
+                [f"{name} p99 us", round(stats.p99 * 1e6, 2)],
+            ]
+        for counter in sorted(self.counters):
+            rows.append([counter, self.counters[counter]])
+        return format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"restart: kill/restart recovery "
+                f"({self.num_nodes} nodes, k={self.replication_factor}, "
+                f"{'warm' if self.warm_restart else 'cold'})"
+            ),
+        )
+
+
+def _default_cadence(
+    fingerprints: List[Fingerprint], replication_factor: int, num_nodes: int
+) -> int:
+    """Snapshot cadence giving each node a handful of snapshots per run.
+
+    Container records grow only on *unique* inserts, so the cadence is
+    sized from the distinct digest count: each node absorbs roughly
+    ``distinct * k / num_nodes`` records over a full pass, and an eighth of
+    that as the cadence means the victim has taken a snapshot or two well
+    before a mid-run kill, while staying coarse enough that snapshot cost
+    stays small.
+    """
+    distinct = len({fingerprint.digest for fingerprint in fingerprints})
+    per_node = (distinct * replication_factor) // max(1, num_nodes)
+    return max(64, per_node // 8)
+
+
+def run_restart(
+    scale: float = 0.002,
+    num_nodes: int = 4,
+    replication_factor: int = 2,
+    virtual_nodes: int = 64,
+    batch_size: int = 256,
+    offered_load: float = 0.7,
+    kill_batch: Optional[int] = None,
+    downtime: int = 2,
+    warm_restart: bool = True,
+    snapshot_every: Optional[int] = None,
+    fsync: bool = False,
+    data_dir: Optional[str] = None,
+    mix: Optional[WorkloadMix] = None,
+    node_config: Optional[HashNodeConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    seed: int = 0,
+) -> RestartResult:
+    """Kill one node mid-workload, restart it from disk, measure recovery.
+
+    The victim (the lexicographically first node) is killed at batch
+    ``kill_batch`` (default: one third into the run) and restarted
+    ``downtime`` batches later.  Returns a :class:`RestartResult` carrying
+    the charged recovery time, the degraded-/recovering-phase latency
+    distributions, the oracle dedup accuracy and the acknowledged-
+    fingerprint audit.
+
+    ``data_dir`` keeps the persistence files after the run (for
+    inspection); by default they live in a temporary directory that is
+    removed on return.
+    """
+    _validate(scale, batch_size, offered_load)
+    if downtime < 1:
+        raise ValueError("downtime must be >= 1 batch")
+    model = cost_model if cost_model is not None else CostModel()
+    fingerprints, batches = _make_batches(mix, scale, batch_size, seed)
+    if kill_batch is None:
+        kill_batch = max(1, len(batches) // 3)
+    if kill_batch < 1:
+        raise ValueError("kill_batch must be >= 1 (batch 0 is calibration warm-up)")
+    restart_batch = kill_batch + downtime
+    if restart_batch >= len(batches):
+        raise ValueError(
+            f"only {len(batches)} batch(es) at batch_size={batch_size}: kill at "
+            f"{kill_batch} + downtime {downtime} leaves no post-restart batches; "
+            "lower batch_size or raise scale"
+        )
+    if warm_restart:
+        cadence = (
+            snapshot_every
+            if snapshot_every is not None
+            else _default_cadence(fingerprints, replication_factor, num_nodes)
+        )
+        if cadence < 1:
+            raise ValueError("snapshot_every must be >= 1 when warm_restart is on")
+    else:
+        cadence = 0  # no snapshots: the restart replays the full container log
+    config = node_config if node_config is not None else HashNodeConfig(
+        ram_cache_entries=200_000,
+        bloom_expected_items=max(1_000_000, len(fingerprints) * 2),
+    )
+
+    def make_cluster(persistence: Optional[PersistencePolicy] = None) -> SHHCCluster:
+        return SHHCCluster(
+            ClusterConfig(
+                num_nodes=num_nodes,
+                node=config,
+                virtual_nodes=virtual_nodes,
+                replication_factor=replication_factor,
+            ),
+            cost_model=model,
+            persistence=persistence,
+        )
+
+    # Calibrate against a persistence-free probe: container writes are host
+    # I/O, not simulated work, so they don't belong in the demand estimate.
+    interval = _calibrate_interval(make_cluster, batches, offered_load)
+
+    tmp = None
+    if data_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-restart-")
+        directory = tmp.name
+    else:
+        directory = data_dir
+    policy = PersistencePolicy(directory=directory, fsync=fsync, snapshot_every=cadence)
+    cluster = make_cluster(policy)
+    try:
+        return _run(
+            cluster,
+            batches,
+            interval,
+            kill_batch,
+            restart_batch,
+            RestartResult(
+                num_nodes=num_nodes,
+                replication_factor=replication_factor,
+                virtual_nodes=virtual_nodes,
+                batch_size=batch_size,
+                offered_load=offered_load,
+                warm_restart=warm_restart,
+                snapshot_every=cadence,
+                victim=sorted(cluster.nodes)[0],
+                kill_batch=kill_batch,
+                restart_batch=restart_batch,
+                fingerprints_processed=len(fingerprints),
+                batches=len(batches),
+                interval=interval,
+            ),
+        )
+    finally:
+        cluster.close()
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _audit_acknowledged(
+    cluster: SHHCCluster, acked: Dict[bytes, Fingerprint]
+) -> int:
+    """Acknowledged fingerprints missing from every live replica."""
+    lost = 0
+    for fingerprint in acked.values():
+        resident = any(
+            fingerprint in cluster.nodes[name]
+            for name in cluster.replica_set(fingerprint)
+            if not cluster.is_down(name)
+        )
+        if not resident:
+            lost += 1
+    return lost
+
+
+def _run(
+    cluster: SHHCCluster,
+    batches: List[List[Fingerprint]],
+    interval: float,
+    kill_batch: int,
+    restart_batch: int,
+    result: RestartResult,
+) -> RestartResult:
+    ledger = cluster.ledger
+    victim = result.victim
+    oracle_seen = set()
+    acked: Dict[bytes, Fingerprint] = {}
+    report: Optional[RecoveryReport] = None
+    in_recovery = False
+
+    for index, batch in enumerate(batches):
+        ledger.advance_to(index * interval)
+        if index == kill_batch:
+            result.acknowledged = len(acked)
+            cluster.kill_node(victim)
+        if index == restart_batch:
+            report = cluster.restart_node(victim)
+            in_recovery = True
+            result.lost_acknowledged = _audit_acknowledged(cluster, acked)
+        if index == 0:
+            ledger.set_phase(WARMUP_PHASE)
+        elif cluster.is_down(victim):
+            ledger.set_phase(DEGRADED_PHASE)
+        elif in_recovery:
+            if index > restart_batch and ledger.backlog() <= interval:
+                in_recovery = False  # replay backlog drained; back to steady
+                ledger.set_phase(STEADY_PHASE)
+            else:
+                ledger.set_phase(RECOVERING_PHASE)
+        else:
+            ledger.set_phase(STEADY_PHASE)
+
+        if cluster.is_down(victim):
+            servable = []
+            for fingerprint in batch:
+                if any(not cluster.is_down(n) for n in cluster.replica_set(fingerprint)):
+                    servable.append(fingerprint)
+                else:
+                    result.unserved += 1
+                    # The client presented it; the oracle remembers it.
+                    oracle_seen.add(fingerprint.digest)
+        else:
+            servable = batch
+        for outcome in cluster.lookup_batch(servable):
+            digest = outcome.fingerprint.digest
+            expected = digest in oracle_seen
+            oracle_seen.add(digest)
+            if outcome.is_duplicate and not expected:
+                result.false_duplicates += 1
+            elif not outcome.is_duplicate and expected:
+                result.false_uniques += 1
+            acked[digest] = outcome.fingerprint
+
+    if report is not None:
+        result.recovery_time = report.charged_seconds
+        result.recovery_wall_seconds = report.wall_seconds
+        result.recovered_entries = report.entries
+        result.replayed_records = report.replayed
+        result.snapshot_loaded = report.snapshot_loaded
+        result.snapshot_bytes = report.snapshot_bytes
+
+    snapshots = sum(
+        getattr(node.persistence, "snapshots_taken", 0) or 0
+        for node in cluster.nodes.values()
+        if getattr(node, "persistence", None) is not None
+    )
+    return _finish(
+        result,
+        cluster,
+        {"kills": 1, "restarts": 1, "snapshots_taken": snapshots},
+    )

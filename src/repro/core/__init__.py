@@ -19,6 +19,7 @@ from .fault_injection import (
 )
 from .hash_node import HybridHashNode, NodeSnapshot
 from .membership import MembershipManager, MigrationReport
+from .persistence import NodePersistence, PersistencePolicy, RecoveryReport
 from .metrics import ClusterMetrics, LoadBalanceReport
 from .partition import ConsistentHashRing, Partitioner, RangePartitioner
 from .protocol import (
@@ -49,6 +50,9 @@ __all__ = [
     "NodeSnapshot",
     "MembershipManager",
     "MigrationReport",
+    "NodePersistence",
+    "PersistencePolicy",
+    "RecoveryReport",
     "ClusterMetrics",
     "LoadBalanceReport",
     "ConsistentHashRing",

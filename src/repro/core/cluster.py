@@ -65,6 +65,7 @@ from .batching import reassemble_replies, split_batch_by_replica_set
 from .config import ClusterConfig
 from .fault_injection import NodeUnavailableError
 from .hash_node import HybridHashNode
+from .persistence import PersistencePolicy, RecoveryReport
 from .metrics import ClusterMetrics, LoadBalanceReport
 from .partition import ConsistentHashRing, Partitioner, RangePartitioner, key_of_digest
 from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply, ServedFrom
@@ -90,6 +91,7 @@ class SHHCCluster(ChunkIndex):
         sim: Optional[Simulator] = None,
         partitioner: Optional[Partitioner] = None,
         cost_model: Optional[CostModel] = None,
+        persistence: Optional[PersistencePolicy] = None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.sim = sim
@@ -111,8 +113,20 @@ class SHHCCluster(ChunkIndex):
             self.partitioner = ConsistentHashRing(node_names, self.config.virtual_nodes)
         else:
             self.partitioner = RangePartitioner(node_names)
+        #: Durable node storage (see core/persistence.py).  ``None`` (the
+        #: default) keeps every node purely in-memory and byte-identical to
+        #: the non-persistent build; enabled, each node journals acknowledged
+        #: inserts to its own container log and :meth:`restart_node` recovers
+        #: a killed node's state from disk.
+        self.persistence = persistence
         self.nodes: Dict[str, HybridHashNode] = {
-            name: HybridHashNode(name, self.config.node, sim) for name in node_names
+            name: HybridHashNode(
+                name,
+                self.config.node,
+                sim,
+                persistence=None if persistence is None else persistence.for_node(name),
+            )
+            for name in node_names
         }
         self._down: set = set()
         self.lookups = 0
@@ -170,6 +184,37 @@ class SHHCCluster(ChunkIndex):
 
     def is_down(self, name: str) -> bool:
         return name in self._down
+
+    def kill_node(self, name: str) -> None:
+        """Crash ``name`` for real: mark it down *and* destroy its in-memory state.
+
+        Unlike :meth:`mark_down` (a reachability fault whose state survives),
+        a kill loses the node's RAM cache, bloom filter and hash table --
+        everything except what its persistence layer wrote to disk.
+        """
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        self.mark_down(name)
+        self.nodes[name].kill()
+
+    def restart_node(self, name: str) -> Optional[RecoveryReport]:
+        """Restart a killed node, recovering its state from disk.
+
+        The node rebuilds its store and bloom filter from its container log
+        (and snapshot, when one exists) before rejoining the rotation.  The
+        recovery work is charged through the cost model -- lookups landing on
+        the node during warm-up queue behind the replay -- and the
+        :class:`~repro.core.persistence.RecoveryReport` (``None`` for a node
+        without persistence, which restarts empty) is returned with
+        ``charged_seconds`` filled in.
+        """
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        report = self.nodes[name].restart()
+        if report is not None:
+            report.charged_seconds = self._charge_recovery(name, report)
+        self.mark_up(name)
+        return report
 
     # ------------------------------------------------------------------ routing
     def owner_of(self, fingerprint: Fingerprint) -> str:
@@ -586,6 +631,35 @@ class SHHCCluster(ChunkIndex):
             dst = self.nodes.get(target)
             if dst is not None:
                 dst.occupy_cpu(cpu, delay=model.migration_transfer_time(entries))
+
+    def _charge_recovery(self, name: str, report: RecoveryReport) -> float:
+        """Charge a restarted node's index rebuild; returns the CPU seconds.
+
+        The per-record work is the store rebuild (``entries``) plus the
+        bloom replay (``replayed``: the post-snapshot tail on a warm
+        restart, every live key on a cold one), and the snapshot load is
+        priced per byte -- so a warm restart is charged measurably less
+        than a full log replay.  No-op without a cost model.
+        """
+        model = self.cost_model
+        if model is None:
+            return 0.0
+        replayed = report.entries + report.replayed
+        if self.ledger is not None:
+            return self.ledger.charge_recovery(name, replayed, report.snapshot_bytes)
+        cpu = model.recovery_cpu(replayed, report.snapshot_bytes)
+        if self.sim is not None:
+            node = self.nodes.get(name)
+            if node is not None:
+                node.occupy_cpu(cpu)
+        return cpu
+
+    def close(self) -> None:
+        """Release per-node persistence file handles (no-op without persistence)."""
+        for node in self.nodes.values():
+            persistence = getattr(node, "persistence", None)
+            if persistence is not None:
+                persistence.close()
 
     def lookup_batch_replies_reference(
         self, fingerprints: Sequence[Fingerprint]

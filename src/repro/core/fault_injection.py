@@ -44,12 +44,17 @@ __all__ = [
     "make_flaky",
     "rolling_outage_schedule",
     "rolling_outage_from_density",
+    "rolling_restart_from_density",
 ]
 
-#: Actions a fault event may carry.
+#: Actions a fault event may carry.  ``crash``/``recover`` are reachability
+#: faults (the node's state survives); ``kill``/``restart`` destroy the
+#: node's in-memory state and recover it from its persistence layer.
 CRASH = "crash"
 RECOVER = "recover"
-_ACTIONS = (CRASH, RECOVER)
+KILL = "kill"
+RESTART = "restart"
+_ACTIONS = (CRASH, RECOVER, KILL, RESTART)
 
 
 class NodeUnavailableError(RuntimeError):
@@ -101,6 +106,20 @@ class FaultSchedule:
         if duration <= 0:
             raise ValueError("outage duration must be positive")
         return self.crash(node, at=start).recover(node, at=start + duration)
+
+    def kill(self, node: str, at: float) -> "FaultSchedule":
+        """Schedule ``node`` to be killed (in-memory state destroyed) at ``at``."""
+        return self.add(FaultEvent(time=at, action=KILL, node=node))
+
+    def restart(self, node: str, at: float) -> "FaultSchedule":
+        """Schedule ``node`` to restart (recover state from disk) at ``at``."""
+        return self.add(FaultEvent(time=at, action=RESTART, node=node))
+
+    def kill_restart(self, node: str, start: float, duration: float) -> "FaultSchedule":
+        """Convenience: kill at ``start``, restart ``duration`` later."""
+        if duration <= 0:
+            raise ValueError("kill/restart duration must be positive")
+        return self.kill(node, at=start).restart(node, at=start + duration)
 
     # -- inspection -------------------------------------------------------------------
     @property
@@ -182,6 +201,33 @@ def rolling_outage_from_density(
     return schedule
 
 
+def rolling_restart_from_density(
+    node_names: Sequence[str],
+    horizon: float,
+    density: float,
+    rounds: int = 1,
+    start: float = 1.0,
+) -> FaultSchedule:
+    """Rolling **kill/restart** faults with :func:`rolling_outage_from_density` timing.
+
+    Same slots and downtimes as a rolling outage, but each node's crash
+    destroys its in-memory state (``kill``) and its rejoin recovers from
+    disk (``restart``) -- so clusters with persistence pay a real recovery
+    cost and clusters without lose data for real.
+    """
+    base = rolling_outage_from_density(
+        node_names, horizon=horizon, density=density, rounds=rounds, start=start
+    )
+    return FaultSchedule(
+        FaultEvent(
+            time=event.time,
+            action=KILL if event.action == CRASH else RESTART,
+            node=event.node,
+        )
+        for event in base
+    )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A declarative, serializable fault scenario.
@@ -205,6 +251,10 @@ class FaultPlan:
         probability ``failure_rate`` (see :class:`FlakyNode`).
     ``rolling_grey``
         Both at once: rolling clean outages plus grey-failing nodes.
+    ``rolling_restart``
+        Rolling **kill/restart** faults: same timing as ``rolling_outage``
+        but each crash destroys the node's in-memory state and each rejoin
+        recovers it from the persistence layer (empty without one).
     """
 
     kind: str = "none"
@@ -214,7 +264,7 @@ class FaultPlan:
     failure_rate: float = 0.0
     flaky_nodes: int = 1
 
-    KINDS = ("none", "rolling_outage", "grey_failure", "rolling_grey")
+    KINDS = ("none", "rolling_outage", "grey_failure", "rolling_grey", "rolling_restart")
 
     def __post_init__(self) -> None:
         if self.kind not in self.KINDS:
@@ -263,10 +313,22 @@ class FaultPlan:
             flaky_nodes=flaky_nodes,
         )
 
+    @classmethod
+    def rolling_restart(
+        cls, outage_density: float, rounds: int = 1, start: float = 1.0
+    ) -> "FaultPlan":
+        """Rolling kill/restart faults covering ``outage_density`` of each slot."""
+        return cls(
+            kind="rolling_restart", outage_density=outage_density, rounds=rounds, start=start
+        )
+
     # -- materialization --------------------------------------------------------------
     @property
     def has_outages(self) -> bool:
-        return self.kind in ("rolling_outage", "rolling_grey") and self.outage_density > 0.0
+        return (
+            self.kind in ("rolling_outage", "rolling_grey", "rolling_restart")
+            and self.outage_density > 0.0
+        )
 
     @property
     def has_grey_failures(self) -> bool:
@@ -276,7 +338,12 @@ class FaultPlan:
         """Concrete crash/recover events for this plan over ``[0, horizon)``."""
         if not self.has_outages:
             return FaultSchedule()
-        return rolling_outage_from_density(
+        builder = (
+            rolling_restart_from_density
+            if self.kind == "rolling_restart"
+            else rolling_outage_from_density
+        )
+        return builder(
             node_names,
             horizon=horizon,
             density=self.outage_density,
@@ -352,6 +419,10 @@ class FaultInjector:
         self.applied: List[FaultEvent] = []
         self.crashes = 0
         self.recoveries = 0
+        self.kills = 0
+        self.restarts = 0
+        #: ``(node, RecoveryReport-or-None)`` per applied restart event.
+        self.recovery_reports: List = []
 
     # -- immediate mode ---------------------------------------------------------------
     def advance(self, now: float) -> List[FaultEvent]:
@@ -376,12 +447,38 @@ class FaultInjector:
 
     # -- shared -----------------------------------------------------------------------
     def _apply(self, event: FaultEvent) -> None:
-        if event.action == CRASH:
+        action = event.action
+        if action == CRASH:
             self.cluster.mark_down(event.node)
             self.crashes += 1
             if self.on_crash is not None:
                 self.on_crash(event.node)
-        else:
+        elif action == KILL:
+            # A kill is a crash that also destroys the node's in-memory
+            # state.  Targets without the richer API (e.g. bare test
+            # doubles) degrade to a plain reachability crash.
+            kill_node = getattr(self.cluster, "kill_node", None)
+            if kill_node is not None:
+                kill_node(event.node)
+            else:
+                self.cluster.mark_down(event.node)
+            self.crashes += 1
+            self.kills += 1
+            if self.on_crash is not None:
+                self.on_crash(event.node)
+        elif action == RESTART:
+            restart_node = getattr(self.cluster, "restart_node", None)
+            if restart_node is not None:
+                report = restart_node(event.node)
+            else:
+                self.cluster.mark_up(event.node)
+                report = None
+            self.recoveries += 1
+            self.restarts += 1
+            self.recovery_reports.append((event.node, report))
+            if self.on_recovery is not None:
+                self.on_recovery(event.node)
+        else:  # RECOVER
             self.cluster.mark_up(event.node)
             self.recoveries += 1
             if self.on_recovery is not None:

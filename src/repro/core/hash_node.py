@@ -41,6 +41,7 @@ from ..storage.devices import StorageDevice, make_ram, make_ssd
 from ..storage.hashstore import SSDHashStore
 from ..storage.lru import LRUCache
 from .config import HashNodeConfig
+from .persistence import NodePersistence, RecoveryReport
 from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply, ServedFrom
 
 __all__ = ["HybridHashNode", "NodeSnapshot"]
@@ -81,6 +82,7 @@ class HybridHashNode:
         sim: Optional[Simulator] = None,
         ram_device: Optional[StorageDevice] = None,
         ssd_device: Optional[StorageDevice] = None,
+        persistence: Optional[NodePersistence] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config if config is not None else HashNodeConfig()
@@ -105,6 +107,16 @@ class HybridHashNode:
             if sim is not None
             else None
         )
+        #: Durable storage lifecycle (``None`` keeps the node fully in-memory
+        #: and every code path byte-identical to the non-persistent build).
+        self.persistence = persistence
+        #: Report of the most recent disk recovery (construction-time warm
+        #: start or :meth:`restart`); ``None`` until one happens.
+        self.last_recovery: Optional[RecoveryReport] = None
+        if persistence is not None and (persistence.records or len(persistence.wal)):
+            # Prior on-disk state exists: this is a process restart, so warm
+            # the index before serving anything.
+            self.last_recovery = persistence.recover_into(self)
 
     # ------------------------------------------------------------------ state
     def __len__(self) -> int:
@@ -125,6 +137,8 @@ class HybridHashNode:
         """Process one fingerprint through the Figure-4 flow (immediate mode)."""
         reply, _io_time = self._lookup_core(fingerprint)
         self.lookup_latency.record(reply.service_time)
+        if not reply.is_duplicate and self.persistence is not None:
+            self._persist_new([(fingerprint.digest, fingerprint.chunk_size)])
         return reply
 
     def lookup_batch(self, fingerprints: Sequence[Fingerprint]) -> List[LookupReply]:
@@ -147,6 +161,8 @@ class HybridHashNode:
             fingerprints
         )
         self.lookup_latency.record_many(service_times)
+        if new_entries and self.persistence is not None:
+            self._persist_new_replies(replies)
         return replies, new_entries
 
     def _lookup_batch_core(
@@ -389,6 +405,8 @@ class HybridHashNode:
             return False
         self.bloom.add(digest)
         self.counters.increment("replica_inserts")
+        if self.persistence is not None:
+            self._persist_new([(digest, fingerprint.chunk_size)])
         return True
 
     def insert_replica_many(self, fingerprints: Sequence[Fingerprint]) -> int:
@@ -427,6 +445,64 @@ class HybridHashNode:
         if new_digests:
             self.bloom.add_many(new_digests)
             self.counters.increment("replica_inserts", len(new_digests))
+            if self.persistence is not None:
+                store_get = self.store.get
+                self._persist_new((digest, store_get(digest)) for digest in new_digests)
+
+    # ------------------------------------------------------------- persistence
+    def _persist_new_replies(self, replies: Sequence[LookupReply]) -> None:
+        """Durably log the new fingerprints a served batch acknowledged."""
+        self._persist_new(
+            (reply.fingerprint.digest, reply.fingerprint.chunk_size)
+            for reply in replies
+            if not reply.is_duplicate
+        )
+
+    def _persist_new(self, pairs) -> None:
+        """Append acknowledged inserts to the container; snapshot when due."""
+        persistence = self.persistence
+        persistence.log_insert_many(pairs)
+        if persistence.snapshot_due():
+            persistence.take_snapshot(self.bloom, entries=len(self.store))
+            self.counters.increment("snapshots")
+
+    def kill(self) -> None:
+        """Crash this node: every in-memory structure is destroyed.
+
+        The RAM cache, bloom filter, and hash table are replaced with empty
+        ones, exactly as a process kill would lose them; only what the
+        persistence layer wrote to disk survives.  Cumulative statistics
+        (counters, latency recorder) are harness-side observability and are
+        deliberately kept.
+        """
+        config = self.config
+        self.cache = LRUCache(config.ram_cache_entries, on_evict=self._on_destage)
+        self.bloom = BloomFilter(
+            expected_items=config.bloom_expected_items,
+            false_positive_rate=config.bloom_false_positive_rate,
+        )
+        self.store = SSDHashStore(
+            num_buckets=config.ssd_buckets,
+            page_size=config.ssd_page_size,
+            entry_size=config.ssd_entry_size,
+            write_buffer_pages=config.ssd_write_buffer_pages,
+        )
+        self.counters.increment("kills")
+
+    def restart(self) -> Optional[RecoveryReport]:
+        """Recover this node's state from disk after :meth:`kill`.
+
+        Returns the :class:`~repro.core.persistence.RecoveryReport`, or
+        ``None`` when the node has no persistence layer -- in which case it
+        restarts empty (honest data loss, which the failover experiments
+        surface as reduced accuracy at replication factor 1).
+        """
+        self.counters.increment("restarts")
+        if self.persistence is None:
+            return None
+        report = self.persistence.recover_into(self)
+        self.last_recovery = report
+        return report
 
     def _insert_new(self, fingerprint: Fingerprint) -> float:
         """Record a previously unseen fingerprint; returns the SSD write time."""
@@ -464,9 +540,11 @@ class HybridHashNode:
         grant = self._cpu.request()
         yield grant
         try:
-            replies, _service_times, total_ssd_time, _new_entries = self._lookup_batch_core(
+            replies, _service_times, total_ssd_time, new_entries = self._lookup_batch_core(
                 request.fingerprints
             )
+            if new_entries and self.persistence is not None:
+                self._persist_new_replies(replies)
             cpu_time = (
                 self.config.cpu_per_request
                 + self.config.cpu_per_lookup * len(request.fingerprints)
@@ -538,14 +616,20 @@ class HybridHashNode:
 
     def import_entries(self, entries: Sequence[Tuple[bytes, object]]) -> int:
         """Bulk-load entries (e.g. during rebalancing); returns how many were new."""
-        new_digests = [digest for digest, value in entries if self.store.put(digest, value)]
-        self.bloom.add_many(new_digests)
-        return len(new_digests)
+        store_put = self.store.put
+        new_pairs = [(digest, value) for digest, value in entries if store_put(digest, value)]
+        self.bloom.add_many([digest for digest, _value in new_pairs])
+        if new_pairs and self.persistence is not None:
+            self._persist_new(new_pairs)
+        return len(new_pairs)
 
     def remove_entry(self, digest: bytes) -> bool:
         """Drop a fingerprint from the node (bloom bits remain set, by design)."""
         self.cache.remove(digest)
-        return self.store.remove(digest)
+        removed = self.store.remove(digest)
+        if removed and self.persistence is not None:
+            self.persistence.log_remove(digest)
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<HybridHashNode {self.node_id} entries={len(self.store)}>"

@@ -33,6 +33,7 @@ from ..analysis.experiments import (
     figure5,
     figure6,
     generational,
+    restart,
     table1,
 )
 from .engine import Preset, register_preset
@@ -631,5 +632,79 @@ register_preset(
         workload_keys=frozenset({"scale", "profiles"}),
         client_keys=frozenset({"batch_size", "offered_load"}),
         accepts_churn=True,
+    )
+)
+
+
+# ----------------------------------------------------------------- kill/restart
+def _run_restart(spec: ScenarioSpec) -> ScenarioResult:
+    cluster, client, workload = spec.cluster, spec.client, spec.workload
+    seed = _seed(spec, 0)
+    result = restart.run_restart(
+        scale=workload.get("scale", 0.002),
+        num_nodes=cluster.get("num_nodes", 4),
+        replication_factor=cluster.get("replication_factor", 2),
+        virtual_nodes=cluster.get("virtual_nodes", 64),
+        batch_size=client.get("batch_size", 256),
+        offered_load=client.get("offered_load", 0.7),
+        kill_batch=client.get("kill_batch"),
+        downtime=client.get("downtime", 2),
+        warm_restart=client.get("warm_restart", True),
+        snapshot_every=client.get("snapshot_every"),
+        fsync=client.get("fsync", False),
+        mix=_mix(spec, seed),
+        node_config=_node_config(spec),
+        seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.fingerprints_processed,
+        "offered_load": result.offered_load,
+        "arrival_interval_us": result.interval * 1e6,
+        "throughput": result.throughput,
+        "dedup_accuracy": result.accuracy,
+        "acknowledged": result.acknowledged,
+        "lost_acknowledged": result.lost_acknowledged,
+        "acknowledged_accuracy": result.acknowledged_accuracy,
+        "unserved": result.unserved,
+        "recovery_time_ms": result.recovery_time * 1e3,
+        "recovery_wall_ms": result.recovery_wall_seconds * 1e3,
+        "recovered_entries": result.recovered_entries,
+        "replayed_records": result.replayed_records,
+        "snapshot_loaded": result.snapshot_loaded,
+        "snapshot_bytes": result.snapshot_bytes,
+        "degraded_p99_tax": result.degraded_p99_tax,
+        "recovery_p99_tax": result.recovery_p99_tax,
+        "control_plane_cpu_seconds": result.control_plane_cpu_seconds,
+    }
+    for name in ("steady", "degraded", "recovering"):
+        stats = result.phases.get(name)
+        if stats is None:
+            continue
+        metrics[f"{name}_lookups"] = stats.count
+        metrics[f"{name}_p50_latency_us"] = stats.p50 * 1e6
+        metrics[f"{name}_p99_latency_us"] = stats.p99 * 1e6
+    metrics.update(result.counters)
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="restart",
+        description="Kill a node mid-workload, restart from WAL+snapshot, measure recovery",
+        runner=_run_restart,
+        cluster_keys=frozenset({"num_nodes", "replication_factor", "virtual_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset({"scale", "profiles"}),
+        client_keys=frozenset(
+            {
+                "batch_size",
+                "offered_load",
+                "kill_batch",
+                "downtime",
+                "warm_restart",
+                "snapshot_every",
+                "fsync",
+            }
+        ),
     )
 )

@@ -74,10 +74,18 @@ class CostModel:
     replica_entry_bytes: int = 64
     #: Wire bytes per migrated fingerprint entry.
     migration_entry_bytes: int = 64
+    #: CPU to replay one container record into the index during recovery
+    #: (store insert or bloom re-hash).
+    replay_entry_cpu: float = 2e-6
+    #: CPU per byte to mmap-load and checksum a snapshot payload
+    #: (~2 GB/s bulk copy + CRC).
+    snapshot_byte_cpu: float = 5e-10
 
     def __post_init__(self) -> None:
         if self.replica_write_cpu < 0 or self.migration_entry_cpu < 0:
             raise ValueError("CPU costs must be non-negative")
+        if self.replay_entry_cpu < 0 or self.snapshot_byte_cpu < 0:
+            raise ValueError("recovery costs must be non-negative")
         if self.hop_latency < 0:
             raise ValueError("hop_latency must be non-negative")
         if self.replica_hops < 0 or self.migration_hops < 0:
@@ -107,6 +115,18 @@ class CostModel:
     def migration_cpu(self, entries: int) -> float:
         """Per-end CPU to export (or import) ``entries`` migrated entries."""
         return entries * self.migration_entry_cpu
+
+    def recovery_cpu(self, replayed_entries: int, snapshot_bytes: int = 0) -> float:
+        """CPU a restarted node spends rebuilding its index from disk.
+
+        ``replayed_entries`` counts the per-record work (store rebuild plus
+        bloom tail replay, or every live key twice on a cold restart);
+        ``snapshot_bytes`` prices the bulk snapshot load.
+        """
+        return (
+            replayed_entries * self.replay_entry_cpu
+            + snapshot_bytes * self.snapshot_byte_cpu
+        )
 
 
 class ControlPlaneLedger:
@@ -235,6 +255,24 @@ class ControlPlaneLedger:
             self.counters.increment("replica_writes", entries)
             self.counters.increment("replica_bytes", entries * model.replica_entry_bytes)
             self.counters.increment("replica_messages")
+
+    def charge_recovery(
+        self, node: str, replayed_entries: int, snapshot_bytes: int = 0
+    ) -> float:
+        """Defer a restarted node's index-rebuild work onto its timeline.
+
+        The node comes back at ``now`` but spends its first moments
+        replaying the container (and loading the snapshot), so lookups that
+        land on it during warm-up queue behind the recovery -- the
+        degraded-mode tail the ``restart`` preset measures.  Returns the
+        charged CPU seconds.
+        """
+        cpu = self.model.recovery_cpu(replayed_entries, snapshot_bytes)
+        self.defer(node, self.now, cpu)
+        self.counters.increment("recovery_replayed_entries", replayed_entries)
+        self.counters.increment("recovery_snapshot_bytes", snapshot_bytes)
+        self.counters.increment("node_recoveries")
+        return cpu
 
     def charge_migration(self, transfers: Mapping) -> None:
         """Defer migration copy traffic: export CPU, wire time, import CPU.

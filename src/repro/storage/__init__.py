@@ -15,6 +15,7 @@ from .devices import (
 from .hashstore import FileHashStore, IOOperation, SSDHashStore
 from .lru import LRUCache
 from .object_store import CloudObjectStore, StoredObject
+from .snapshot import SnapshotError, read_snapshot, write_snapshot
 from .wal import LogRecord, WriteAheadLog
 
 __all__ = [
@@ -38,4 +39,7 @@ __all__ = [
     "StoredObject",
     "LogRecord",
     "WriteAheadLog",
+    "SnapshotError",
+    "read_snapshot",
+    "write_snapshot",
 ]

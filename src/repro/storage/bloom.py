@@ -407,6 +407,25 @@ class BloomFilter:
         self._bits[:] = bytes(len(self._bits))
         self._count = 0
 
+    def snapshot_payload(self) -> bytes:
+        """Copy of the raw bit vector, for persistence snapshots."""
+        return bytes(self._bits)
+
+    def restore_payload(self, payload: bytes, count: int) -> None:
+        """Overwrite the bit vector from a snapshot payload.
+
+        The copy happens in place (the single-key kernels are bound to the
+        bytearray object at construction), so the payload must match the
+        filter's geometry exactly.
+        """
+        if len(payload) != len(self._bits):
+            raise ValueError(
+                f"snapshot payload is {len(payload)} bytes; "
+                f"this filter holds {len(self._bits)}"
+            )
+        self._bits[:] = payload
+        self._count = int(count)
+
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise OR of two filters with identical parameters."""
         if (self.num_bits, self.num_hashes, self.digest_keys) != (

@@ -11,12 +11,17 @@ baseline in :mod:`repro.baselines.chunkstash`.
 from __future__ import annotations
 
 import hashlib
+import struct
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["CuckooHashTable", "CuckooInsertError"]
 
 #: Byte keys at least this long are treated as uniform digests by default.
 _DIGEST_KEY_MIN_BYTES = 16
+
+#: Snapshot entry framing: value tag (0=bytes, 1=int, 2=bool), key length,
+#: value length.
+_SNAPSHOT_ENTRY = struct.Struct(">BII")
 
 
 class CuckooInsertError(RuntimeError):
@@ -184,6 +189,49 @@ class CuckooHashTable:
     def keys(self) -> Iterator[bytes]:
         for key, _value in self.items():
             yield key
+
+    # -- persistence ------------------------------------------------------------------
+    def snapshot_payload(self) -> bytes:
+        """Serialise every entry for a persistence snapshot.
+
+        Values must be ``bytes``, ``int``, or ``bool`` (the dedup index
+        stores chunk sizes); richer values belong in an external store.
+        """
+        chunks = []
+        pack = _SNAPSHOT_ENTRY.pack
+        for key, value in self.items():
+            if isinstance(value, bool):
+                tag, blob = 2, (b"\x01" if value else b"\x00")
+            elif isinstance(value, int):
+                tag, blob = 1, value.to_bytes(8, "big", signed=True)
+            elif isinstance(value, (bytes, bytearray)):
+                tag, blob = 0, bytes(value)
+            else:
+                raise TypeError(f"cannot snapshot value of type {type(value).__name__}")
+            chunks.append(pack(tag, len(key), len(blob)) + key + blob)
+        return b"".join(chunks)
+
+    def restore_payload(self, payload: bytes) -> int:
+        """Insert entries from :meth:`snapshot_payload` output; returns the count."""
+        offset = 0
+        length = len(payload)
+        entries = 0
+        while offset < length:
+            tag, key_len, value_len = _SNAPSHOT_ENTRY.unpack_from(payload, offset)
+            offset += _SNAPSHOT_ENTRY.size
+            key = bytes(payload[offset:offset + key_len])
+            offset += key_len
+            blob = bytes(payload[offset:offset + value_len])
+            offset += value_len
+            if tag == 1:
+                value: Any = int.from_bytes(blob, "big", signed=True)
+            elif tag == 2:
+                value = blob == b"\x01"
+            else:
+                value = blob
+            self.put(key, value)
+            entries += 1
+        return entries
 
     # -- internals ---------------------------------------------------------------------
     def _update_in_place(self, key: bytes, value: Any) -> bool:

@@ -21,8 +21,9 @@ from __future__ import annotations
 import hashlib
 import os
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["IOOperation", "SSDHashStore", "FileHashStore"]
 
@@ -307,24 +308,37 @@ class SSDHashStore:
         return f"<SSDHashStore entries={self._size} buckets={self.num_buckets}>"
 
 
-_RECORD_HEADER = struct.Struct(">BI I")  # op, key length, value length
+_RECORD_HEADER = struct.Struct(">BIII")  # op, key length, value length, CRC32(key+value)
 
 
 class FileHashStore:
     """Append-only on-disk key/value store with an in-memory index.
 
-    The layout is a single log file of ``(op, key, value)`` records; an
-    in-memory dict maps keys to values.  :meth:`compact` rewrites the log to
-    drop overwritten and deleted records.  This is the "really persistent"
-    option for using the library outside the simulator.
+    The layout is a single log-structured container file of
+    ``(op, key, value)`` records, each carrying a CRC32 of its body; an
+    in-memory dict maps keys to values.  Recovery replays the container and
+    **truncates** it at the first torn or corrupt record (the tail of a
+    crashed append), so the on-disk state always ends on a record boundary
+    and later appends cannot be misframed by leftover garbage.
+    :meth:`compact` rewrites the log to drop overwritten and deleted records.
+    This is the "really persistent" option for using the library outside the
+    simulator, and the container format behind the node persistence layer.
     """
 
     _OP_PUT = 1
     _OP_DELETE = 2
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
         self._index: Dict[bytes, bytes] = {}
+        #: Records accepted from the container in log order (puts + deletes);
+        #: grows with every append.  Snapshots reference a record count so
+        #: recovery can replay only the tail written after the snapshot.
+        self.record_count = 0
+        #: Bytes dropped from the container tail during the last recovery
+        #: (0 when the file ended on a clean record boundary).
+        self.truncated_bytes = 0
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(path):
@@ -334,25 +348,71 @@ class FileHashStore:
     # -- record framing --------------------------------------------------------------
     @classmethod
     def _encode(cls, op: int, key: bytes, value: bytes) -> bytes:
-        return _RECORD_HEADER.pack(op, len(key), len(value)) + key + value
+        crc = zlib.crc32(value, zlib.crc32(key, op))
+        return _RECORD_HEADER.pack(op, len(key), len(value), crc) + key + value
+
+    @classmethod
+    def _parse(cls, data: bytes, offset: int) -> Optional[Tuple[int, bytes, bytes, int]]:
+        """Decode the record at ``offset``; ``None`` for a torn/corrupt record."""
+        if offset + _RECORD_HEADER.size > len(data):
+            return None
+        op, key_len, value_len, crc = _RECORD_HEADER.unpack_from(data, offset)
+        if op not in (cls._OP_PUT, cls._OP_DELETE):
+            return None
+        body = offset + _RECORD_HEADER.size
+        end = body + key_len + value_len
+        if end > len(data):
+            return None
+        key = data[body:body + key_len]
+        value = data[body + key_len:end]
+        if zlib.crc32(value, zlib.crc32(key, op)) != crc:
+            return None
+        return op, key, value, end
+
+    @classmethod
+    def scan(cls, path: str) -> Iterator[Tuple[int, bytes, bytes]]:
+        """Yield ``(op, key, value)`` container records in log order.
+
+        Stops at the first torn or corrupt record, exactly like recovery.
+        Used by the persistence layer to replay the tail written after a
+        snapshot without materialising the whole index.
+        """
+        with open(path, "rb") as log:
+            data = log.read()
+        offset = 0
+        while True:
+            parsed = cls._parse(data, offset)
+            if parsed is None:
+                return
+            op, key, value, offset = parsed
+            yield op, key, value
 
     def _recover(self) -> None:
         with open(self.path, "rb") as log:
             data = log.read()
         offset = 0
-        while offset + _RECORD_HEADER.size <= len(data):
-            op, key_len, value_len = _RECORD_HEADER.unpack_from(data, offset)
-            offset += _RECORD_HEADER.size
-            end = offset + key_len + value_len
-            if end > len(data):
-                break  # truncated tail record from a crash: ignore it
-            key = data[offset:offset + key_len]
-            value = data[offset + key_len:end]
-            offset = end
+        index = self._index
+        while True:
+            parsed = self._parse(data, offset)
+            if parsed is None:
+                break
+            op, key, value, offset = parsed
             if op == self._OP_PUT:
-                self._index[key] = value
-            elif op == self._OP_DELETE:
-                self._index.pop(key, None)
+                index[key] = value
+            else:
+                index.pop(key, None)
+            self.record_count += 1
+        if offset < len(data):
+            # Torn or corrupt tail from a crash mid-append: truncate back to
+            # the last valid record so the container ends on a clean boundary.
+            self.truncated_bytes = len(data) - offset
+            with open(self.path, "r+b") as log:
+                log.truncate(offset)
+
+    def _sync(self) -> None:
+        self._log.flush()
+        if self.fsync:
+            os.fsync(self._log.fileno())
 
     # -- public API --------------------------------------------------------------------
     def put(self, key: bytes, value: bytes) -> None:
@@ -362,8 +422,30 @@ class FileHashStore:
         if isinstance(value, str):
             value = value.encode("utf-8")
         self._log.write(self._encode(self._OP_PUT, key, value))
-        self._log.flush()
+        self._sync()
         self._index[key] = value
+        self.record_count += 1
+
+    def put_many(self, pairs: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Append a batch of puts with a single flush; returns the batch size."""
+        chunks = []
+        index = self._index
+        encode = self._encode
+        op = self._OP_PUT
+        count = 0
+        for key, value in pairs:
+            if isinstance(key, str):
+                key = key.encode("utf-8")
+            if isinstance(value, str):
+                value = value.encode("utf-8")
+            chunks.append(encode(op, key, value))
+            index[key] = value
+            count += 1
+        if chunks:
+            self._log.write(b"".join(chunks))
+            self._sync()
+            self.record_count += count
+        return count
 
     def get(self, key: bytes, default: Optional[bytes] = None) -> Optional[bytes]:
         """Fetch the latest value stored under ``key``."""
@@ -378,8 +460,9 @@ class FileHashStore:
         if key not in self._index:
             return False
         self._log.write(self._encode(self._OP_DELETE, key, b""))
-        self._log.flush()
+        self._sync()
         del self._index[key]
+        self.record_count += 1
         return True
 
     def __contains__(self, key: bytes) -> bool:
@@ -402,14 +485,18 @@ class FileHashStore:
         with open(temp_path, "wb") as temp:
             for key, value in self._index.items():
                 temp.write(self._encode(self._OP_PUT, key, value))
+            temp.flush()
+            if self.fsync:
+                os.fsync(temp.fileno())
         self._log.close()
         os.replace(temp_path, self.path)
         self._log = open(self.path, "ab")
+        self.record_count = len(self._index)
 
     def close(self) -> None:
         """Flush and close the underlying log file."""
         if not self._log.closed:
-            self._log.flush()
+            self._sync()
             self._log.close()
 
     def __enter__(self) -> "FileHashStore":

@@ -35,14 +35,27 @@ class WriteAheadLog:
     and the log can be truncated up to a checkpoint LSN with
     :meth:`checkpoint`.  Records damaged by a crash (partial final line) are
     ignored during replay.
+
+    ``fsync=True`` forces every append (and checkpoint rewrite) to disk
+    before returning, trading throughput for power-loss durability.
+    Checkpoint truncation is crash-safe: the surviving records are written to
+    a temporary file that is atomically renamed over the log, so a crash at
+    any point leaves either the old log or the new one -- never a partially
+    truncated file.  A stale temporary file from a crashed checkpoint is
+    removed on open (the rename never happened, so the original log is still
+    authoritative).
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None, fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
         self._next_lsn = 1
         self._records: List[LogRecord] = []
         if path is not None:
             os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+            stale_temp = path + ".tmp"
+            if os.path.exists(stale_temp):
+                os.remove(stale_temp)  # checkpoint crashed before the atomic rename
             if os.path.exists(path):
                 self._recover()
             self._file = open(path, "a", encoding="utf-8")
@@ -73,6 +86,8 @@ class WriteAheadLog:
         if self._file is not None:
             self._file.write(json.dumps(record) + "\n")
             self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
         return record
 
     # -- reading -----------------------------------------------------------------
@@ -107,6 +122,9 @@ class WriteAheadLog:
         with open(temp_path, "w", encoding="utf-8") as temp:
             for record in self._records:
                 temp.write(json.dumps(record) + "\n")
+            temp.flush()
+            if self.fsync:
+                os.fsync(temp.fileno())
         os.replace(temp_path, self.path)
         self._file = open(self.path, "a", encoding="utf-8")
 

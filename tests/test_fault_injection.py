@@ -98,6 +98,63 @@ class TestFaultInjector:
         injector.drain()
         assert seen == [("hashnode-0", False)]
 
+    def test_kill_restart_events_destroy_and_recover_state(self, tmp_path):
+        from repro.core.persistence import PersistencePolicy
+
+        config = ClusterConfig(
+            num_nodes=4,
+            node=HashNodeConfig(
+                ram_cache_entries=512, bloom_expected_items=50_000, ssd_buckets=1 << 10
+            ),
+            replication_factor=2,
+        )
+        cluster = SHHCCluster(
+            config, persistence=PersistencePolicy(directory=str(tmp_path))
+        )
+        fingerprints = [synthetic_fingerprint(i) for i in range(100)]
+        cluster.lookup_batch(fingerprints)
+        held = len(cluster.nodes["hashnode-1"].store)
+        assert held > 0
+
+        schedule = FaultSchedule().kill_restart("hashnode-1", start=1.0, duration=2.0)
+        injector = FaultInjector(cluster, schedule)
+        injector.advance(1.5)
+        assert cluster.is_down("hashnode-1")
+        assert len(cluster.nodes["hashnode-1"].store) == 0  # state destroyed
+        injector.drain()
+        assert not cluster.is_down("hashnode-1")
+        assert len(cluster.nodes["hashnode-1"].store) == held  # recovered
+        assert injector.kills == 1 and injector.restarts == 1
+        # Kill/restart also count toward the crash/recovery totals.
+        assert injector.crashes == 1 and injector.recoveries == 1
+        [(node, report)] = injector.recovery_reports
+        assert node == "hashnode-1" and report is not None and report.entries == held
+        cluster.close()
+
+    def test_kill_restart_degrade_without_lifecycle_api(self):
+        class BareTarget:
+            def __init__(self):
+                self.down = set()
+
+            def mark_down(self, node):
+                self.down.add(node)
+
+            def mark_up(self, node):
+                self.down.discard(node)
+
+        target = BareTarget()
+        schedule = FaultSchedule().kill("n1", at=0.0).restart("n1", at=1.0)
+        injector = FaultInjector(target, schedule)
+        injector.advance(0.5)
+        assert target.down == {"n1"}
+        injector.drain()
+        assert target.down == set()
+        assert injector.recovery_reports == [("n1", None)]
+
+    def test_kill_restart_builder_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().kill_restart("n1", start=1.0, duration=0.0)
+
     def test_attach_schedules_on_simulator(self):
         sim = Simulator()
         cluster = make_cluster()
@@ -433,6 +490,22 @@ class TestFaultPlan:
         assert grey.has_grey_failures and not grey.has_outages
         both = FaultPlan.rolling_grey(0.3, 0.1)
         assert both.has_outages and both.has_grey_failures
+        restart = FaultPlan.rolling_restart(0.3, rounds=2)
+        assert restart.has_outages and not restart.has_grey_failures
+
+    def test_rolling_restart_schedule_uses_kill_restart_events(self):
+        from repro.core.fault_injection import FaultPlan
+
+        nodes = ["n0", "n1", "n2", "n3"]
+        schedule = FaultPlan.rolling_restart(0.5).schedule(nodes, horizon=41.0)
+        actions = {event.action for event in schedule}
+        assert actions == {"kill", "restart"}
+        # Same slots/downtimes as the equivalent rolling outage.
+        outage = FaultPlan.rolling_outage(0.5).schedule(nodes, horizon=41.0)
+        assert [(e.time, e.node) for e in schedule] == [(e.time, e.node) for e in outage]
+        assert FaultPlan.from_dict(
+            FaultPlan.rolling_restart(0.3).to_dict()
+        ) == FaultPlan.rolling_restart(0.3)
 
     def test_validation(self):
         from repro.core.fault_injection import FaultPlan

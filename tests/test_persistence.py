@@ -1,0 +1,378 @@
+"""Tests for crash-consistent node storage: snapshots, persistence, kill/restart."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.cluster import SHHCCluster
+from repro.core.config import ClusterConfig, HashNodeConfig
+from repro.core.hash_node import HybridHashNode
+from repro.core.persistence import NodePersistence, PersistencePolicy
+from repro.dedup.fingerprint import synthetic_fingerprint
+from repro.simulation.costmodel import CostModel
+from repro.storage.bloom import BloomFilter
+from repro.storage.cuckoo import CuckooHashTable
+from repro.storage.snapshot import SnapshotError, read_snapshot, write_snapshot
+
+NODE_CONFIG = HashNodeConfig(
+    ram_cache_entries=128,
+    bloom_expected_items=4_096,
+    ssd_buckets=1 << 8,
+)
+
+
+def _cluster_config(num_nodes: int = 3, replication_factor: int = 2) -> ClusterConfig:
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        replication_factor=replication_factor,
+        node=NODE_CONFIG,
+    )
+
+
+# ---------------------------------------------------------------------- snapshot
+class TestSnapshotFile:
+    def test_roundtrip_meta_and_payload(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        payload = bytes(range(256)) * 10
+        written = write_snapshot(path, payload, {"records": 7, "kind": "bloom"})
+        assert written == os.path.getsize(path) > len(payload)
+        meta, loaded = read_snapshot(path)
+        assert meta == {"records": 7, "kind": "bloom"}
+        assert bytes(loaded) == payload
+
+    def test_read_without_mmap(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, b"payload", {"n": 1})
+        meta, loaded = read_snapshot(path, use_mmap=False)
+        assert meta["n"] == 1 and bytes(loaded) == b"payload"
+
+    def test_write_leaves_no_tmp_residue(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, b"x", {})
+        assert os.listdir(str(tmp_path)) == ["state.snap"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            read_snapshot(str(tmp_path / "absent.snap"))
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, b"payload", {})
+        data = bytearray(open(path, "rb").read())
+        data[0] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_truncated_payload_raises(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, b"0123456789", {})
+        size = os.path.getsize(path)
+        with open(path, "r+b") as file:
+            file.truncate(size - 4)
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_corrupt_payload_byte_raises(self, tmp_path):
+        path = str(tmp_path / "state.snap")
+        write_snapshot(path, b"0123456789", {})
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0x01  # last payload byte: CRC must catch it
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+
+class TestBloomSnapshotPayload:
+    def test_roundtrip_preserves_membership_and_count(self):
+        source = BloomFilter(expected_items=512)
+        keys = [synthetic_fingerprint(i).digest for i in range(100)]
+        source.add_many(keys)
+        payload = source.snapshot_payload()
+
+        target = BloomFilter(expected_items=512)
+        target.restore_payload(payload, source.count)
+        assert target.count == source.count
+        assert all(key in target for key in keys)
+
+    def test_restore_rejects_wrong_geometry(self):
+        source = BloomFilter(expected_items=512)
+        target = BloomFilter(expected_items=8_192)
+        with pytest.raises(ValueError):
+            target.restore_payload(source.snapshot_payload(), 0)
+
+    def test_restore_mutates_bits_in_place(self):
+        # The exec-generated probe kernels capture the bit array at
+        # construction; restore must fill that same object, not rebind it.
+        bloom = BloomFilter(expected_items=512)
+        bits_before = bloom._bits
+        other = BloomFilter(expected_items=512)
+        other.add(b"key")
+        bloom.restore_payload(other.snapshot_payload(), other.count)
+        assert bloom._bits is bits_before
+        assert b"key" in bloom
+
+
+class TestCuckooSnapshotPayload:
+    def test_roundtrip_bytes_int_bool_values(self):
+        source = CuckooHashTable()
+        source.put(b"bytes-key", b"blob")
+        source.put(b"int-key", 4096)
+        source.put(b"neg-key", -7)
+        source.put(b"bool-key", True)
+        target = CuckooHashTable()
+        assert target.restore_payload(source.snapshot_payload()) == 4
+        assert target.get(b"bytes-key") == b"blob"
+        assert target.get(b"int-key") == 4096
+        assert target.get(b"neg-key") == -7
+        assert target.get(b"bool-key") is True
+
+    def test_unsupported_value_type_raises(self):
+        table = CuckooHashTable()
+        table.put(b"key", 1.5)
+        with pytest.raises(TypeError):
+            table.snapshot_payload()
+
+
+# ------------------------------------------------------------- node persistence
+def _fresh_node(persistence=None) -> HybridHashNode:
+    return HybridHashNode("node-0", config=NODE_CONFIG, persistence=persistence)
+
+
+class TestNodePersistence:
+    def test_cold_recovery_rebuilds_store_and_bloom(self, tmp_path):
+        directory = str(tmp_path / "node-0")
+        fingerprints = [synthetic_fingerprint(i) for i in range(50)]
+        with NodePersistence(directory) as persistence:
+            persistence.log_insert_many(
+                (f.digest, f.chunk_size) for f in fingerprints
+            )
+        node = _fresh_node()
+        with NodePersistence(directory) as persistence:
+            report = persistence.recover_into(node)
+        assert report.entries == 50
+        assert report.replayed == 50  # cold: every live key re-hashed
+        assert not report.snapshot_loaded
+        assert len(node.store) == 50
+        assert all(f in node for f in fingerprints)
+        assert all(f.digest in node.bloom for f in fingerprints)
+        # Recovered entries are already on flash: no owed buffer flushes.
+        assert node.store._buffered_entries == 0
+
+    def test_warm_recovery_replays_only_the_tail(self, tmp_path):
+        directory = str(tmp_path / "node-0")
+        head = [synthetic_fingerprint(i) for i in range(40)]
+        tail = [synthetic_fingerprint(100 + i) for i in range(10)]
+        bloom = BloomFilter(
+            expected_items=NODE_CONFIG.bloom_expected_items,
+            false_positive_rate=NODE_CONFIG.bloom_false_positive_rate,
+        )
+        with NodePersistence(directory) as persistence:
+            persistence.log_insert_many((f.digest, f.chunk_size) for f in head)
+            bloom.add_many([f.digest for f in head])
+            persistence.take_snapshot(bloom, entries=len(head))
+            persistence.log_insert_many((f.digest, f.chunk_size) for f in tail)
+        node = _fresh_node()
+        with NodePersistence(directory) as persistence:
+            report = persistence.recover_into(node)
+        assert report.snapshot_loaded
+        assert report.snapshot_bytes > 0
+        assert report.entries == 50
+        assert report.replayed == len(tail)  # only post-snapshot records
+        assert all(f in node for f in head + tail)
+        assert all(f.digest in node.bloom for f in head + tail)
+
+    def test_snapshot_due_follows_cadence(self, tmp_path):
+        with NodePersistence(str(tmp_path / "n"), snapshot_every=10) as persistence:
+            assert not persistence.snapshot_due()
+            persistence.log_insert_many(
+                (synthetic_fingerprint(i).digest, 1) for i in range(10)
+            )
+            assert persistence.snapshot_due()
+            bloom = BloomFilter(expected_items=64)
+            persistence.take_snapshot(bloom)
+            assert not persistence.snapshot_due()
+
+    def test_crash_between_intent_and_done_resumes_snapshot(self, tmp_path):
+        directory = str(tmp_path / "node-0")
+        fingerprints = [synthetic_fingerprint(i) for i in range(20)]
+        with NodePersistence(directory) as persistence:
+            persistence.log_insert_many(
+                (f.digest, f.chunk_size) for f in fingerprints
+            )
+            # Simulate a crash mid-snapshot: the intent reaches the WAL but
+            # neither the snapshot file nor the done record does.
+            persistence.wal.append("snapshot", records=persistence.records)
+        node = _fresh_node()
+        with NodePersistence(directory) as persistence:
+            report = persistence.recover_into(node)
+            assert report.resumed_snapshot
+            assert persistence.snapshots_taken == 1
+        # The resumed snapshot is valid and used by the NEXT recovery.
+        second = _fresh_node()
+        with NodePersistence(directory) as persistence:
+            again = persistence.recover_into(second)
+        assert again.snapshot_loaded and again.replayed == 0
+        assert len(second.store) == 20
+
+    def test_deletes_in_tail_do_not_resurrect(self, tmp_path):
+        directory = str(tmp_path / "node-0")
+        keep = synthetic_fingerprint(1)
+        gone = synthetic_fingerprint(2)
+        with NodePersistence(directory) as persistence:
+            persistence.log_insert(keep.digest, keep.chunk_size)
+            persistence.log_insert(gone.digest, gone.chunk_size)
+            persistence.log_remove(gone.digest)
+        node = _fresh_node()
+        with NodePersistence(directory) as persistence:
+            report = persistence.recover_into(node)
+        assert report.entries == 1
+        assert keep in node and gone not in node
+
+    def test_torn_container_tail_reported(self, tmp_path):
+        directory = str(tmp_path / "node-0")
+        fingerprint = synthetic_fingerprint(1)
+        with NodePersistence(directory) as persistence:
+            persistence.log_insert(fingerprint.digest, fingerprint.chunk_size)
+            container = persistence.container.path
+        with open(container, "ab") as log:
+            log.write(b"\x01torn")
+        node = _fresh_node()
+        with NodePersistence(directory) as persistence:
+            report = persistence.recover_into(node)
+        assert report.truncated_bytes == 5
+        assert report.entries == 1 and fingerprint in node
+
+
+# -------------------------------------------------------------- node kill/restart
+class TestNodeKillRestart:
+    def test_kill_destroys_in_memory_state(self):
+        node = _fresh_node()
+        fingerprint = synthetic_fingerprint(1)
+        assert not node.lookup(fingerprint).is_duplicate
+        assert fingerprint in node
+        node.kill()
+        assert len(node.store) == 0
+        assert fingerprint not in node
+        assert fingerprint.digest not in node.bloom
+        assert node.counters.get("kills") == 1
+
+    def test_restart_without_persistence_is_honest_data_loss(self):
+        node = _fresh_node()
+        node.lookup(synthetic_fingerprint(1))
+        node.kill()
+        assert node.restart() is None
+        assert len(node.store) == 0
+        assert node.counters.get("restarts") == 1
+
+    def test_restart_recovers_served_fingerprints(self, tmp_path):
+        persistence = NodePersistence(str(tmp_path / "node-0"))
+        node = _fresh_node(persistence)
+        fingerprints = [synthetic_fingerprint(i) for i in range(30)]
+        for batch_start in range(0, 30, 10):
+            node.lookup_batch(fingerprints[batch_start:batch_start + 10])
+        node.kill()
+        report = node.restart()
+        assert report is not None and report.entries == 30
+        assert node.last_recovery is report
+        assert all(f in node for f in fingerprints)
+        # Verdicts after recovery: every recovered fingerprint is a duplicate.
+        assert all(reply.is_duplicate for reply in node.lookup_batch(fingerprints))
+        persistence.close()
+
+    def test_construction_warm_start_from_prior_state(self, tmp_path):
+        directory = str(tmp_path / "node-0")
+        first = _fresh_node(NodePersistence(directory))
+        fingerprints = [synthetic_fingerprint(i) for i in range(25)]
+        first.lookup_batch(fingerprints)
+        assert first.last_recovery is None  # no prior state existed
+        first.persistence.close()
+        # A new process: same directory, fresh node object.
+        second = _fresh_node(NodePersistence(directory))
+        assert second.last_recovery is not None
+        assert second.last_recovery.entries == 25
+        assert all(reply.is_duplicate for reply in second.lookup_batch(fingerprints))
+        second.persistence.close()
+
+    def test_snapshot_cadence_triggers_during_serving(self, tmp_path):
+        persistence = NodePersistence(str(tmp_path / "node-0"), snapshot_every=16)
+        node = _fresh_node(persistence)
+        node.lookup_batch([synthetic_fingerprint(i) for i in range(64)])
+        assert persistence.snapshots_taken >= 1
+        assert node.counters.get("snapshots") >= 1
+        persistence.close()
+
+
+# ------------------------------------------------------------ cluster lifecycle
+class TestClusterKillRestart:
+    def test_kill_restart_roundtrip_with_persistence(self, tmp_path):
+        policy = PersistencePolicy(directory=str(tmp_path), snapshot_every=32)
+        cluster = SHHCCluster(_cluster_config(), persistence=policy)
+        fingerprints = [synthetic_fingerprint(i) for i in range(120)]
+        cluster.lookup_batch(fingerprints)
+        victim = sorted(cluster.nodes)[0]
+        held = len(cluster.nodes[victim].store)
+        assert held > 0
+
+        cluster.kill_node(victim)
+        assert cluster.is_down(victim)
+        assert len(cluster.nodes[victim].store) == 0
+
+        report = cluster.restart_node(victim)
+        assert not cluster.is_down(victim)
+        assert report is not None and report.entries == held
+        # Every previously served fingerprint must still be a duplicate.
+        assert all(r.is_duplicate for r in cluster.lookup_batch(fingerprints))
+        cluster.close()
+
+    def test_restart_charges_recovery_through_ledger(self, tmp_path):
+        policy = PersistencePolicy(directory=str(tmp_path))
+        cluster = SHHCCluster(
+            _cluster_config(), cost_model=CostModel(), persistence=policy
+        )
+        cluster.lookup_batch([synthetic_fingerprint(i) for i in range(80)])
+        victim = sorted(cluster.nodes)[0]
+        cluster.kill_node(victim)
+        report = cluster.restart_node(victim)
+        assert report is not None and report.charged_seconds > 0
+        counters = cluster.ledger.counters
+        assert counters.get("node_recoveries") == 1
+        assert counters.get("recovery_replayed_entries") == (
+            report.entries + report.replayed
+        )
+        cluster.close()
+
+    def test_restart_without_persistence_loses_state(self):
+        cluster = SHHCCluster(_cluster_config(num_nodes=2, replication_factor=1))
+        fingerprints = [synthetic_fingerprint(i) for i in range(40)]
+        cluster.lookup_batch(fingerprints)
+        victim = sorted(cluster.nodes)[0]
+        held = len(cluster.nodes[victim].store)
+        assert held > 0
+        cluster.kill_node(victim)
+        assert cluster.restart_node(victim) is None
+        assert len(cluster.nodes[victim].store) == 0
+
+    def test_unknown_node_raises(self, tmp_path):
+        cluster = SHHCCluster(_cluster_config())
+        with pytest.raises(KeyError):
+            cluster.kill_node("nope")
+        with pytest.raises(KeyError):
+            cluster.restart_node("nope")
+
+    def test_process_restart_warms_whole_cluster(self, tmp_path):
+        policy = PersistencePolicy(directory=str(tmp_path), snapshot_every=32)
+        fingerprints = [synthetic_fingerprint(i) for i in range(150)]
+        first = SHHCCluster(_cluster_config(), persistence=policy)
+        first.lookup_batch(fingerprints)
+        sizes = {name: len(node.store) for name, node in first.nodes.items()}
+        first.close()
+
+        second = SHHCCluster(_cluster_config(), persistence=policy)
+        for name, node in second.nodes.items():
+            assert len(node.store) == sizes[name]
+            assert node.last_recovery is not None
+        assert all(r.is_duplicate for r in second.lookup_batch(fingerprints))
+        second.close()

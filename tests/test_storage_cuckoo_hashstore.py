@@ -265,10 +265,80 @@ class TestFileHashStore:
         path = str(tmp_path / "store.log")
         with FileHashStore(path) as store:
             store.put(b"good", b"value")
+        clean_size = os.path.getsize(path)
         with open(path, "ab") as log:
             log.write(b"\x01\x00\x00")  # garbage partial record
         with FileHashStore(path) as reopened:
             assert reopened.get(b"good") == b"value"
+            assert len(reopened) == 1
+            # Recovery truncates the torn tail back to the record boundary.
+            assert reopened.truncated_bytes == 3
+            assert os.path.getsize(path) == clean_size
+            # Appends after recovery land on the clean boundary and survive.
+            reopened.put(b"after", b"crash")
+        with FileHashStore(path) as again:
+            assert again.get(b"after") == b"crash"
+            assert again.truncated_bytes == 0
+
+    def test_corrupt_record_body_truncates_from_there(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            store.put(b"first", b"ok")
+        first_size = os.path.getsize(path)
+        with FileHashStore(path) as store:
+            store.put(b"second", b"bitrot-target")
+            store.put(b"third", b"after-corruption")
+        # Flip one bit inside the second record's value: its CRC32 no longer
+        # matches, so recovery must drop it AND everything after it.
+        data = bytearray(open(path, "rb").read())
+        data[first_size + 20] ^= 0x01
+        with open(path, "wb") as log:
+            log.write(data)
+        with FileHashStore(path) as reopened:
+            assert reopened.get(b"first") == b"ok"
+            assert reopened.get(b"second") is None
+            assert reopened.get(b"third") is None
+            assert reopened.truncated_bytes == len(data) - first_size
+            assert reopened.record_count == 1
+        assert os.path.getsize(path) == first_size
+
+    def test_record_count_and_scan(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            store.delete(b"a")
+            assert store.record_count == 3
+        records = list(FileHashStore.scan(path))
+        assert [(op, key) for op, key, _value in records] == [
+            (FileHashStore._OP_PUT, b"a"),
+            (FileHashStore._OP_PUT, b"b"),
+            (FileHashStore._OP_DELETE, b"a"),
+        ]
+        with FileHashStore(path) as reopened:
+            assert reopened.record_count == 3
+            reopened.compact()
+            # Compaction rewrites only live records and resets the count.
+            assert reopened.record_count == 1
+
+    def test_put_many_batches_records(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path) as store:
+            assert store.put_many((bytes([i]), b"v") for i in range(10)) == 10
+            assert store.record_count == 10
+            assert len(store) == 10
+        with FileHashStore(path) as reopened:
+            assert len(reopened) == 10
+
+    def test_fsync_mode_roundtrip(self, tmp_path):
+        path = str(tmp_path / "store.log")
+        with FileHashStore(path, fsync=True) as store:
+            store.put(b"key", b"value")
+            store.put_many([(b"k2", b"v2")])
+            store.delete(b"k2")
+            store.compact()
+        with FileHashStore(path) as reopened:
+            assert reopened.get(b"key") == b"value"
             assert len(reopened) == 1
 
     def test_compact_shrinks_log(self, tmp_path):

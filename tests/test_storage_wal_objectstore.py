@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import os
 
 import pytest
 
@@ -65,6 +66,45 @@ class TestWriteAheadLog:
             wal.checkpoint(up_to_lsn=8)
         with WriteAheadLog(path) as recovered:
             assert [record.lsn for record in recovered.replay()] == [9, 10]
+
+    def test_fsync_append_and_checkpoint(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path, fsync=True) as wal:
+            for index in range(5):
+                wal.append("op", index=index)
+            wal.checkpoint(up_to_lsn=3)
+        with WriteAheadLog(path) as recovered:
+            assert [record.lsn for record in recovered.replay()] == [4, 5]
+
+    def test_crash_during_checkpoint_leaves_replayable_log(self, tmp_path):
+        # A checkpoint writes the surviving records to wal.log.tmp and only
+        # then renames it over the log.  Simulate a crash in between: the
+        # tmp file exists but the rename never happened.  Reopening must
+        # discard the stale tmp and replay the ORIGINAL, untruncated log.
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            for index in range(6):
+                wal.append("op", index=index)
+        original = open(path, encoding="utf-8").read()
+        with open(path + ".tmp", "w", encoding="utf-8") as temp:
+            temp.write('{"lsn": 6, "kind": "op", "index": 5}\n')  # partial rewrite
+        with WriteAheadLog(path) as recovered:
+            assert [record.lsn for record in recovered.replay()] == [1, 2, 3, 4, 5, 6]
+        assert not os.path.exists(path + ".tmp")
+        assert open(path, encoding="utf-8").read() == original
+
+    def test_checkpoint_rewrite_is_atomic_on_disk(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            for index in range(4):
+                wal.append("op", index=index)
+            wal.checkpoint(up_to_lsn=2)
+            # The rewrite replaced the file; no tmp residue while open.
+            assert not os.path.exists(path + ".tmp")
+            # Appends after a checkpoint keep going to the renamed file.
+            wal.append("tail")
+        with WriteAheadLog(path) as recovered:
+            assert [record.lsn for record in recovered.replay()] == [3, 4, 5]
 
 
 class TestCloudObjectStore:
