@@ -469,13 +469,16 @@ def _bench_recovery(scale: float) -> dict:
     """Node restart: cold full-log replay vs snapshot warm restart.
 
     Populates one node's on-disk persistence (container log of ``entries``
-    fingerprints) twice -- once bare, once with a bloom snapshot covering
-    the whole log -- then times :meth:`NodePersistence.recover_into` on a
-    fresh node for each.  The timed region includes opening the container
-    (the CRC scan) and rebuilding the store, so the ratio is end-to-end
-    restart time, not just the bloom delta.  Both paths must recover the
-    exact same entry count; the warm path must load the snapshot and
-    replay zero tail records.
+    fingerprints) three times -- once bare, once with a bloom snapshot
+    covering the whole log, once with bloom **and** store snapshots (the
+    full warm path the serving workers restart through) -- then times
+    :meth:`NodePersistence.recover_into` on a fresh node for each.  The
+    timed region includes opening the container (the CRC scan) and
+    rebuilding the store, so the ratio is end-to-end restart time, not
+    just the bloom delta.  All paths must recover the exact same entry
+    count; the warm paths must load their snapshots and replay zero tail
+    records; the ``fast`` (store snapshot) leg must additionally skip the
+    per-record store rebuild entirely.
     """
     import tempfile
 
@@ -485,20 +488,26 @@ def _bench_recovery(scale: float) -> dict:
     entries = max(10_000, int(60_000 * scale))
     digests = [synthetic_fingerprint(i).digest for i in range(entries)]
     expected_items = max(entries, 10_000)
+    num_buckets = 1 << 14
 
     class _Node:
         def __init__(self) -> None:
             self.node_id = "bench"
-            self.store = SSDHashStore(num_buckets=1 << 14)
+            self.store = SSDHashStore(num_buckets=num_buckets)
             self.bloom = BloomFilter(expected_items=expected_items, digest_keys=True)
 
-    def _populate(directory: str, snapshot: bool) -> None:
+    def _populate(directory: str, snapshot: bool, with_store: bool = False) -> None:
         persistence = NodePersistence(directory)
         persistence.log_insert_many((digest, 4096) for digest in digests)
         if snapshot:
             bloom = BloomFilter(expected_items=expected_items, digest_keys=True)
             bloom.add_many(digests)
-            persistence.take_snapshot(bloom, entries=entries)
+            store = None
+            if with_store:
+                store = SSDHashStore(num_buckets=num_buckets)
+                for digest in digests:
+                    store.put(digest, 4096)
+            persistence.take_snapshot(bloom, entries=entries, store=store)
         persistence.close()
 
     def _recover(directory: str):
@@ -509,13 +518,18 @@ def _bench_recovery(scale: float) -> dict:
     with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as root:
         cold_dir = os.path.join(root, "cold")
         warm_dir = os.path.join(root, "warm")
+        store_dir = os.path.join(root, "store")
         _populate(cold_dir, snapshot=False)
         _populate(warm_dir, snapshot=True)
+        _populate(store_dir, snapshot=True, with_store=True)
         cold_time, cold_report = _timed_best(lambda: _recover(cold_dir))
         warm_time, warm_report = _timed_best(lambda: _recover(warm_dir))
-    assert cold_report.entries == warm_report.entries == entries
+        store_time, store_report = _timed_best(lambda: _recover(store_dir))
+    assert cold_report.entries == warm_report.entries == store_report.entries == entries
     assert warm_report.snapshot_loaded and not cold_report.snapshot_loaded
     assert warm_report.replayed == 0 and cold_report.replayed == entries
+    assert store_report.store_snapshot_loaded and not warm_report.store_snapshot_loaded
+    assert store_report.replayed == 0 and store_report.store_tail_records == 0
     return {
         "unit": "entries/s (restart recovery)",
         "baseline": {
@@ -524,14 +538,94 @@ def _bench_recovery(scale: float) -> dict:
             "entries": entries,
             "replayed_records": cold_report.replayed,
         },
-        "fast": {
-            "path": "snapshot warm restart",
+        "bloom_warm": {
+            "path": "bloom snapshot warm restart (store rebuilt from log)",
             "entries_per_s": entries / warm_time,
             "entries": entries,
             "replayed_records": warm_report.replayed,
             "snapshot_bytes": warm_report.snapshot_bytes,
         },
-        "speedup": cold_time / warm_time,
+        "fast": {
+            "path": "bloom+store snapshot warm restart",
+            "entries_per_s": entries / store_time,
+            "entries": entries,
+            "replayed_records": store_report.replayed,
+            "snapshot_bytes": store_report.snapshot_bytes,
+            "store_snapshot_bytes": store_report.store_snapshot_bytes,
+            "store_tail_records": store_report.store_tail_records,
+        },
+        "speedup": cold_time / store_time,
+        "bloom_only_speedup": cold_time / warm_time,
+    }
+
+
+def _bench_service(scale: float) -> dict:
+    """Live serving stack: real TCP gateway + one worker process per node.
+
+    Unlike every other series this one crosses process and socket
+    boundaries, so the absolute numbers depend on the machine (hence the
+    recorded ``cpu_count``, which also tells tools/check_bench_floors.py
+    to skip the committed-value comparison).  The before/after ratio is
+    the concurrency win: one closed-loop client at pipeline depth 1 (every
+    batch pays a full round trip before the next is sent) vs. a pool of
+    pipelined clients saturating the same 4-node service.  The concurrent
+    leg audits itself: every acknowledged fingerprint must still be a
+    duplicate on re-lookup (zero lost acks), the invariant the serving
+    durability contract is built on.
+    """
+    from repro.analysis.experiments.service import run_service
+
+    fingerprints = max(10_000, int(80_000 * scale))
+    nodes = 4
+    batch_size = 256
+    node_config = {"bloom_expected_items": max(50_000, fingerprints)}
+
+    def _leg(clients: int, pipeline: int, audit: bool):
+        result = run_service(
+            num_nodes=nodes,
+            clients=clients,
+            pipeline=pipeline,
+            batch_size=batch_size,
+            fingerprints=fingerprints,
+            duplicate_fraction=0.25,
+            node_config=node_config,
+            audit=audit,
+            seed=29,
+        )
+        assert result.acknowledged == result.offered, result
+        assert result.lost_acknowledged == 0, result
+        return result
+
+    baseline = _leg(clients=1, pipeline=1, audit=False)
+    fast = _leg(clients=8, pipeline=4, audit=True)
+    # The audit re-looks-up the *unique* acknowledged identities (the
+    # duplicate_fraction collapses into the set), so checked < offered.
+    assert 0 < fast.audit_checked <= fingerprints
+    return {
+        "unit": "fingerprints/s (live TCP service, worker processes)",
+        "cpu_count": os.cpu_count() or 1,
+        "baseline": {
+            "path": "1 client x pipeline 1 (stop-and-wait)",
+            "fingerprints_per_s": baseline.throughput,
+            "fingerprints": fingerprints,
+            "nodes": nodes,
+            "batch_size": batch_size,
+            "p50_latency_us": baseline.latency_us.get("p50", 0.0),
+            "p99_latency_us": baseline.latency_us.get("p99", 0.0),
+        },
+        "fast": {
+            "path": "8 clients x pipeline 4 (closed loop)",
+            "fingerprints_per_s": fast.throughput,
+            "fingerprints": fingerprints,
+            "nodes": nodes,
+            "batch_size": batch_size,
+            "p50_latency_us": fast.latency_us.get("p50", 0.0),
+            "p99_latency_us": fast.latency_us.get("p99", 0.0),
+            "sheds": fast.sheds,
+            "audited": fast.audit_checked,
+            "lost_acknowledged": fast.lost_acknowledged,
+        },
+        "speedup": fast.throughput / baseline.throughput,
     }
 
 
@@ -545,6 +639,7 @@ def test_bench_hotpath(results_dir, scale):
         "sweep_wall_clock": _bench_sweep(scale),
         "control_plane_tax": _bench_control_plane(scale),
         "recovery_time": _bench_recovery(scale),
+        "service_throughput": _bench_service(scale),
     }
 
     payload = {
@@ -613,11 +708,11 @@ def test_bench_hotpath(results_dir, scale):
             # Virtual-time ratio (deterministic): degraded p99 must stay
             # measurably above steady p99 while the cost model is charging.
             "control_plane_tax": 1.2,
-            # Warm (snapshot) restart vs cold full-log replay: the store
-            # rebuild is common to both sides, so the measured ratio sits
-            # around 1.2-1.3x; the floor asserts the snapshot path stays
-            # measurably ahead without being timing-fragile.
-            "recovery_time": 1.1,
+            # Warm (bloom+store snapshot) restart vs cold full-log replay:
+            # the fast leg skips both the bloom replay and the per-record
+            # store rebuild, so it clears the cold path comfortably; the
+            # floor stays conservative to avoid timing fragility.
+            "recovery_time": 1.3,
         }
         for name, floor in floors.items():
             assert series[name]["speedup"] >= floor, (name, floor, series[name])
@@ -625,6 +720,13 @@ def test_bench_hotpath(results_dir, scale):
         # honestly records ~1x, so the floor only applies at >= 4 cores.
         if series["sweep_wall_clock"]["cpu_count"] >= 4:
             assert series["sweep_wall_clock"]["speedup"] >= 2.0, series["sweep_wall_clock"]
+        # Absolute service floor (the ISSUE acceptance number): the live
+        # gateway + worker-process stack must sustain >= 50k fingerprints/s
+        # end to end.  Crossing real sockets and processes, it needs real
+        # cores -- gated like the sweep floor.
+        service = series["service_throughput"]
+        if service["cpu_count"] >= 4:
+            assert service["fast"]["fingerprints_per_s"] >= 50_000.0, service
     # The JSON must carry both series of the before/after comparison.
     on_disk = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
     assert on_disk["series"]["chunking"]["baseline"] and on_disk["series"]["chunking"]["fast"]

@@ -46,6 +46,7 @@ from .elasticity import run_elasticity as _run_elasticity
 from .failover import FailoverResult
 from .failover import run_failover as _run_failover
 from .restart import RestartResult, run_restart
+from .service import ServiceRunResult, run_service
 from .figure1 import Figure1Point, Figure1Result
 from .figure1 import run_figure1 as _run_figure1
 from .generational import GenerationalResult, GenerationRow
@@ -76,6 +77,8 @@ __all__ = [
     "run_failover",
     "RestartResult",
     "run_restart",
+    "ServiceRunResult",
+    "run_service",
     "Figure1Point",
     "Figure1Result",
     "run_figure1",

@@ -158,6 +158,113 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- serving
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the real serving stack: gateway + one worker process per node."""
+    import asyncio
+    import signal
+
+    from .serving import ServeConfig, ServiceGateway, ServingError
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        num_nodes=args.nodes,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+        max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        report_interval=args.report_interval,
+        codec=args.codec,
+    )
+
+    async def _serve() -> None:
+        gateway = ServiceGateway(config, verbose=not args.quiet)
+        await gateway.start()
+        # Machine-readable line for scripts that need the bound port.
+        print(f"listening on {config.host}:{gateway.port}", flush=True)
+        loop = asyncio.get_event_loop()
+        stop: asyncio.Future = loop.create_future()
+
+        def _request_stop() -> None:
+            if not stop.done():
+                stop.set_result(None)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop
+        await gateway.close()
+
+    try:
+        asyncio.run(_serve())
+    except ServingError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - signal handler normally wins
+        pass
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a load test against a running `repro serve` gateway."""
+    from .serving import LoadtestConfig, run_loadtest
+
+    config = LoadtestConfig(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        pipeline=args.pipeline,
+        batch_size=args.batch_size,
+        fingerprints=args.fingerprints,
+        duplicate_fraction=args.duplicate_fraction,
+        arrival_rate_fps=args.rate,
+        seed=args.seed,
+        codec=args.codec,
+        max_retries=args.max_retries,
+        kill_node=args.kill_node,
+        kill_after_fraction=args.kill_after,
+        burst_batches=args.burst_batches,
+        audit=not args.no_audit,
+        report_path=args.json,
+        verbose=not args.quiet,
+    )
+    try:
+        report = run_loadtest(config)
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        latency = report.latency_us
+        print(
+            f"offered {report.offered_fingerprints:,} fingerprints "
+            f"({report.offered_batches:,} batches); "
+            f"acked {report.acked_fingerprints:,} in {report.wall_seconds:.2f}s "
+            f"= {report.throughput_fps:,.0f} fp/s"
+        )
+        print(
+            f"latency p50={latency.get('p50', 0.0):,.0f}us "
+            f"p99={latency.get('p99', 0.0):,.0f}us; "
+            f"sheds={report.sheds} retries={report.retries} "
+            f"unavailable={report.unavailable} failed={report.failed_batches}"
+        )
+        print(
+            f"kills={report.kills_sent} worker_restarts={report.worker_restarts} "
+            f"audit_checked={report.audit_checked} "
+            f"lost_acknowledged={report.lost_acknowledged}"
+        )
+    if report.lost_acknowledged:
+        print("error: acknowledged fingerprints were lost", file=sys.stderr)
+        return 1
+    if report.acked_fingerprints == 0:
+        print("error: nothing was acknowledged", file=sys.stderr)
+        return 1
+    return 0
+
+
 # --------------------------------------------------------------------------- traces
 def _cmd_trace(args: argparse.Namespace) -> int:
     profile = profile_by_name(args.workload).scaled(args.scale)
@@ -354,6 +461,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="consistent-hash tokens per node, 0 = range partitioner (failover)",
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the real serving stack (gateway + worker processes)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="client port (0 = pick an ephemeral port)")
+    serve.add_argument("--nodes", type=int, default=4, help="worker processes")
+    serve.add_argument("--data-dir", default=None,
+                       help="persistence root (one subdirectory per node); "
+                            "omit for in-memory nodes")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync container/WAL appends (power-loss durability)")
+    serve.add_argument("--snapshot-every", type=int, default=100_000,
+                       help="records between automatic bloom+store snapshots (0 = off)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="queued batches per worker before admission sheds")
+    serve.add_argument("--max-inflight", type=int, default=512,
+                       help="global in-flight batch cap")
+    serve.add_argument("--report-interval", type=float, default=2.0,
+                       help="seconds between console stats lines (0 = off)")
+    serve.add_argument("--codec", default="json", help="wire codec (json, msgpack, auto)")
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="drive concurrent load at a running `repro serve`"
+    )
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=7411)
+    loadtest.add_argument("--clients", type=int, default=32,
+                          help="client connections")
+    loadtest.add_argument("--pipeline", type=int, default=4,
+                          help="in-flight batches per client (closed loop)")
+    loadtest.add_argument("--batch-size", type=int, default=256)
+    loadtest.add_argument("--fingerprints", type=int, default=200_000,
+                          help="total fingerprints to offer")
+    loadtest.add_argument("--duplicate-fraction", type=float, default=0.25)
+    loadtest.add_argument("--rate", type=float, default=0.0,
+                          help="open-loop arrival rate in fp/s (0 = closed loop)")
+    loadtest.add_argument("--seed", type=int, default=17)
+    loadtest.add_argument("--codec", default="json")
+    loadtest.add_argument("--max-retries", type=int, default=8)
+    loadtest.add_argument("--kill-node", default=None, metavar="NODE",
+                          help="SIGKILL this worker mid-run (e.g. node1)")
+    loadtest.add_argument("--kill-after", type=float, default=0.25,
+                          help="fraction of fingerprints acked before the kill")
+    loadtest.add_argument("--burst-batches", type=int, default=0,
+                          help="extra un-retried batches fired at the halfway "
+                               "point to provoke sheds")
+    loadtest.add_argument("--no-audit", action="store_true",
+                          help="skip the post-run lost-acknowledgement audit")
+    loadtest.add_argument("--json", default=None, metavar="PATH",
+                          help="write the report JSON here")
+    loadtest.add_argument("--quiet", action="store_true")
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     trace = subparsers.add_parser("trace", help="generate a synthetic fingerprint trace")
     trace.add_argument("--workload", default="web-server",

@@ -463,7 +463,7 @@ class HybridHashNode:
         persistence = self.persistence
         persistence.log_insert_many(pairs)
         if persistence.snapshot_due():
-            persistence.take_snapshot(self.bloom, entries=len(self.store))
+            persistence.take_snapshot(self.bloom, entries=len(self.store), store=self.store)
             self.counters.increment("snapshots")
 
     def kill(self) -> None:

@@ -32,9 +32,9 @@ import os
 import struct
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
-from ..storage.hashstore import FileHashStore
+from ..storage.hashstore import FileHashStore, SSDHashStore
 from ..storage.snapshot import SnapshotError, read_snapshot, write_snapshot
 from ..storage.wal import WriteAheadLog
 
@@ -108,6 +108,13 @@ class RecoveryReport:
     #: A crash interrupted a snapshot (WAL intent without done); the
     #: snapshot was re-taken from the recovered state.
     resumed_snapshot: bool = False
+    #: A store snapshot restored the hash table wholesale (no per-key
+    #: re-placement from the container log; only the tail was replayed).
+    store_snapshot_loaded: bool = False
+    store_snapshot_bytes: int = 0
+    #: Container records replayed into the *store* after its snapshot
+    #: (0 on a cold rebuild, where every live key is re-placed instead).
+    store_tail_records: int = 0
     #: Wall-clock seconds the recovery pass took (host time, not simulated).
     wall_seconds: float = 0.0
     #: Simulated CPU seconds the cost model charged for this recovery
@@ -124,6 +131,9 @@ class RecoveryReport:
             "snapshot_bytes": self.snapshot_bytes,
             "truncated_bytes": self.truncated_bytes,
             "resumed_snapshot": self.resumed_snapshot,
+            "store_snapshot_loaded": self.store_snapshot_loaded,
+            "store_snapshot_bytes": self.store_snapshot_bytes,
+            "store_tail_records": self.store_tail_records,
             "wall_seconds": self.wall_seconds,
             "charged_seconds": self.charged_seconds,
         }
@@ -135,18 +145,50 @@ class NodePersistence:
     CONTAINER_NAME = "containers.log"
     WAL_NAME = "wal.log"
     SNAPSHOT_NAME = "bloom.snap"
+    STORE_SNAPSHOT_NAME = "store.snap"
 
     def __init__(self, directory: str, fsync: bool = False, snapshot_every: int = 0) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.fsync = fsync
         self.snapshot_every = snapshot_every
-        self.container = FileHashStore(os.path.join(directory, self.CONTAINER_NAME), fsync=fsync)
-        self.wal = WriteAheadLog(os.path.join(directory, self.WAL_NAME), fsync=fsync)
         self.snapshot_path = os.path.join(directory, self.SNAPSHOT_NAME)
+        self.store_snapshot_path = os.path.join(directory, self.STORE_SNAPSHOT_NAME)
+        # A valid store snapshot lets the container open *resume* from the
+        # snapshot's byte offset -- the CRC scan and index build of the
+        # covered prefix are replaced by the snapshot's decoded entries.
+        # The decoded form is cached for the recover_into call that
+        # normally follows construction (one decode, two uses).
+        self._store_snapshot_cache = self._read_store_snapshot()
+        resume = None
+        if self._store_snapshot_cache is not None:
+            meta, _num_buckets, entries, _payload_bytes = self._store_snapshot_cache
+            resume = (
+                int(meta.get("tail_offset", -1)),
+                int(meta.get("records", -1)),
+                {key: _encode_value(value) for _bucket, key, value in entries},
+            )
+        self.container = FileHashStore(
+            os.path.join(directory, self.CONTAINER_NAME), fsync=fsync, resume=resume
+        )
+        self.wal = WriteAheadLog(os.path.join(directory, self.WAL_NAME), fsync=fsync)
         #: Container record count covered by the current snapshot (0 = none).
         self.snapshot_records = 0
         self.snapshots_taken = 0
+
+    def _read_store_snapshot(self):
+        """Decode ``store.snap`` if present and well-formed, else ``None``."""
+        try:
+            meta, payload = read_snapshot(self.store_snapshot_path)
+        except SnapshotError:
+            return None
+        try:
+            num_buckets, entries = SSDHashStore.decode_snapshot_payload(payload)
+        except (ValueError, struct.error):
+            return None
+        if int(meta.get("records", -1)) < 0 or int(meta.get("tail_offset", -1)) < 0:
+            return None
+        return meta, num_buckets, entries, len(payload)
 
     # -- logging ---------------------------------------------------------------------
     @property
@@ -176,16 +218,21 @@ class NodePersistence:
             and self.records - self.snapshot_records >= self.snapshot_every
         )
 
-    def take_snapshot(self, bloom: Any, entries: int = 0) -> int:
-        """Write a bloom snapshot covering the container's current records.
+    def take_snapshot(self, bloom: Any, entries: int = 0, store: Optional[Any] = None) -> int:
+        """Write a bloom (and optionally store) snapshot of the current state.
 
         Follows the membership WAL idiom: intent record, then the atomic
-        snapshot write, then the done record.  A crash between intent and
+        snapshot write(s), then the done record.  A crash between intent and
         done is detected by :meth:`recover_into`, which re-takes the
-        snapshot from the recovered state.  Returns the record count the
+        snapshot from the recovered state.  When ``store`` (the node's
+        :class:`~repro.storage.hashstore.SSDHashStore`) is given, its whole
+        table is checkpointed alongside the bloom bits -- recovery then
+        restores the store by bulk copy and the container prefix the
+        snapshot covers is never re-scanned.  Returns the record count the
         snapshot covers.
         """
         records = self.records
+        tail_offset = self.container.tail_bytes
         intent = self.wal.append("snapshot", records=records)
         meta = {
             "records": records,
@@ -195,6 +242,14 @@ class NodePersistence:
             "entries": entries,
         }
         write_snapshot(self.snapshot_path, bloom.snapshot_payload(), meta)
+        if store is not None:
+            store_meta = {
+                "records": records,
+                "tail_offset": tail_offset,
+                "entries": len(store),
+                "num_buckets": store.num_buckets,
+            }
+            write_snapshot(self.store_snapshot_path, store.snapshot_payload(), store_meta)
         self.wal.append("snapshot_done", records=records)
         # Earlier snapshot intents are now moot; keep the log short.
         self.wal.checkpoint(intent.lsn - 1)
@@ -245,16 +300,50 @@ class NodePersistence:
                     report.snapshot_loaded = True
                     report.snapshot_bytes = len(payload)
 
-        # Rebuild the store from the container's recovered index (its final
-        # state after applying every put/delete).
+        # Rebuild the store.  With a store snapshot the whole table is
+        # restored by bulk copy (bucket placements included -- no per-key
+        # hashing) and only the container tail written after it is replayed;
+        # otherwise every live key is re-placed from the recovered index.
         store = node.store
-        entries = 0
-        for key, blob in self.container.items():
-            store.put(key, _decode_value(blob))
-            entries += 1
+        tail_ops: Optional[List[Tuple[int, bytes, bytes]]] = None
+        store_covered = -1
+        if use_snapshot:
+            store_snapshot = self._store_snapshot_cache
+            # One decode serves one recovery; a later recovery (e.g. a
+            # restart after kill) re-reads the latest snapshot from disk.
+            self._store_snapshot_cache = None
+            if store_snapshot is None:
+                store_snapshot = self._read_store_snapshot()
+            if store_snapshot is not None and len(store) == 0:
+                meta, num_buckets, snap_entries, payload_bytes = store_snapshot
+                covered = int(meta.get("records", 0))
+                tail_offset = int(meta.get("tail_offset", 0))
+                if (
+                    covered <= self.container.record_count
+                    and os.path.getsize(self.container.path) >= tail_offset
+                ):
+                    store.restore_entries(num_buckets, snap_entries)
+                    tail_ops = list(
+                        FileHashStore.scan(self.container.path, start_offset=tail_offset)
+                    )
+                    put = store.put
+                    remove = store.remove
+                    for op, key, blob in tail_ops:
+                        if op == FileHashStore._OP_PUT:
+                            put(key, _decode_value(blob))
+                        else:
+                            remove(key)
+                    store_covered = covered
+                    report.store_snapshot_loaded = True
+                    report.store_snapshot_bytes = payload_bytes
+                    report.store_tail_records = len(tail_ops)
+        if not report.store_snapshot_loaded:
+            for key, blob in self.container.items():
+                store.put(key, _decode_value(blob))
         # The recovered entries are already on flash; the node restarts with
         # an empty write buffer rather than owing a burst of page flushes.
         store._buffered_entries = 0
+        entries = len(store)
         report.entries = entries
 
         replayed = 0
@@ -263,12 +352,21 @@ class NodePersistence:
             # Replay only the tail written after the snapshot.  Deletes are
             # skipped (bloom bits cannot be unset); duplicate puts are
             # idempotent bit sets.
-            index = 0
-            for op, key, _value in FileHashStore.scan(self.container.path):
-                if index >= snapshot_records and op == FileHashStore._OP_PUT:
-                    add_one(key)
-                    replayed += 1
-                index += 1
+            if tail_ops is not None and store_covered == snapshot_records:
+                # Bloom and store snapshots were taken together, so the tail
+                # already scanned for the store is exactly the bloom's tail
+                # too -- one disk scan serves both.
+                for op, key, _value in tail_ops:
+                    if op == FileHashStore._OP_PUT:
+                        add_one(key)
+                        replayed += 1
+            else:
+                index = 0
+                for op, key, _value in FileHashStore.scan(self.container.path):
+                    if index >= snapshot_records and op == FileHashStore._OP_PUT:
+                        add_one(key)
+                        replayed += 1
+                    index += 1
         else:
             for key in self.container.keys():
                 add_one(key)
@@ -283,7 +381,7 @@ class NodePersistence:
             # A crash interrupted a snapshot between intent and done.  The
             # recovered state supersedes whatever was being written, so
             # re-take the snapshot now (idempotent: intent/done again).
-            self.take_snapshot(bloom, entries=entries)
+            self.take_snapshot(bloom, entries=entries, store=store)
             report.resumed_snapshot = True
 
         report.wall_seconds = time.perf_counter() - started

@@ -34,6 +34,7 @@ from ..analysis.experiments import (
     figure6,
     generational,
     restart,
+    service,
     table1,
 )
 from .engine import Preset, register_preset
@@ -704,6 +705,80 @@ register_preset(
                 "warm_restart",
                 "snapshot_every",
                 "fsync",
+            }
+        ),
+    )
+)
+
+
+# ----------------------------------------------------------------- live service
+def _run_service(spec: ScenarioSpec) -> ScenarioResult:
+    """The only preset that is not simulated: real sockets, real processes."""
+    cluster, client = spec.cluster, spec.client
+    seed = _seed(spec, 17)
+    result = service.run_service(
+        num_nodes=cluster.get("num_nodes", 4),
+        clients=client.get("clients", 8),
+        pipeline=client.get("pipeline", 4),
+        batch_size=client.get("batch_size", 256),
+        fingerprints=client.get("fingerprints", 50_000),
+        duplicate_fraction=client.get("duplicate_fraction", 0.25),
+        arrival_rate_fps=client.get("arrival_rate_fps", 0.0),
+        kill_node=client.get("kill_node"),
+        kill_after_fraction=client.get("kill_after_fraction", 0.25),
+        burst_batches=client.get("burst_batches", 0),
+        snapshot_every=client.get("snapshot_every", 100_000),
+        fsync=client.get("fsync", False),
+        max_queue=client.get("max_queue", 64),
+        max_inflight=client.get("max_inflight", 512),
+        node_config=dict(spec.node) if spec.node else None,
+        seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "fingerprints": result.offered,
+        "acknowledged": result.acknowledged,
+        "new_fingerprints": result.new_fingerprints,
+        "duplicate_fingerprints": result.duplicate_fingerprints,
+        "throughput": result.throughput,
+        "wall_seconds": result.wall_seconds,
+        "p50_latency_us": result.latency_us.get("p50", 0.0),
+        "p99_latency_us": result.latency_us.get("p99", 0.0),
+        "sheds": result.sheds,
+        "shed_rate": result.shed_rate,
+        "retries": result.retries,
+        "unavailable": result.unavailable,
+        "failed_batches": result.failed_batches,
+        "kills_sent": result.kills_sent,
+        "worker_restarts": result.worker_restarts,
+        "audit_checked": result.audit_checked,
+        "lost_acknowledged": result.lost_acknowledged,
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, detail=result)
+
+
+register_preset(
+    Preset(
+        name="service",
+        description="Boot the real serving stack (TCP gateway + worker processes) and load it",
+        runner=_run_service,
+        cluster_keys=frozenset({"num_nodes"}),
+        node_keys=NODE_KEYS,
+        workload_keys=frozenset(),
+        client_keys=frozenset(
+            {
+                "clients",
+                "pipeline",
+                "batch_size",
+                "fingerprints",
+                "duplicate_fraction",
+                "arrival_rate_fps",
+                "kill_node",
+                "kill_after_fraction",
+                "burst_batches",
+                "snapshot_every",
+                "fsync",
+                "max_queue",
+                "max_inflight",
             }
         ),
     )

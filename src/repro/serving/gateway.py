@@ -1,0 +1,686 @@
+"""The serving front door: an asyncio TCP gateway over per-node worker processes.
+
+The gateway owns ``num_nodes`` OS processes (one
+:class:`~repro.serving.worker.WorkerSpec` each, shared-nothing), routes each
+digest of an incoming batch to its owning worker with the same contiguous
+range sharding as :class:`~repro.core.partition.RangePartitioner`, and
+merges the per-worker verdict masks back into one reply in the client's
+original digest order.
+
+Flow control is explicit and two-level, mirroring the simulated frontend's
+admission queue:
+
+* **Per-worker bounded queues** -- a batch is admitted only if *every*
+  worker it touches has queue room (checked and enqueued without an
+  intervening ``await``, so admission is atomic under asyncio).
+* **Global max in-flight** -- a cap on admitted-but-unanswered batches.
+
+A batch that fails admission is *shed* with an ``OVERLOADED`` reply
+(``retry: true``) rather than queued without bound: under overload the
+service degrades by rejecting, never by growing latency without limit.
+
+Workers are supervised: a worker that dies (e.g. ``kill -9``, or the
+``kill_worker`` admin frame used for fault injection) is respawned and
+warm-starts from its persistence directory; batches in flight on the dead
+worker are answered ``UNAVAILABLE`` (``retry: true``).  Because workers
+persist new fingerprints *before* replying, an acknowledged batch can never
+be lost to a crash -- the loadgen's audit leans on exactly this.
+
+The listening socket speaks two protocols, sniffed from the first four
+bytes: length-prefixed frames (the real protocol) and ``GET `` (a minimal
+HTTP ``/stats`` endpoint for humans and CI scripts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.partition import KEY_SPACE_SIZE
+from ..simulation.stats import LatencyRecorder
+from .wire import WireError, encode_frame, get_codec, read_frame
+from .worker import DIGEST_HEX, WorkerSpec, worker_main
+
+__all__ = ["ServeConfig", "ServiceGateway", "ServingError"]
+
+
+class ServingError(Exception):
+    """Service could not start or operate (e.g. port already in use)."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one gateway + worker fleet."""
+
+    host: str = "127.0.0.1"
+    #: TCP port for clients (0 = ephemeral; read ``gateway.port`` after start).
+    port: int = 7411
+    num_nodes: int = 4
+    #: ``HashNodeConfig`` overrides passed to every worker (dict form).
+    node_config: Dict[str, Any] = field(default_factory=dict)
+    #: Root persistence directory (one subdirectory per node); ``None`` runs
+    #: the nodes fully in memory (no durability, no warm restarts).
+    data_dir: Optional[str] = None
+    fsync: bool = False
+    #: Container records between automatic bloom+store snapshots (0 = off).
+    snapshot_every: int = 100_000
+    #: Max queued batches per worker before admission sheds.
+    max_queue: int = 64
+    #: Max admitted-but-unanswered batches across the whole gateway.
+    max_inflight: int = 512
+    #: Seconds between console stats lines (0 disables the reporter).
+    report_interval: float = 0.0
+    codec: str = "json"
+    #: Seconds to wait for a worker to report readiness after spawn.
+    spawn_timeout: float = 60.0
+    #: Seconds close() waits for in-flight batches before forcing shutdown.
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.max_queue < 1 or self.max_inflight < 1:
+            raise ValueError("max_queue and max_inflight must be >= 1")
+
+    def node_id(self, index: int) -> str:
+        return f"node{index}"
+
+    def worker_spec(self, index: int) -> WorkerSpec:
+        directory = None
+        if self.data_dir is not None:
+            directory = os.path.join(self.data_dir, self.node_id(index))
+        return WorkerSpec(
+            node_id=self.node_id(index),
+            node_config=dict(self.node_config),
+            persistence_dir=directory,
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
+            codec=self.codec,
+            host=self.host,
+        )
+
+
+class _Worker:
+    """Gateway-side handle for one node worker process."""
+
+    __slots__ = (
+        "index", "node_id", "process", "pipe", "port", "pid", "reader", "writer",
+        "queue", "pending", "ready", "restarts", "sent", "replies", "warm_starts",
+        "supervisor",
+    )
+
+    def __init__(self, index: int, node_id: str, max_queue: int) -> None:
+        self.index = index
+        self.node_id = node_id
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.pipe = None
+        self.port: Optional[int] = None
+        self.pid: Optional[int] = None
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        #: Admitted frames waiting to be written: ``(frame_bytes, future)``.
+        self.queue: asyncio.Queue = asyncio.Queue(max_queue)
+        #: Futures for frames written but not yet answered (FIFO: the worker
+        #: answers frames strictly in arrival order).
+        self.pending: Deque[asyncio.Future] = deque()
+        #: Set while the worker is connected and accepting frames.
+        self.ready = asyncio.Event()
+        self.restarts = 0
+        self.sent = 0
+        self.replies = 0
+        self.warm_starts = 0
+        self.supervisor: Optional[asyncio.Task] = None
+
+    def fail_outstanding(self, reply: Dict[str, Any]) -> int:
+        """Answer every queued/in-flight frame with ``reply`` (worker died)."""
+        failed = 0
+        while self.pending:
+            future = self.pending.popleft()
+            if not future.done():
+                future.set_result(dict(reply))
+                failed += 1
+        while True:
+            try:
+                _frame, future = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if future is not None and not future.done():
+                future.set_result(dict(reply))
+                failed += 1
+        return failed
+
+
+def _no_nagle(writer: asyncio.StreamWriter) -> None:
+    """Batch frames are latency-sensitive and self-contained; disable Nagle."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - not a TCP socket
+            pass
+
+
+_UNAVAILABLE = {"t": "reply", "ok": False, "err": "UNAVAILABLE", "retry": True}
+_OVERLOADED = {"t": "reply", "ok": False, "err": "OVERLOADED", "retry": True}
+_SHUTTING_DOWN = {"t": "reply", "ok": False, "err": "SHUTTING_DOWN", "retry": False}
+
+
+class ServiceGateway:
+    """Accepts client batches, shards them to workers, merges the verdicts."""
+
+    def __init__(self, config: ServeConfig, verbose: bool = False) -> None:
+        self.config = config
+        self.verbose = verbose
+        self.codec = get_codec(config.codec)
+        self._mp = multiprocessing.get_context("spawn")
+        self._range_width = KEY_SPACE_SIZE // config.num_nodes
+        self.workers = [
+            _Worker(i, config.node_id(i), config.max_queue)
+            for i in range(config.num_nodes)
+        ]
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._reporter: Optional[asyncio.Task] = None
+        self._closing = False
+        self.port: Optional[int] = None
+        # -- metrics (event-loop writes; LatencyRecorder is also thread-safe
+        # so out-of-loop readers such as tests may poke it directly).
+        self.started_at = 0.0
+        self.batch_latency = LatencyRecorder("batch_latency")
+        self.inflight = 0
+        self.acked_batches = 0
+        self.acked_fingerprints = 0
+        self.duplicate_fingerprints = 0
+        self.new_fingerprints = 0
+        self.shed_batches = 0
+        self.shed_fingerprints = 0
+        self.unavailable_batches = 0
+        self.protocol_errors = 0
+        self._window_acked = 0  # fingerprints acked since the last report line
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Spawn the fleet, wait for every shard to recover, open the door."""
+        self.started_at = time.perf_counter()
+        await asyncio.gather(*(self._spawn(worker) for worker in self.workers))
+        for worker in self.workers:
+            worker.supervisor = asyncio.ensure_future(self._supervise(worker))
+        # Workers are connected before the listener exists, so the first
+        # client batch never races worker startup.
+        for worker in self.workers:
+            await worker.ready.wait()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_client, self.config.host, self.config.port
+            )
+        except OSError as error:
+            await self._abort_workers()
+            raise ServingError(
+                f"cannot listen on {self.config.host}:{self.config.port}: {error}"
+            ) from error
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.report_interval > 0:
+            self._reporter = asyncio.ensure_future(self._report_loop())
+        self._log(
+            f"serving on {self.config.host}:{self.port} "
+            f"({self.config.num_nodes} nodes, codec={self.codec.name})"
+        )
+
+    async def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, stop workers."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._reporter is not None:
+            self._reporter.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.perf_counter() + self.config.drain_timeout
+        while self.inflight and time.perf_counter() < deadline:
+            await asyncio.sleep(0.02)
+        # Ask every live worker to snapshot and exit; its supervisor sees a
+        # clean EOF afterwards and returns instead of respawning.
+        shutdowns = []
+        for worker in self.workers:
+            if worker.ready.is_set():
+                future: asyncio.Future = asyncio.get_event_loop().create_future()
+                frame = encode_frame({"t": "shutdown"}, self.codec)
+                try:
+                    worker.queue.put_nowait((frame, future))
+                    shutdowns.append(future)
+                except asyncio.QueueFull:  # pragma: no cover - drained above
+                    pass
+        if shutdowns:
+            await asyncio.wait(shutdowns, timeout=self.config.drain_timeout)
+        await self._abort_workers()
+        self._log("drained and stopped")
+
+    async def _abort_workers(self) -> None:
+        self._closing = True
+        for worker in self.workers:
+            if worker.supervisor is not None:
+                worker.supervisor.cancel()
+            if worker.writer is not None:
+                worker.writer.close()
+        loop = asyncio.get_event_loop()
+        for worker in self.workers:
+            process = worker.process
+            if process is not None and process.is_alive():
+                await loop.run_in_executor(None, process.join, 2.0)
+                if process.is_alive():
+                    process.kill()
+                    await loop.run_in_executor(None, process.join, 2.0)
+
+    # ------------------------------------------------------------- worker fleet
+    async def _spawn(self, worker: _Worker) -> None:
+        """Start the worker process and wait for its ready report."""
+        spec = self.config.worker_spec(worker.index)
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=worker_main, args=(spec, child_conn), daemon=True
+        )
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(None, process.start)
+        child_conn.close()
+
+        def _wait_ready() -> Dict[str, Any]:
+            if parent_conn.poll(self.config.spawn_timeout):
+                return parent_conn.recv()
+            raise TimeoutError(
+                f"worker {spec.node_id} did not report ready within "
+                f"{self.config.spawn_timeout:.0f}s"
+            )
+
+        try:
+            ready = await loop.run_in_executor(None, _wait_ready)
+        except (TimeoutError, EOFError) as error:
+            process.kill()
+            raise ServingError(f"worker {spec.node_id} failed to start: {error}") from error
+        finally:
+            parent_conn.close()
+        if "error" in ready:
+            raise ServingError(f"worker {spec.node_id} failed to start: {ready['error']}")
+        worker.process = process
+        worker.port = int(ready["port"])
+        worker.pid = int(ready["pid"])
+        if ready.get("warm"):
+            worker.warm_starts += 1
+            self._log(
+                f"{spec.node_id} warm-started: {ready.get('entries', 0)} entries, "
+                f"store_snapshot={bool(ready.get('store_snapshot'))}"
+            )
+
+    async def _supervise(self, worker: _Worker) -> None:
+        """Connect, pump frames, and respawn the worker for as long as we run."""
+        while not self._closing:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.config.host, worker.port
+                )
+            except OSError:
+                await asyncio.sleep(0.05)
+                continue
+            _no_nagle(writer)
+            worker.reader, worker.writer = reader, writer
+            worker.ready.set()
+            clean = await self._pump(worker)
+            worker.ready.clear()
+            worker.reader = worker.writer = None
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - close races are harmless
+                pass
+            if clean or self._closing:
+                return
+            # The worker died under us: answer its outstanding batches as
+            # retryable and bring a fresh process up on the same shard.
+            failed = worker.fail_outstanding(_UNAVAILABLE)
+            worker.restarts += 1
+            self._log(
+                f"{worker.node_id} died (pid {worker.pid}); {failed} frames failed "
+                f"UNAVAILABLE; respawning"
+            )
+            try:
+                await self._spawn(worker)
+            except ServingError as error:  # pragma: no cover - respawn failure
+                self._log(f"respawn failed: {error}")
+                await asyncio.sleep(0.5)
+
+    async def _pump(self, worker: _Worker) -> bool:
+        """Move frames queue -> socket and replies socket -> futures.
+
+        Returns ``True`` on a clean shutdown handshake, ``False`` when the
+        worker (or its connection) died.
+        """
+        sender = asyncio.ensure_future(self._send_loop(worker))
+        try:
+            while True:
+                try:
+                    message = await read_frame(worker.reader, self.codec)
+                except (WireError, OSError):
+                    return False
+                if message is None:
+                    # EOF: clean only if we asked the worker to shut down
+                    # (its reply arrives, FIFO, before the socket closes).
+                    return self._closing and not worker.pending
+                if worker.pending:
+                    future = worker.pending.popleft()
+                    worker.replies += 1
+                    if not future.done():
+                        future.set_result(message)
+                else:  # pragma: no cover - protocol violation
+                    self.protocol_errors += 1
+        finally:
+            sender.cancel()
+
+    async def _send_loop(self, worker: _Worker) -> None:
+        writer = worker.writer
+        while True:
+            frame, future = await worker.queue.get()
+            try:
+                writer.write(frame)
+                # Append before the drain await: the receiver matches replies
+                # FIFO and must find this future even if the worker answers
+                # while the drain is still pending.
+                if future is not None:
+                    worker.pending.append(future)
+                worker.sent += 1
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+
+    # ------------------------------------------------------------- client side
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        _no_nagle(writer)
+        try:
+            sniff = await reader.read(4)
+        except (ConnectionError, OSError):
+            sniff = b""
+        if not sniff:
+            writer.close()
+            return
+        if sniff == b"GET ":
+            await self._serve_http(reader, writer)
+            return
+        # Frame protocol: the 4 sniffed bytes are the first length prefix.
+        try:
+            await self._serve_frames(sniff, reader, writer)
+        except (WireError, ConnectionError, OSError):
+            self.protocol_errors += 1
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _serve_frames(self, first_header: bytes, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        codec = self.codec
+        header: Optional[bytes] = first_header
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+
+        async def _answer_batch(message: Dict[str, Any]) -> None:
+            # Batches run concurrently so a pipelining client actually gets
+            # a pipeline; replies are id-matched, so completion order is
+            # free to differ from arrival order.
+            reply = await self._handle_batch(message)
+            frame = encode_frame(reply, codec)
+            async with write_lock:
+                writer.write(frame)
+                await writer.drain()
+
+        try:
+            while True:
+                if header is None:
+                    try:
+                        header = await reader.readexactly(4)
+                    except asyncio.IncompleteReadError as error:
+                        if not error.partial:
+                            return  # clean EOF between frames
+                        raise WireError("connection closed mid-frame") from None
+                length = int.from_bytes(header, "big")
+                header = None
+                if length > 64 * 1024 * 1024:
+                    raise WireError("oversized frame")
+                payload = await reader.readexactly(length)
+                message = codec.decode(payload)
+                kind = message.get("t")
+                if kind == "batch":
+                    task = asyncio.ensure_future(_answer_batch(message))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                    continue
+                if kind == "stats":
+                    reply = {"t": "stats", "id": message.get("id"), "stats": self.stats()}
+                elif kind == "ping":
+                    reply = {"t": "pong", "id": message.get("id")}
+                elif kind == "kill_worker":
+                    reply = self._handle_kill(message)
+                else:
+                    reply = {"t": "reply", "id": message.get("id"), "ok": False,
+                             "err": f"unknown message type {kind!r}", "retry": False}
+                frame = encode_frame(reply, codec)
+                async with write_lock:
+                    writer.write(frame)
+                    await writer.drain()
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _route(self, blob_hex: str, count: int) -> Dict[int, Tuple[List[str], List[int]]]:
+        """Group a batch's digests by owning worker, remembering positions."""
+        width = self._range_width
+        last = self.config.num_nodes - 1
+        groups: Dict[int, Tuple[List[str], List[int]]] = {}
+        for position in range(count):
+            digest_hex = blob_hex[position * DIGEST_HEX:(position + 1) * DIGEST_HEX]
+            # Same math as RangePartitioner.owners_by_key: the top 64 bits
+            # of the digest are its first 16 hex characters.
+            index = int(digest_hex[:16], 16) // width
+            if index > last:
+                index = last
+            group = groups.get(index)
+            if group is None:
+                groups[index] = group = ([], [])
+            group[0].append(digest_hex)
+            group[1].append(position)
+        return groups
+
+    async def _handle_batch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        started = time.perf_counter()
+        message_id = message.get("id")
+        blob_hex = message.get("d", "")
+        if not blob_hex or len(blob_hex) % DIGEST_HEX:
+            return {"t": "reply", "id": message_id, "ok": False,
+                    "err": "malformed digest blob", "retry": False}
+        count = len(blob_hex) // DIGEST_HEX
+        if self._closing:
+            reply = dict(_SHUTTING_DOWN)
+            reply["id"] = message_id
+            return reply
+        groups = self._route(blob_hex, count)
+
+        # -- admission: every touched worker must be up with queue room, and
+        # the global in-flight cap must have space.  No await between the
+        # checks and the put_nowait calls, so admission is atomic.
+        if self.inflight >= self.config.max_inflight or any(
+            not self.workers[index].ready.is_set() or self.workers[index].queue.full()
+            for index in groups
+        ):
+            self.shed_batches += 1
+            self.shed_fingerprints += count
+            reply = dict(_OVERLOADED)
+            reply["id"] = message_id
+            return reply
+
+        sizes = message.get("s", 0)
+        loop = asyncio.get_event_loop()
+        submitted: List[Tuple[asyncio.Future, List[int]]] = []
+        for index, (parts, positions) in groups.items():
+            if isinstance(sizes, list):
+                sub_sizes: Any = [sizes[position] for position in positions]
+            else:
+                sub_sizes = sizes
+            frame = encode_frame(
+                {"t": "batch", "id": message_id, "d": "".join(parts), "s": sub_sizes},
+                self.codec,
+            )
+            future = loop.create_future()
+            self.workers[index].queue.put_nowait((frame, future))
+            submitted.append((future, positions))
+        self.inflight += 1
+        try:
+            replies = await asyncio.gather(*(future for future, _ in submitted))
+        finally:
+            self.inflight -= 1
+
+        mask = 0
+        new_entries = 0
+        for (_, positions), sub_reply in zip(submitted, replies):
+            if not sub_reply.get("ok"):
+                # A worker died mid-batch.  Nothing was acknowledged, so the
+                # client may retry the whole batch against the respawned shard.
+                self.unavailable_batches += 1
+                reply = dict(sub_reply)
+                reply["id"] = message_id
+                return reply
+            sub_mask = int(sub_reply.get("v", "0"), 16)
+            new_entries += int(sub_reply.get("new", 0))
+            bit = 0
+            while sub_mask:
+                if sub_mask & 1:
+                    mask |= 1 << positions[bit]
+                sub_mask >>= 1
+                bit += 1
+        duplicates = count - new_entries
+        self.acked_batches += 1
+        self.acked_fingerprints += count
+        self._window_acked += count
+        self.new_fingerprints += new_entries
+        self.duplicate_fingerprints += duplicates
+        self.batch_latency.record(time.perf_counter() - started)
+        return {"t": "reply", "id": message_id, "ok": True,
+                "v": format(mask, "x"), "n": count, "new": new_entries}
+
+    def _handle_kill(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Admin fault injection: SIGKILL one worker (it will be respawned)."""
+        node = message.get("node")
+        for worker in self.workers:
+            if worker.node_id == node or worker.index == node:
+                if worker.process is not None and worker.process.is_alive():
+                    worker.process.kill()
+                    self._log(f"killed {worker.node_id} (pid {worker.pid}) on request")
+                    return {"t": "reply", "id": message.get("id"), "ok": True,
+                            "node": worker.node_id, "pid": worker.pid}
+                return {"t": "reply", "id": message.get("id"), "ok": False,
+                        "err": f"worker {node!r} is not running", "retry": False}
+        return {"t": "reply", "id": message.get("id"), "ok": False,
+                "err": f"no such worker {node!r}", "retry": False}
+
+    # ------------------------------------------------------------- observability
+    def stats(self) -> Dict[str, Any]:
+        elapsed = max(time.perf_counter() - self.started_at, 1e-9)
+        offered = self.acked_fingerprints + self.shed_fingerprints
+        latency = self.batch_latency.as_dict()
+        return {
+            "uptime_s": elapsed,
+            "nodes": self.config.num_nodes,
+            "acked_batches": self.acked_batches,
+            "acked_fingerprints": self.acked_fingerprints,
+            "new_fingerprints": self.new_fingerprints,
+            "duplicate_fingerprints": self.duplicate_fingerprints,
+            "throughput_fps": self.acked_fingerprints / elapsed,
+            "inflight": self.inflight,
+            "shed_batches": self.shed_batches,
+            "shed_fingerprints": self.shed_fingerprints,
+            "shed_rate": self.shed_fingerprints / offered if offered else 0.0,
+            "unavailable_batches": self.unavailable_batches,
+            "protocol_errors": self.protocol_errors,
+            "batch_latency_us": {
+                key: value * 1e6 if key not in ("count",) else value
+                for key, value in latency.items()
+            },
+            "workers": [
+                {
+                    "node_id": worker.node_id,
+                    "pid": worker.pid,
+                    "port": worker.port,
+                    "up": worker.ready.is_set(),
+                    "queue_depth": worker.queue.qsize(),
+                    "pending": len(worker.pending),
+                    "sent": worker.sent,
+                    "replies": worker.replies,
+                    "restarts": worker.restarts,
+                    "warm_starts": worker.warm_starts,
+                }
+                for worker in self.workers
+            ],
+        }
+
+    async def _serve_http(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """Answer one ``GET /stats`` (anything else 404s) and close."""
+        try:
+            request = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError, OSError):
+            writer.close()
+            return
+        # The sniff already consumed the leading ``GET ``, so the request
+        # line starts at the path: ``/stats HTTP/1.1``.
+        path = request.split(b"\r\n", 1)[0].split(b" ")[0] or b"/"
+        if path in (b"/stats", b"/"):
+            body = json.dumps(self.stats(), indent=2).encode("utf-8")
+            status = b"200 OK"
+        else:
+            body = b'{"error": "not found"}'
+            status = b"404 Not Found"
+        writer.write(
+            b"HTTP/1.1 " + status + b"\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        writer.close()
+
+    async def _report_loop(self) -> None:
+        interval = self.config.report_interval
+        while True:
+            await asyncio.sleep(interval)
+            window = self._window_acked
+            self._window_acked = 0
+            stats = self.stats()
+            latency = stats["batch_latency_us"]
+            self._log(
+                f"t={stats['uptime_s']:.1f}s acked={stats['acked_fingerprints']} "
+                f"fp/s={window / interval:.0f} "
+                f"p50={latency.get('p50', 0.0):.0f}us p99={latency.get('p99', 0.0):.0f}us "
+                f"inflight={stats['inflight']} shed={stats['shed_batches']} "
+                f"restarts={sum(w['restarts'] for w in stats['workers'])}"
+            )
+
+    def _log(self, line: str) -> None:
+        if self.verbose:
+            print(f"[serve] {line}", file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------- convenience
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI wraps this with signal handling)."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass

@@ -1,0 +1,221 @@
+"""Node worker process: one OS process per hash node, shared-nothing.
+
+Each worker owns exactly one :class:`~repro.core.hash_node.HybridHashNode`
+(immediate mode) and serves digest batches over a private localhost TCP
+socket.  The socket binds an ephemeral port (no collisions across respawns)
+which the worker reports back to the gateway through a ``multiprocessing``
+pipe once the node is ready to serve -- *after* any warm-start recovery, so
+a respawned worker never acknowledges a batch before its shard is restored.
+
+Durability contract: the node's ``serve_bucket`` persists new fingerprints
+to the PR-7 container log *before* returning, so a reply frame on the wire
+implies the acknowledged fingerprints survive a process kill.  That
+ordering is what the loadgen's post-run audit (zero lost acknowledged
+fingerprints after ``kill -9`` + respawn) leans on.
+
+The frame loop is single-threaded by design: the gateway is the only
+client, one connection at a time, and requests are answered in arrival
+order -- which lets the gateway match replies to requests FIFO without ids
+on this hop (ids still travel for debuggability).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.config import HashNodeConfig
+from ..core.hash_node import HybridHashNode
+from ..core.persistence import NodePersistence
+from ..dedup.fingerprint import Fingerprint
+from .wire import WireError, get_codec, recv_frame, send_frame
+
+__all__ = ["WorkerSpec", "worker_main"]
+
+DIGEST_BYTES = 20
+DIGEST_HEX = DIGEST_BYTES * 2
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to build and serve its node.
+
+    Kept picklable (plain scalars + a config dict) so it crosses the
+    ``spawn`` start-method boundary; ``spawn`` is used instead of ``fork``
+    because the gateway forks from inside a running asyncio loop, whose
+    state must not leak into children.
+    """
+
+    node_id: str
+    node_config: Dict[str, Any] = field(default_factory=dict)
+    #: Per-node persistence directory (``None`` = fully in-memory node).
+    persistence_dir: Optional[str] = None
+    fsync: bool = False
+    snapshot_every: int = 0
+    codec: str = "json"
+    host: str = "127.0.0.1"
+
+    def build_node(self) -> HybridHashNode:
+        """Construct the node (warm-starts from ``persistence_dir`` if it exists)."""
+        config = HashNodeConfig.from_dict(self.node_config) if self.node_config else HashNodeConfig()
+        persistence = None
+        if self.persistence_dir is not None:
+            persistence = NodePersistence(
+                self.persistence_dir, fsync=self.fsync, snapshot_every=self.snapshot_every
+            )
+        return HybridHashNode(self.node_id, config=config, persistence=persistence)
+
+
+def _serve_batch(node: HybridHashNode, message: Dict[str, Any]) -> Dict[str, Any]:
+    """Answer one digest batch; the hot path of the whole serving stack."""
+    blob = bytes.fromhex(message["d"])
+    if len(blob) % DIGEST_BYTES:
+        raise WireError(f"digest blob of {len(blob)} bytes is not a multiple of {DIGEST_BYTES}")
+    count = len(blob) // DIGEST_BYTES
+    sizes = message.get("s", 0)
+    # Build fingerprints without __init__ (the 20-byte invariant is enforced
+    # by the slicing above), mirroring the cluster's hot-path reply
+    # construction -- per-fingerprint Python is what caps throughput.
+    new_fp = object.__new__
+    fp_cls = Fingerprint
+    fingerprints = []
+    append = fingerprints.append
+    if isinstance(sizes, int):
+        for start in range(0, len(blob), DIGEST_BYTES):
+            fingerprint = new_fp(fp_cls)
+            fields = fingerprint.__dict__
+            fields["digest"] = blob[start:start + DIGEST_BYTES]
+            fields["chunk_size"] = sizes
+            append(fingerprint)
+    else:
+        if len(sizes) != count:
+            raise WireError(f"got {len(sizes)} chunk sizes for {count} digests")
+        for index, start in enumerate(range(0, len(blob), DIGEST_BYTES)):
+            fingerprint = new_fp(fp_cls)
+            fields = fingerprint.__dict__
+            fields["digest"] = blob[start:start + DIGEST_BYTES]
+            fields["chunk_size"] = sizes[index]
+            append(fingerprint)
+
+    replies, new_entries = node.serve_bucket(fingerprints)
+    mask = 0
+    bit = 1
+    for reply in replies:
+        if reply.is_duplicate:
+            mask |= bit
+        bit <<= 1
+    return {
+        "t": "reply",
+        "id": message.get("id"),
+        "ok": True,
+        "v": format(mask, "x"),
+        "n": count,
+        "new": new_entries,
+    }
+
+
+def _stats(node: HybridHashNode) -> Dict[str, Any]:
+    latency = node.lookup_latency.as_dict()
+    persistence = node.persistence
+    payload: Dict[str, Any] = {
+        "node_id": node.node_id,
+        "pid": os.getpid(),
+        "entries": len(node.store),
+        "ram_cached": len(node.cache),
+        "counters": node.counters.as_dict(),
+        "lookup_latency_us": {
+            key: value * 1e6 if key not in ("count",) else value
+            for key, value in latency.items()
+        },
+    }
+    if persistence is not None:
+        payload["persisted_records"] = persistence.records
+        payload["snapshots_taken"] = persistence.snapshots_taken
+    if node.last_recovery is not None:
+        payload["recovery"] = node.last_recovery.to_dict()
+    return payload
+
+
+def _serve_connection(conn: socket.socket, node: HybridHashNode, codec) -> bool:
+    """Serve frames on one gateway connection; returns True on shutdown."""
+    while True:
+        message = recv_frame(conn, codec)
+        if message is None:
+            return False  # gateway went away; go back to accept()
+        kind = message.get("t")
+        if kind == "batch":
+            send_frame(conn, _serve_batch(node, message), codec)
+        elif kind == "stats":
+            send_frame(conn, {"t": "stats", "stats": _stats(node)}, codec)
+        elif kind == "ping":
+            send_frame(conn, {"t": "pong"}, codec)
+        elif kind == "shutdown":
+            _shutdown(node)
+            send_frame(conn, {"t": "reply", "id": message.get("id"), "ok": True}, codec)
+            return True
+        else:
+            raise WireError(f"worker got unknown message type {kind!r}")
+
+
+def _shutdown(node: HybridHashNode) -> None:
+    """Graceful exit: checkpoint the shard so the next start is warm."""
+    persistence = node.persistence
+    if persistence is not None:
+        if persistence.records:
+            persistence.take_snapshot(node.bloom, entries=len(node.store), store=node.store)
+        persistence.close()
+
+
+def worker_main(spec: WorkerSpec, ready_conn) -> None:
+    """Process entry point: build the node, report readiness, serve forever.
+
+    ``ready_conn`` is the gateway's end of a ``multiprocessing.Pipe``; the
+    worker sends ``{"port", "pid", "entries", "warm"}`` exactly once, after
+    recovery, and closes it.  Startup failures are reported over the same
+    pipe as ``{"error": ...}`` so the gateway can raise a useful message
+    instead of timing out.
+    """
+    try:
+        node = spec.build_node()
+        codec = get_codec(spec.codec)
+        listener = socket.create_server((spec.host, 0))
+        listener.listen(4)
+    except Exception as error:  # noqa: BLE001 - anything here must reach the gateway
+        try:
+            ready_conn.send({"error": f"{type(error).__name__}: {error}"})
+        finally:
+            ready_conn.close()
+        sys.exit(1)
+
+    recovery = node.last_recovery
+    ready_conn.send(
+        {
+            "port": listener.getsockname()[1],
+            "pid": os.getpid(),
+            "entries": len(node.store),
+            "warm": recovery is not None,
+            "recovered_records": recovery.records if recovery is not None else 0,
+            "store_snapshot": bool(recovery is not None and recovery.store_snapshot_loaded),
+        }
+    )
+    ready_conn.close()
+
+    while True:
+        conn, _peer = listener.accept()
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            finished = _serve_connection(conn, node, codec)
+        except WireError as error:
+            print(f"[worker {spec.node_id}] protocol error: {error}", file=sys.stderr)
+            finished = False
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close races are harmless
+                pass
+        if finished:
+            listener.close()
+            return

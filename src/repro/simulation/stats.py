@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -107,7 +108,13 @@ class SummaryStats:
 
 
 class ReservoirSample:
-    """Fixed-size uniform reservoir sample (Vitter's algorithm R)."""
+    """Fixed-size uniform reservoir sample (Vitter's algorithm R).
+
+    Thread-safe: the serving gateway records samples from concurrent
+    callbacks while its ``/stats`` endpoint reads percentiles, so every
+    mutation and read holds an internal lock.  Single-threaded simulation
+    callers pay one uncontended acquire per batch via :meth:`add_many`.
+    """
 
     def __init__(self, capacity: int = 10_000, seed: int = 17) -> None:
         if capacity <= 0:
@@ -116,9 +123,21 @@ class ReservoirSample:
         self._rng = random.Random(seed)
         self._seen = 0
         self._values: List[float] = []
+        self._lock = threading.Lock()
 
-    def add(self, value: float) -> None:
-        """Offer one sample to the reservoir."""
+    def __getstate__(self) -> dict:
+        # Locks do not pickle (reservoirs cross the sweep process pool);
+        # the receiving process gets a fresh one.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _add(self, value: float) -> None:
+        """Offer one sample; caller holds the lock."""
         self._seen += 1
         if len(self._values) < self.capacity:
             self._values.append(value)
@@ -126,6 +145,11 @@ class ReservoirSample:
             index = self._rng.randrange(self._seen)
             if index < self.capacity:
                 self._values[index] = value
+
+    def add(self, value: float) -> None:
+        """Offer one sample to the reservoir."""
+        with self._lock:
+            self._add(value)
 
     def add_many(self, values: Sequence[float]) -> None:
         """Offer many samples; state-identical to looping :meth:`add`.
@@ -136,13 +160,14 @@ class ReservoirSample:
         per-sample offers with the exact same draw sequence.
         """
         values = values if isinstance(values, (list, tuple)) else list(values)
-        if len(self._values) + len(values) <= self.capacity:
-            self._values.extend(values)
-            self._seen += len(values)
-            return
-        add = self.add
-        for value in values:
-            add(value)
+        with self._lock:
+            if len(self._values) + len(values) <= self.capacity:
+                self._values.extend(values)
+                self._seen += len(values)
+                return
+            add = self._add
+            for value in values:
+                add(value)
 
     @property
     def seen(self) -> int:
@@ -151,24 +176,42 @@ class ReservoirSample:
 
     def values(self) -> List[float]:
         """Copy of retained samples (unsorted)."""
-        return list(self._values)
+        with self._lock:
+            return list(self._values)
 
     def percentile(self, fraction: float) -> float:
         """Approximate percentile from the reservoir."""
-        return percentile(sorted(self._values), fraction)
+        with self._lock:
+            return percentile(sorted(self._values), fraction)
 
 
 class LatencyRecorder:
-    """Latency statistics: running summary plus a reservoir for percentiles."""
+    """Latency statistics: running summary plus a reservoir for percentiles.
+
+    Thread-safe: a lock guards the running summary (the reservoir carries
+    its own), so gateway worker tasks can record while a reporter thread
+    reads :meth:`as_dict` mid-run without torn Welford state.
+    """
 
     def __init__(self, name: str = "latency", reservoir_size: int = 10_000) -> None:
         self.name = name
         self.summary = SummaryStats()
         self.reservoir = ReservoirSample(reservoir_size)
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
         """Record a latency sample (seconds)."""
-        self.summary.add(value)
+        with self._lock:
+            self.summary.add(value)
         self.reservoir.add(value)
 
     def record_many(self, values: Sequence[float]) -> None:
@@ -183,29 +226,30 @@ class LatencyRecorder:
         # Materialise one-shot iterables first: the Welford loop below would
         # otherwise exhaust a generator before the reservoir sees it.
         values = values if isinstance(values, (list, tuple)) else list(values)
-        summary = self.summary
-        count = summary.count
-        total = summary.total
-        mean = summary.mean
-        m2 = summary._m2
-        minimum = summary.minimum
-        maximum = summary.maximum
-        for value in values:
-            count += 1
-            total += value
-            delta = value - mean
-            mean += delta / count
-            m2 += delta * (value - mean)
-            if value < minimum:
-                minimum = value
-            if value > maximum:
-                maximum = value
-        summary.count = count
-        summary.total = total
-        summary.mean = mean
-        summary._m2 = m2
-        summary.minimum = minimum
-        summary.maximum = maximum
+        with self._lock:
+            summary = self.summary
+            count = summary.count
+            total = summary.total
+            mean = summary.mean
+            m2 = summary._m2
+            minimum = summary.minimum
+            maximum = summary.maximum
+            for value in values:
+                count += 1
+                total += value
+                delta = value - mean
+                mean += delta / count
+                m2 += delta * (value - mean)
+                if value < minimum:
+                    minimum = value
+                if value > maximum:
+                    maximum = value
+            summary.count = count
+            summary.total = total
+            summary.mean = mean
+            summary._m2 = m2
+            summary.minimum = minimum
+            summary.maximum = maximum
         self.reservoir.add_many(values)
 
     @property
@@ -221,12 +265,17 @@ class LatencyRecorder:
         return self.reservoir.percentile(fraction)
 
     def as_dict(self) -> Dict[str, float]:
-        result = self.summary.as_dict()
-        if self.count:
+        with self._lock:
+            result = self.summary.as_dict()
+        # One snapshot of the reservoir serves all three percentiles.  The
+        # extra emptiness check covers a mid-run read racing between the
+        # summary and reservoir updates of a concurrent record().
+        sample = sorted(self.reservoir.values()) if result["count"] else []
+        if sample:
             result.update(
-                p50=self.percentile(0.50),
-                p95=self.percentile(0.95),
-                p99=self.percentile(0.99),
+                p50=percentile(sample, 0.50),
+                p95=percentile(sample, 0.95),
+                p99=percentile(sample, 0.99),
             )
         return result
 
