@@ -16,6 +16,8 @@ paths every byte of backup data funnels through:
   the routed-batch fast path vs. the per-fingerprint ``batch_size=1``
   baseline -- recording replica-write counts so the replication tax can
   be quantified;
+* packed whole-batch bloom/cuckoo kernels vs. their per-key scalar
+  reference oracles (the vectorized data plane's isolated win);
 * one scenario-sweep wall clock, sequential vs. ``run_sweep(workers=N)``
   on a process pool (the speedup column needs real cores; the JSON
   records ``cpu_count``).
@@ -395,6 +397,77 @@ def _bench_cluster(scale: float) -> dict:
     }
 
 
+def _bench_vectorized(scale: float) -> dict:
+    """Whole-bucket packed kernels vs their scalar reference oracles.
+
+    Both legs run the *library's own* code: the ``*_scalar`` methods are
+    the per-key reference kernels the packed paths are differentially
+    tested against (tests/test_vectorized_kernels.py), so this ratio
+    isolates the win of the contiguous-digest-buffer data plane --
+    one ``struct`` unpack per batch plus exec-generated whole-batch
+    loops -- over per-key dispatch on identical structures.  Outputs and
+    final filter/table state must match bit for bit; ``cpu_count`` rides
+    along because CI floor checks treat small runners differently.
+    """
+    count = max(5_000, int(40_000 * scale))
+    keys = [synthetic_fingerprint(i).digest for i in range(count)]
+    probes = keys + [synthetic_fingerprint(30_000_000 + i).digest for i in range(count)]
+
+    scalar_bloom = BloomFilter(expected_items=count, digest_keys=True)
+    packed_bloom = BloomFilter(expected_items=count, digest_keys=True)
+    scalar_add_time, _ = _timed(lambda: scalar_bloom.add_many_scalar(keys))
+    packed_add_time, _ = _timed(lambda: packed_bloom.add_many(keys))
+    assert scalar_bloom.raw_bits() == packed_bloom.raw_bits()
+    scalar_probe_time, scalar_verdicts = _timed_best(
+        lambda: scalar_bloom.contains_many_scalar(probes)
+    )
+    packed_probe_time, packed_verdicts = _timed_best(
+        lambda: packed_bloom.contains_many(probes)
+    )
+    assert scalar_verdicts == packed_verdicts
+
+    scalar_table = CuckooHashTable(initial_buckets=1024, digest_keys=True)
+    packed_table = CuckooHashTable(initial_buckets=1024, digest_keys=True)
+    items = [(key, index) for index, key in enumerate(keys)]
+    scalar_put_time, _ = _timed(lambda: scalar_table.put_many_scalar(items))
+    packed_put_time, _ = _timed(lambda: packed_table.put_many(items))
+    scalar_get_time, scalar_values = _timed_best(
+        lambda: scalar_table.get_many_scalar(probes)
+    )
+    packed_get_time, packed_values = _timed_best(lambda: packed_table.get_many(probes))
+    assert scalar_values == packed_values
+    assert sum(1 for value in packed_values if value is not None) == count
+
+    # Headline = the lookup kernel (cuckoo whole-bucket gets), where the
+    # packed buffer pays off most; the bloom ratios are smaller because the
+    # scalar oracle is itself an unrolled early-exit kernel -- the packed
+    # leg's bloom win is hashing amortization, and it rides along below.
+    return {
+        "unit": "gets/s (packed kernels vs scalar oracles)",
+        "cpu_count": os.cpu_count() or 1,
+        "baseline": {
+            "path": "per-key scalar reference kernels",
+            "ops_per_s": len(probes) / scalar_get_time,
+            "bloom_add_ops_per_s": count / scalar_add_time,
+            "bloom_probe_ops_per_s": len(probes) / scalar_probe_time,
+            "cuckoo_put_ops_per_s": count / scalar_put_time,
+            "probes": len(probes),
+        },
+        "fast": {
+            "path": "packed digest buffers + whole-batch kernels",
+            "ops_per_s": len(probes) / packed_get_time,
+            "bloom_add_ops_per_s": count / packed_add_time,
+            "bloom_probe_ops_per_s": len(probes) / packed_probe_time,
+            "cuckoo_put_ops_per_s": count / packed_put_time,
+            "probes": len(probes),
+        },
+        "speedup": scalar_get_time / packed_get_time,
+        "bloom_add_speedup": scalar_add_time / packed_add_time,
+        "bloom_probe_speedup": scalar_probe_time / packed_probe_time,
+        "cuckoo_put_speedup": scalar_put_time / packed_put_time,
+    }
+
+
 def _bench_sweep(scale: float) -> dict:
     """Wall-clock of one scenario sweep, sequential vs process pool.
 
@@ -636,6 +709,7 @@ def test_bench_hotpath(results_dir, scale):
         "cuckoo_ops": _bench_cuckoo(scale),
         "engine_events": _bench_engine(scale),
         "cluster_lookup": _bench_cluster(scale),
+        "vectorized_lookup": _bench_vectorized(scale),
         "sweep_wall_clock": _bench_sweep(scale),
         "control_plane_tax": _bench_control_plane(scale),
         "recovery_time": _bench_recovery(scale),
@@ -704,7 +778,14 @@ def test_bench_hotpath(results_dir, scale):
             "bloom_probe": 3.0,
             "cuckoo_ops": 1.2,
             "engine_events": 1.1,
-            "cluster_lookup": 2.0,
+            # Raised from 2.0 with the vectorized data plane (packed digest
+            # buffers + fused per-bucket kernels); a >= 4-core check below
+            # holds the full measured margin.
+            "cluster_lookup": 3.0,
+            # Packed whole-batch lookup kernel vs the scalar reference
+            # oracle on identical structures (same process, same data;
+            # measured 1.5-1.9x, floor kept conservative).
+            "vectorized_lookup": 1.25,
             # Virtual-time ratio (deterministic): degraded p99 must stay
             # measurably above steady p99 while the cost model is charging.
             "control_plane_tax": 1.2,
@@ -716,6 +797,12 @@ def test_bench_hotpath(results_dir, scale):
         }
         for name, floor in floors.items():
             assert series[name]["speedup"] >= floor, (name, floor, series[name])
+        # Full vectorized-data-plane margin: 1.5x the PR-8 committed
+        # cluster_lookup speedup (3.055).  Gated on >= 4 cores like the
+        # other high floors -- small/throttled runners still get the 3.0
+        # unconditional floor above.
+        if (os.cpu_count() or 1) >= 4:
+            assert series["cluster_lookup"]["speedup"] >= 4.58, series["cluster_lookup"]
         # The parallel-sweep speedup needs actual cores; a 1-CPU runner
         # honestly records ~1x, so the floor only applies at >= 4 cores.
         if series["sweep_wall_clock"]["cpu_count"] >= 4:

@@ -1,0 +1,348 @@
+"""Fused per-batch lookup kernels for the hybrid hash node.
+
+:meth:`~repro.core.hash_node.HybridHashNode._lookup_batch_core` already
+hoists bound methods and settles counters per batch, but it still makes
+three Python calls per non-cached fingerprint (bloom probe, store probe,
+store insert) and re-derives the bloom hash words key by key.  This module
+exec-generates the *entire* loop per bloom shape ``(num_bits, num_hashes)``
+-- the same technique as the storage kernels -- with:
+
+* the bloom probe unrolled inline over the packed batch hash words of a
+  :class:`~repro.core.digest_batch.DigestBatch` (one ``struct.unpack`` for
+  the whole batch, early exit on the first zero bit, the probe step only
+  derived once the first bit passes);
+* the SSD store probe and known-new insert inlined against the store's
+  bucket dicts with the exact page/write-buffer arithmetic of
+  :meth:`~repro.storage.hashstore.SSDHashStore.probe_pages` /
+  :meth:`~repro.storage.hashstore.SSDHashStore.insert_new_pages`
+  (the store hands its raw state to the kernel via
+  :meth:`~repro.storage.hashstore.SSDHashStore.batch_state` and takes the
+  deltas back via :meth:`~repro.storage.hashstore.SSDHashStore.settle_batch`);
+* service times accumulated in the same float association order as the
+  scalar loop, so replies stay byte-identical (pinned by
+  tests/test_routed_batch_equivalence.py and the differential suite).
+
+Two variants are generated per shape: a **reply** kernel that builds
+:class:`~repro.core.protocol.LookupReply` objects (the cluster dispatch
+path) and a **verdict** kernel that only emits duplicate booleans and the
+new ``(digest, chunk_size)`` pairs (the serving worker's wire path, where
+no ``Fingerprint`` or reply objects need to exist at all).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+from ..dedup.index import ChunkLocation, LookupResult
+from ..storage.hashstore import _HASH64_MEMO, _HASH64_MEMO_MAX
+from .protocol import LookupReply, ServedFrom
+
+__all__ = ["fused_kernels", "FUSED_MAX_HASHES", "EMPTY_LOCATION"]
+
+#: Shared empty location for hot-path :class:`LookupResult` construction;
+#: :class:`ChunkLocation` is a frozen value object, so one instance serves
+#: every result.
+EMPTY_LOCATION = ChunkLocation()
+
+#: Shapes with more probe rounds than this fall back to the scalar loop
+#: (mirrors the storage kernels' unroll bound).
+FUSED_MAX_HASHES = 16
+
+_FUSED_CACHE: dict = {}
+
+
+def _probe_block(num_hashes: int, pad: str) -> list:
+    """Unrolled early-exit bloom probe fused with the negative-path insert.
+
+    ``while 1`` + ``break`` gives the per-key early exit without a helper
+    function call; the probe step is only computed after the first bit
+    passes, so definite negatives (the common shortcut) pay one modulo.
+    A key that misses any probe bit is definitely new, so the remaining
+    bloom bits are set right at the break site: the bits already walked
+    are known set, and a separate insert pass would re-derive index and
+    step from scratch.  False positives need no insert at all -- every
+    one of their bits is set by definition.
+    """
+    inner = pad + "    "
+    tail = inner + "    "
+    lines = [f"{pad}index = words[wi] % nb", f"{pad}while 1:"]
+    for i in range(num_hashes):
+        lines.append(f"{inner}if not bits[index >> 3] & (1 << (index & 7)):")
+        lines.append(f"{tail}bits[index >> 3] |= 1 << (index & 7)")
+        if i == 0 and num_hashes > 1:
+            lines.append(f"{tail}step = (words[wi + 1] | 1) % nb")
+        for _ in range(i + 1, num_hashes):
+            lines.append(f"{tail}index += step")
+            lines.append(f"{tail}if index >= nb: index -= nb")
+            lines.append(f"{tail}bits[index >> 3] |= 1 << (index & 7)")
+        lines.append(f"{tail}in_bloom = False")
+        lines.append(f"{tail}break")
+        if i < num_hashes - 1:
+            if i == 0:
+                lines.append(f"{inner}step = (words[wi + 1] | 1) % nb")
+            lines.append(f"{inner}index += step")
+            lines.append(f"{inner}if index >= nb: index -= nb")
+    lines.append(f"{inner}in_bloom = True")
+    lines.append(f"{inner}break")
+    return lines
+
+
+def _bucket_block(pad: str) -> list:
+    """Memoized BLAKE2b placement + bucket dict resolve (hashstore inline)."""
+    return [
+        f"{pad}hash64 = memo_get(digest)",
+        f"{pad}if hash64 is None:",
+        f"{pad}    if len(memo) >= memo_max:",
+        f"{pad}        memo.clear()",
+        f"{pad}    hash64 = from_bytes(blake2b(digest, digest_size=8).digest(), 'big')",
+        f"{pad}    memo[digest] = hash64",
+        f"{pad}bucket = store_buckets[hash64 % store_num_buckets]",
+    ]
+
+
+def _reply_block(pad: str, index_expr: str, duplicate: str, served: str,
+                 time_expr: str) -> list:
+    return [
+        f"{pad}reply = new_reply(reply_cls)",
+        f"{pad}fields = reply.__dict__",
+        f"{pad}fields['fingerprint'] = fingerprints[{index_expr}]",
+        f"{pad}fields['is_duplicate'] = {duplicate}",
+        f"{pad}fields['served_from'] = {served}",
+        f"{pad}fields['node_id'] = node_id",
+        f"{pad}fields['service_time'] = {time_expr}",
+        f"{pad}out_append(reply)",
+        f"{pad}times_append({time_expr})",
+    ]
+
+
+def _result_block(pad: str, duplicate: str, time_expr: str) -> list:
+    """Build a :class:`LookupResult` and place it at its batch position."""
+    return [
+        f"{pad}result = new_result(result_cls)",
+        f"{pad}fields = result.__dict__",
+        f"{pad}fields['fingerprint'] = fingerprints[i]",
+        f"{pad}fields['is_duplicate'] = {duplicate}",
+        f"{pad}fields['location'] = empty_location",
+        f"{pad}fields['latency'] = {time_expr}",
+        f"{pad}fields['served_by'] = node_id",
+        f"{pad}merged[positions[i]] = result",
+        f"{pad}times_append({time_expr})",
+    ]
+
+
+def _cache_insert_block(pad: str) -> list:
+    """Inlined :meth:`~repro.storage.lru.LRUCache.put_new` (known-absent key).
+
+    Insertions/evictions are accumulated in locals and settled per batch by
+    the caller; the eviction callback fires in order, exactly like the
+    method it replaces.
+    """
+    return [
+        f"{pad}cached[digest] = True",
+        f"{pad}cache_insertions += 1",
+        f"{pad}if len(cached) > cache_capacity:",
+        f"{pad}    evicted = cache_popitem(False)",
+        f"{pad}    cache_evictions += 1",
+        f"{pad}    if on_evict is not None:",
+        f"{pad}        on_evict(evicted[0], evicted[1])",
+    ]
+
+
+def _kernel_source(num_bits: int, num_hashes: int, variant: str) -> str:
+    """Source of one fused kernel.
+
+    ``variant`` is one of ``reply`` (LookupReply objects), ``verdict``
+    (bools + new pairs, chunk sizes from a list/int), ``routed`` (bools +
+    new pairs, chunk sizes off routed fingerprints) or ``result``
+    (LookupResult objects written straight into the caller's merge slots;
+    ``out_append`` carries the ``(positions, merged)`` pair).
+    """
+    reply = variant == "reply"
+    result = variant == "result"
+    per_key = "chunk_sizes" if variant == "verdict" else "fingerprints"
+    lines = [
+        f"def fused_{variant}_kernel(",
+        f"    digests, hash_words, {per_key}, cached, move_to_end, cache_popitem,",
+        "    on_evict, cache_capacity,",
+        "    bits, store_buckets, store_num_buckets, entries_per_page,",
+        "    write_buffer_pages, buffered, node_id, base_time, page_read_cost,",
+        "    page_write_rand_cost, page_write_seq_cost, out_append, times_append,",
+        "    new_append,",
+        "):",
+        f"    nb = {num_bits}",
+        "    memo = _MEMO",
+        "    memo_get = memo.get",
+        "    memo_max = _MEMO_MAX",
+        "    blake2b = _blake2b",
+        "    from_bytes = int.from_bytes",
+        "    words = None",
+        "    ram_hits = ssd_hits = new_entries = 0",
+        "    bloom_negative_shortcuts = bloom_false_positives = 0",
+        "    cache_insertions = cache_evictions = 0",
+        "    total_ssd_time = 0.0",
+        "    page_reads = page_writes = buffer_flushes = 0",
+    ]
+    if reply:
+        lines += [
+            "    new_reply = _new_reply",
+            "    reply_cls = _reply_cls",
+            "    served_ram = _served_ram",
+            "    served_ssd = _served_ssd",
+            "    served_new = _served_new",
+        ]
+    elif result:
+        lines += [
+            "    positions, merged = out_append",
+            "    new_result = _new_result",
+            "    result_cls = _result_cls",
+            "    empty_location = _empty_location",
+        ]
+    elif variant == "verdict":
+        lines.append("    scalar_size = type(chunk_sizes) is int")
+    lines.append("    for i, digest in enumerate(digests):")
+    # 1. RAM LRU probe.
+    lines.append("        if digest in cached:")
+    lines.append("            move_to_end(digest)")
+    lines.append("            ram_hits += 1")
+    if reply:
+        lines += _reply_block("            ", "i", "True", "served_ram", "base_time")
+    elif result:
+        lines += _result_block("            ", "True", "base_time")
+    else:
+        lines.append("            out_append(True)")
+        lines.append("            times_append(base_time)")
+    lines.append("            continue")
+    # 2. Bloom guard over the packed batch words (lazily unpacked: buckets
+    # answered entirely from RAM never pay for the unpack).
+    lines.append("        if words is None:")
+    lines.append("            words = hash_words()")
+    lines.append("        wi = i + i")
+    lines += _probe_block(num_hashes, "        ")
+    lines.append("        if in_bloom:")
+    # 3. SSD probe (probe_pages inlined; bucket reused by the FP insert).
+    lines += _bucket_block("            ")
+    lines.append("            entries = len(bucket)")
+    lines.append("            pages = -(-entries // entries_per_page) or 1")
+    lines.append("            page_reads += pages")
+    lines.append("            if pages == 1:")
+    lines.append("                ssd_time = 0.0 + page_read_cost")
+    lines.append("            else:")
+    lines.append("                ssd_time = 0.0")
+    lines.append("                for _ in range(pages):")
+    lines.append("                    ssd_time += page_read_cost")
+    lines.append("            if digest in bucket:")
+    lines.append("                ssd_hits += 1")
+    lines += _cache_insert_block("                ")
+    lines.append("                service_time = base_time + ssd_time")
+    if reply:
+        lines += _reply_block(
+            "                ", "i", "True", "served_ssd", "service_time"
+        )
+    elif result:
+        lines += _result_block("                ", "True", "service_time")
+    else:
+        lines.append("                out_append(True)")
+        lines.append("                times_append(service_time)")
+    lines.append("                total_ssd_time += ssd_time")
+    lines.append("                continue")
+    lines.append("            bloom_false_positives += 1")
+    lines.append("        else:")
+    lines.append("            bloom_negative_shortcuts += 1")
+    lines.append("            ssd_time = 0.0")
+    lines += _bucket_block("            ")
+    # New fingerprint: cache + store insert (insert_new_pages inlined; the
+    # bucket was resolved by whichever branch ran above, and the bloom bits
+    # were already settled inside the probe block -- negatives set their
+    # missing bits at the break site, false positives have every bit set).
+    lines.append("        new_entries += 1")
+    lines += _cache_insert_block("        ")
+    if variant == "verdict":
+        lines.append("        chunk_size = chunk_sizes if scalar_size else chunk_sizes[i]")
+    else:
+        lines.append("        chunk_size = fingerprints[i].chunk_size")
+    lines.append("        bucket[digest] = chunk_size")
+    if not reply:
+        lines.append("        new_append((digest, chunk_size))")
+    lines += [
+        "        if write_buffer_pages > 0:",
+        "            buffered += 1",
+        "            if buffered >= entries_per_page:",
+        "                pages = buffered // entries_per_page",
+        "                if pages > write_buffer_pages:",
+        "                    pages = write_buffer_pages",
+        "                buffered -= pages * entries_per_page",
+        "                page_writes += pages",
+        "                buffer_flushes += 1",
+        "                if pages == 1:",
+        "                    insert_time = 0.0 + page_write_seq_cost",
+        "                else:",
+        "                    insert_time = 0.0",
+        "                    for _ in range(pages):",
+        "                        insert_time += page_write_seq_cost",
+        "                ssd_time += insert_time",
+        "        else:",
+        "            page_writes += 1",
+        "            insert_time = 0.0 + page_write_rand_cost",
+        "            ssd_time += insert_time",
+        "        service_time = base_time + ssd_time",
+    ]
+    if reply:
+        lines += _reply_block("        ", "i", "False", "served_new", "service_time")
+    elif result:
+        lines += _result_block("        ", "False", "service_time")
+    else:
+        lines.append("        out_append(False)")
+        lines.append("        times_append(service_time)")
+    lines.append("        total_ssd_time += ssd_time")
+    lines += [
+        "    return (ram_hits, ssd_hits, new_entries, bloom_negative_shortcuts,",
+        "            bloom_false_positives, total_ssd_time, page_reads,",
+        "            page_writes, buffer_flushes, buffered,",
+        "            cache_insertions, cache_evictions)",
+    ]
+    return "\n".join(lines)
+
+
+def fused_kernels(num_bits: int, num_hashes: int) -> Optional[Tuple]:
+    """``(reply, verdict, routed, result)`` kernels for a bloom shape.
+
+    ``None`` means the shape cannot be unrolled (too many hash rounds) and
+    the caller must use the scalar batch loop.  The ``routed`` variant is
+    the verdict kernel over routed ``Fingerprint`` lists: chunk sizes are
+    read off the fingerprints, and only for new entries, so the cluster
+    path never materialises a chunk-size list.  The ``result`` variant
+    additionally builds the cluster's ``LookupResult`` objects in the loop
+    and writes them straight into the caller's merge slots.  Kernels are
+    cached per shape; cluster nodes share parameters, so each shape
+    compiles once.
+    """
+    if num_hashes > FUSED_MAX_HASHES or num_hashes < 1 or num_bits < 1:
+        return None
+    shape = (num_bits, num_hashes)
+    kernels = _FUSED_CACHE.get(shape)
+    if kernels is not None:
+        return kernels
+    namespace = {
+        "_MEMO": _HASH64_MEMO,
+        "_MEMO_MAX": _HASH64_MEMO_MAX,
+        "_blake2b": hashlib.blake2b,
+        "_new_reply": object.__new__,
+        "_reply_cls": LookupReply,
+        "_served_ram": ServedFrom.RAM,
+        "_served_ssd": ServedFrom.SSD,
+        "_served_new": ServedFrom.NEW,
+        "_new_result": object.__new__,
+        "_result_cls": LookupResult,
+        "_empty_location": EMPTY_LOCATION,
+    }
+    for variant in ("reply", "verdict", "routed", "result"):
+        exec(_kernel_source(num_bits, num_hashes, variant), namespace)  # noqa: S102 - static template
+    kernels = (
+        namespace["fused_reply_kernel"],
+        namespace["fused_verdict_kernel"],
+        namespace["fused_routed_kernel"],
+        namespace["fused_result_kernel"],
+    )
+    _FUSED_CACHE[shape] = kernels
+    return kernels

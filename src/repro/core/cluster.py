@@ -63,6 +63,7 @@ from ..simulation.costmodel import ControlPlaneLedger, CostModel
 from ..simulation.engine import Simulator
 from .batching import reassemble_replies, split_batch_by_replica_set
 from .config import ClusterConfig
+from .digest_batch import DigestBatch
 from .fault_injection import NodeUnavailableError
 from .hash_node import HybridHashNode
 from .persistence import PersistencePolicy, RecoveryReport
@@ -366,13 +367,21 @@ class SHHCCluster(ChunkIndex):
     def lookup_batch(self, fingerprints: Iterable[Fingerprint]) -> List[LookupResult]:
         """Batch lookup preserving input order (immediate mode).
 
-        Shares the routed-batch dispatch with :meth:`lookup_batch_replies`
-        and converts replies to results inside the merge loop, so the batch
-        is walked once, not twice.
+        Without a cost model the batch takes the verdict-direct path: each
+        bucket is served by the node's verdict kernel
+        (:meth:`~repro.core.hash_node.HybridHashNode.serve_bucket_verdicts`)
+        and ``LookupResult`` objects are built straight from the parallel
+        verdict/service-time views -- no intermediate :class:`LookupReply`
+        is ever allocated.  Verdicts, latencies, counters and replica
+        writes are identical to the reply-based path (pinned by
+        tests/test_routed_batch_equivalence.py).  Cost-model clusters keep
+        the reply path, whose replies the ledger's bucket charging needs.
         """
         fingerprints = list(fingerprints)
         if not fingerprints:
             return []
+        if self.ledger is None and self.cost_model is None:
+            return self._lookup_batch_verdicts(fingerprints)
         merged: List[Optional[LookupResult]] = [None] * len(fingerprints)
         duplicates = 0
         new_result = object.__new__
@@ -389,6 +398,110 @@ class SHHCCluster(ChunkIndex):
                 fields["latency"] = reply.service_time
                 fields["served_by"] = reply.node_id
                 merged[position] = result
+        self.lookups += len(fingerprints)
+        self.duplicates += duplicates
+        return merged
+
+    def _lookup_batch_verdicts(self, fingerprints: List[Fingerprint]) -> List[LookupResult]:
+        """Verdict-direct :meth:`lookup_batch` core (no cost model).
+
+        Each bucket is served by
+        :meth:`~repro.core.hash_node.HybridHashNode.serve_bucket_results`,
+        which writes one ``LookupResult`` per key -- the only per-key
+        object on this path -- straight into the merge slots.  Repairs
+        flip the verdict in place via the repaired-digest set that
+        :meth:`_propagate_new` returns (a repaired result keeps its
+        original service time, exactly like the ``replace`` on the reply
+        path; the ``__dict__`` write bypasses the frozen-dataclass guard
+        the same way the hot-path constructors do).
+        """
+        batch_id = next(self._batch_ids)
+        self.last_batch_id = batch_id
+        merged: List[Optional[LookupResult]] = [None] * len(fingerprints)
+        duplicates = 0
+        replication_on = self.config.replication_factor > 1
+        nodes = self.nodes
+        # Hoisted propagation preamble: on the clean range-partitioned path
+        # every bucket shares one replica cycle (see _propagate_new_groups),
+        # so replica writes are issued inline below without re-entering the
+        # general helper -- and its per-call preamble -- once per bucket.
+        table = routes_get = None
+        if replication_on and not self._down:
+            prefix_table = getattr(self.partitioner, "prefix_table", None)
+            if prefix_table is not None:
+                table = prefix_table(self.config.replication_factor)
+                routes_get = self._routes().get
+        for serving, (positions, batch, digests) in self._bucket_routed(fingerprints).items():
+            try:
+                _times, new_pairs = nodes[serving].serve_bucket_results(
+                    DigestBatch.from_fingerprints(batch, digests), positions, merged
+                )
+            except NodeUnavailableError:
+                # Whole sub-batch refused (flaky node): same per-fingerprint
+                # failover as the reply path.
+                self.failovers += 1
+                new_result = object.__new__
+                for fingerprint, position in zip(batch, positions):
+                    reply = self._lookup_with_failover(fingerprint, exclude=(serving,))
+                    is_duplicate = reply.is_duplicate
+                    duplicates += is_duplicate
+                    result = new_result(LookupResult)
+                    fields = result.__dict__
+                    fields["fingerprint"] = reply.fingerprint
+                    fields["is_duplicate"] = is_duplicate
+                    fields["location"] = _EMPTY_LOCATION
+                    fields["latency"] = reply.service_time
+                    fields["served_by"] = reply.node_id
+                    merged[position] = result
+                continue
+            duplicates += len(positions) - len(new_pairs)
+            if replication_on and new_pairs:
+                # Propagate per bucket, exactly like the reply path: replica
+                # store writes interleave with later buckets' serves in the
+                # same order as the reference implementation, which keeps
+                # write-buffer flush boundaries -- and therefore individual
+                # new-entry service times -- byte-identical.
+                if table is not None:
+                    # Single shared replica cycle: resolve it from any member
+                    # digest and write each non-serving target directly.
+                    digest = new_pairs[0][0]
+                    replicas = table[digest[0]]
+                    if replicas is None:
+                        replicas = routes_get(digest)
+                        if replicas is None:
+                            replicas = self._route_of(batch[digests.index(digest)])
+                    repaired = None
+                    for name in replicas:
+                        if name == serving:
+                            continue
+                        target = nodes[name]
+                        new_digests, existing = target.store.put_many_verdicts(new_pairs)
+                        if existing:
+                            if repaired is None:
+                                repaired = set(existing)
+                            else:
+                                repaired.update(existing)
+                        if new_digests:
+                            target.finish_replica_inserts(new_digests)
+                    if repaired:
+                        self.read_repairs += len(repaired)
+                else:
+                    repaired = self._propagate_new(
+                        new_pairs,
+                        serving,
+                        # Route-cache overflow mid-batch is the only way a
+                        # digest this bucket just routed can be missing again;
+                        # re-derive from the bucket's own fingerprints (rare,
+                        # O(bucket)).
+                        lambda digest: self._route_of(batch[digests.index(digest)]),
+                    )
+                if repaired:
+                    # One flip per repaired digest; later occurrences of the
+                    # same digest were already served as duplicates.
+                    duplicates += len(repaired)
+                    for digest, position in zip(digests, positions):
+                        if digest in repaired:
+                            merged[position].__dict__["is_duplicate"] = True
         self.lookups += len(fingerprints)
         self.duplicates += duplicates
         return merged
@@ -432,59 +545,14 @@ class SHHCCluster(ChunkIndex):
         """
         batch_id = next(self._batch_ids)
         self.last_batch_id = batch_id
-        routes = self._routes()
-        routes_get = routes.get
-        # Cold misses resolve inline through the key-addressed partitioner
-        # fast path when available (hoisted out of the loop); any other
-        # partitioner goes through the generic helper.
-        by_key = getattr(self.partitioner, "owners_by_key", None)
-        from_bytes = int.from_bytes
-        replication_factor = self.config.replication_factor
-        resolve_route = self._resolve_route
-        down = self._down
-        buckets: Dict[str, Tuple[List[int], List[Fingerprint]]] = {}
-        buckets_get = buckets.get
-        if not down:
-            for position, fingerprint in enumerate(fingerprints):
-                digest = fingerprint.digest
-                replicas = routes_get(digest)
-                if replicas is None:
-                    if by_key is not None:
-                        replicas = by_key(from_bytes(digest[:8], "big"), replication_factor)
-                        if len(routes) >= ROUTE_CACHE_MAX_ENTRIES:
-                            routes.clear()
-                        routes[digest] = replicas
-                    else:
-                        replicas = resolve_route(fingerprint, digest)
-                serving = replicas[0]
-                bucket = buckets_get(serving)
-                if bucket is None:
-                    buckets[serving] = bucket = ([], [])
-                bucket[0].append(position)
-                bucket[1].append(fingerprint)
-        else:
-            for position, fingerprint in enumerate(fingerprints):
-                replicas = routes_get(fingerprint.digest)
-                if replicas is None:
-                    replicas = resolve_route(fingerprint, fingerprint.digest)
-                for serving in replicas:
-                    if serving not in down:
-                        break
-                else:
-                    raise RuntimeError(
-                        f"no live replica available for fingerprint at position {position}"
-                    )
-                bucket = buckets_get(serving)
-                if bucket is None:
-                    buckets[serving] = bucket = ([], [])
-                bucket[0].append(position)
-                bucket[1].append(fingerprint)
-
+        buckets = self._bucket_routed(fingerprints)
         replication_on = self.config.replication_factor > 1
         ledger = self.ledger
-        for serving, (positions, batch) in buckets.items():
+        for serving, (positions, batch, digests) in buckets.items():
             try:
-                replies, new_entries = self.nodes[serving].serve_bucket(batch)
+                replies, new_entries = self.nodes[serving].serve_bucket_batch(
+                    DigestBatch.from_fingerprints(batch, digests)
+                )
             except NodeUnavailableError:
                 # The whole sub-batch was refused (flaky node): retry each
                 # fingerprint individually on its remaining replicas.
@@ -507,78 +575,237 @@ class SHHCCluster(ChunkIndex):
                     replies = self._resolve_replies(replies, serving)
             yield replies, positions
 
+    def _bucket_routed(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> Dict[str, Tuple[List[int], List[Fingerprint], List[bytes]]]:
+        """Group a batch by serving node: ``{node: (positions, fps, digests)}``.
+
+        Shared by the reply-producing dispatch and the verdict-direct
+        result path; buckets come back in first-occurrence order (matching
+        split_batch_by_replica_set's grouping).
+        """
+        routes = self._routes()
+        routes_get = routes.get
+        # A range partitioner hands out a 256-entry first-byte prefix table:
+        # almost every digest routes with two index operations and no
+        # arithmetic or per-digest caching at all.  Any other partitioner
+        # goes through the digest-route cache with inline miss resolution.
+        replication_factor = self.config.replication_factor
+        prefix_table = getattr(self.partitioner, "prefix_table", None)
+        table = prefix_table(replication_factor) if prefix_table is not None else None
+        from_bytes = int.from_bytes
+        resolve_route = self._resolve_route
+        down = self._down
+        # Per-bucket digests ride along so the serve step can hand the node
+        # a packed DigestBatch without re-walking the fingerprints.
+        buckets: Dict[str, Tuple[List[int], List[Fingerprint], List[bytes]]] = {}
+        buckets_get = buckets.get
+        if not down:
+            # Route over a flat digest list and bucket positions only; the
+            # per-bucket fingerprint/digest lists are gathered afterwards
+            # with listcomps, which beats three appends per key.
+            all_digests = [fingerprint.digest for fingerprint in fingerprints]
+            by_position: Dict[str, List[int]] = {}
+            # Bound-append table: one dict probe and one call per key, no
+            # repeated ``.append`` attribute lookups on the hot loop.
+            appends: Dict[str, object] = {}
+            appends_get = appends.get
+            if table is not None:
+                for position, digest in enumerate(all_digests):
+                    replicas = table[digest[0]]
+                    if replicas is None:
+                        # A range boundary cuts through this prefix (at most
+                        # num_nodes - 1 of the 256): resolve exactly.
+                        replicas = routes_get(digest)
+                        if replicas is None:
+                            replicas = resolve_route(fingerprints[position], digest)
+                    serving = replicas[0]
+                    append = appends_get(serving)
+                    if append is None:
+                        by_position[serving] = positions = []
+                        appends[serving] = append = positions.append
+                    append(position)
+            else:
+                for position, digest in enumerate(all_digests):
+                    replicas = routes_get(digest)
+                    if replicas is None:
+                        replicas = resolve_route(fingerprints[position], digest)
+                    serving = replicas[0]
+                    append = appends_get(serving)
+                    if append is None:
+                        by_position[serving] = positions = []
+                        appends[serving] = append = positions.append
+                    append(position)
+            for serving, positions in by_position.items():
+                buckets[serving] = (
+                    positions,
+                    [fingerprints[position] for position in positions],
+                    [all_digests[position] for position in positions],
+                )
+        else:
+            for position, fingerprint in enumerate(fingerprints):
+                digest = fingerprint.digest
+                replicas = routes_get(digest)
+                if replicas is None:
+                    replicas = resolve_route(fingerprint, digest)
+                for serving in replicas:
+                    if serving not in down:
+                        break
+                else:
+                    raise RuntimeError(
+                        f"no live replica available for fingerprint at position {position}"
+                    )
+                bucket = buckets_get(serving)
+                if bucket is None:
+                    buckets[serving] = bucket = ([], [], [])
+                bucket[0].append(position)
+                bucket[1].append(fingerprint)
+                bucket[2].append(digest)
+        return buckets
+
     def _resolve_replies(
         self, replies: Sequence[LookupReply], serving: str
     ) -> List[LookupReply]:
         """Batched :meth:`_resolve_reply` for one serving node's bucket.
 
-        Holder checks and read-repair verdict corrections run per reply in
-        order (exactly the sequential semantics); the replica set comes
-        from the routing cache, which the dispatch loop has just populated
-        for every digest of this bucket.  Deferring the bloom/counter
-        settlement to the end of the bucket is state-equivalent: distinct
-        digests never interact, and a repeated digest is answered as a
-        duplicate by the serving node before its replica set is consulted
-        again.
+        The new pairs flow through :meth:`_propagate_new` (one batched
+        store write per destination node) and the returned repaired-digest
+        set flips those replies' verdicts -- exactly the sequential
+        semantics, since a bucket's non-duplicate digests are distinct and
+        never interact.  Replica sets come from the routing cache, which
+        the dispatch loop has just populated for every digest here.
         """
         if self.config.replication_factor == 1:
             return list(replies)
+        new_pairs: List[Tuple[bytes, int]] = []
+        by_digest: Dict[bytes, Fingerprint] = {}
+        for reply in replies:
+            if not reply.is_duplicate:
+                fingerprint = reply.fingerprint
+                new_pairs.append((fingerprint.digest, fingerprint.chunk_size))
+                by_digest[fingerprint.digest] = fingerprint
+        repaired = self._propagate_new(
+            new_pairs, serving, lambda digest: self._route_of(by_digest[digest])
+        )
+        if not repaired:
+            return list(replies)
+        return [
+            replace(reply, is_duplicate=True, served_from=ServedFrom.REPAIR)
+            if not reply.is_duplicate and reply.fingerprint.digest in repaired
+            else reply
+            for reply in replies
+        ]
+
+    def _propagate_new(self, new_pairs, serving: str, route_fallback) -> set:
+        """Ship one bucket's new ``(digest, chunk_size)`` pairs to replicas.
+
+        Thin wrapper over :meth:`_propagate_new_groups` for the reply
+        path, which resolves each bucket as it is served.
+        """
+        return self._propagate_new_groups(((new_pairs, serving, route_fallback),))
+
+    def _propagate_new_groups(self, groups) -> set:
+        """Ship new ``(digest, chunk_size)`` pairs from served buckets to replicas.
+
+        ``groups`` is an iterable of ``(new_pairs, serving, route_fallback)``
+        triples, one per served bucket.  Returns the set of digests some
+        other replica already held (the read repairs).  The store write
+        doubles as the holder check:
+        :meth:`~repro.storage.hashstore.SSDHashStore.put_many_verdicts`
+        returns which keys were absent, which *is* the propagation/repair
+        verdict, and an already-present digest is overwritten with the
+        identical value (a no-op, since a digest determines its chunk
+        size).  Writes are grouped per destination node across all groups
+        -- safe because a digest's every occurrence routes to the same
+        bucket, so no bucket's verdicts can depend on another bucket's
+        replica writes within one call; per-node store state is unaffected
+        by the cross-node interleaving the per-reply reference path uses,
+        and within one node the pairs stay in bucket order, so the
+        persistence log order matches too.  ``route_fallback`` maps a
+        digest back to its replica set in the (rare) case a cache overflow
+        evicted the route the dispatch loop just resolved.
+        """
         down = self._down
         nodes = self.nodes
-        routes = self._routes()
-        routes_get = routes.get
-        resolved: List[LookupReply] = []
-        append = resolved.append
-        # Deferred bloom/counter settlement per destination node.  The
-        # store write itself happens inline: ``put`` returns whether the
-        # digest was absent, which *is* the holder verdict, so one store
-        # operation replaces the reference path's membership-check-then-
-        # insert pair (an already-present digest is overwritten with the
-        # identical value -- a no-op, since a digest determines its chunk
-        # size).
-        pending: Dict[str, List[bytes]] = {}
-        # Per-call cache of live non-serving replicas, keyed by the (shared)
-        # replica-set tuple: a bucket sees few distinct replica sets, so the
-        # serving/liveness filter runs once per set instead of per reply.
-        others_of: Dict[Tuple[str, ...], List] = {}
-        for reply in replies:
-            if reply.is_duplicate:
-                append(reply)
-                continue
-            fingerprint = reply.fingerprint
-            digest = fingerprint.digest
-            replicas = routes_get(digest)
-            if replicas is None:  # evicted by a cache overflow mid-batch
-                replicas = self._route_of(fingerprint)
-            others = others_of.get(replicas)
-            if others is None:
-                others_of[replicas] = others = [
-                    (name, nodes[name].store.put)
-                    for name in replicas
-                    if name != serving and name not in down
-                ]
-            chunk_size = fingerprint.chunk_size
-            repaired = False
-            for name, store_put in others:
-                if store_put(digest, chunk_size):
-                    bucket = pending.get(name)
-                    if bucket is None:
-                        pending[name] = bucket = []
-                    bucket.append(digest)
-                else:
-                    repaired = True
-            if repaired:
-                self.read_repairs += 1
-                append(replace(reply, is_duplicate=True, served_from=ServedFrom.REPAIR))
-            else:
-                append(reply)
-        for name, new_digests in pending.items():
-            nodes[name].finish_replica_inserts(new_digests)
+        routes_get = self._routes().get
+        prefix_table = getattr(self.partitioner, "prefix_table", None)
+        table = (
+            prefix_table(self.config.replication_factor)
+            if prefix_table is not None
+            else None
+        )
+        per_node: Dict[str, List[Tuple[bytes, int]]] = {}
+        per_node_get = per_node.get
+        if table is not None and not down:
+            # Range-partitioned clean path: every resolution route (prefix
+            # table, digest cache, exact owners) maps a key owned by node
+            # ``i`` to the same replica cycle ``cycles[i]``, and with no
+            # downed nodes a bucket's serving node *is* its owner -- so the
+            # whole group shares one replica set.  Resolve it once from any
+            # member digest and ship the pair list wholesale.  (A downed
+            # node breaks the premise: buckets then group by first *live*
+            # replica and can mix cycles, so they take the per-pair loop.)
+            for new_pairs, serving, route_fallback in groups:
+                if not new_pairs:
+                    continue
+                digest = new_pairs[0][0]
+                replicas = table[digest[0]]
+                if replicas is None:
+                    replicas = routes_get(digest)
+                    if replicas is None:
+                        replicas = route_fallback(digest)
+                for name in replicas:
+                    if name == serving:
+                        continue
+                    pairs = per_node_get(name)
+                    if pairs is None:
+                        per_node[name] = pairs = []
+                    pairs.extend(new_pairs)
+            groups = ()
+        for new_pairs, serving, route_fallback in groups:
+            # Per-group cache of live non-serving replicas, keyed by the
+            # (shared) replica-set tuple: a bucket sees few distinct replica
+            # sets, so the serving/liveness filter runs once per set instead
+            # of per pair -- and the serving node is fixed per group, so the
+            # tuple itself is the whole key.
+            others_of: Dict[Tuple[str, ...], List[str]] = {}
+            others_of_get = others_of.get
+            for pair in new_pairs:
+                digest = pair[0]
+                # Same resolution order as dispatch: prefix table, then the
+                # digest-route cache, then the caller's exact fallback.
+                replicas = table[digest[0]] if table is not None else None
+                if replicas is None:
+                    replicas = routes_get(digest)
+                    if replicas is None:
+                        replicas = route_fallback(digest)
+                others = others_of_get(replicas)
+                if others is None:
+                    others_of[replicas] = others = [
+                        name for name in replicas if name != serving and name not in down
+                    ]
+                for name in others:
+                    pairs = per_node_get(name)
+                    if pairs is None:
+                        per_node[name] = pairs = []
+                    pairs.append(pair)
+        repaired: set = set()
+        pending: Dict[str, int] = {}
+        for name, pairs in per_node.items():
+            new_digests, existing = nodes[name].store.put_many_verdicts(pairs)
+            if existing:
+                repaired.update(existing)
+            if new_digests:
+                # Deferred bloom/counter settlement, one call per node.
+                nodes[name].finish_replica_inserts(new_digests)
+                pending[name] = len(new_digests)
+        if repaired:
+            # Distinct digests per bucket (a repeat is answered as a
+            # duplicate by the serving node), so set size == repaired replies.
+            self.read_repairs += len(repaired)
         if pending and self.cost_model is not None:
-            self._charge_replica_writes(
-                {name: len(new_digests) for name, new_digests in pending.items()}
-            )
-        return resolved
+            self._charge_replica_writes(pending)
+        return repaired
 
     # ------------------------------------------------------------------ cost charging
     def _charge_replica_writes(self, pending: Dict[str, int]) -> None:

@@ -495,7 +495,9 @@ class FlakyNode:
     """Wrap a hash node so individual lookups fail with a given probability.
 
     Only the serving entry points (:meth:`lookup`, :meth:`lookup_batch`,
-    :meth:`serve_bucket`, :meth:`serve_batch`) are intercepted; state
+    :meth:`serve_bucket`, :meth:`serve_bucket_batch`,
+    :meth:`serve_digest_batch`, :meth:`serve_bucket_verdicts`,
+    :meth:`serve_batch`) are intercepted; state
     inspection and maintenance
     paths (``insert_replica``, ``export_entries``, ``__contains__``, ...)
     pass straight through, because replication traffic in this codebase is
@@ -532,6 +534,22 @@ class FlakyNode:
         # routed dispatch path must see the same failure sequence.
         self._maybe_fail()
         return self._node.serve_bucket(fingerprints)
+
+    def serve_bucket_batch(self, batch):
+        self._maybe_fail()
+        return self._node.serve_bucket_batch(batch)
+
+    def serve_digest_batch(self, batch):
+        self._maybe_fail()
+        return self._node.serve_digest_batch(batch)
+
+    def serve_bucket_verdicts(self, batch):
+        self._maybe_fail()
+        return self._node.serve_bucket_verdicts(batch)
+
+    def serve_bucket_results(self, batch, positions, merged):
+        self._maybe_fail()
+        return self._node.serve_bucket_results(batch, positions, merged)
 
     def serve_batch(self, request):
         self._maybe_fail()

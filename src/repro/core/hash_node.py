@@ -40,7 +40,10 @@ from ..storage.bloom import BloomFilter
 from ..storage.devices import StorageDevice, make_ram, make_ssd
 from ..storage.hashstore import SSDHashStore
 from ..storage.lru import LRUCache
+from ..dedup.index import LookupResult
+from .bucket_kernel import EMPTY_LOCATION, fused_kernels
 from .config import HashNodeConfig
+from .digest_batch import DigestBatch
 from .persistence import NodePersistence, RecoveryReport
 from .protocol import BatchLookupReply, BatchLookupRequest, LookupReply, ServedFrom
 
@@ -83,6 +86,7 @@ class HybridHashNode:
         ram_device: Optional[StorageDevice] = None,
         ssd_device: Optional[StorageDevice] = None,
         persistence: Optional[NodePersistence] = None,
+        bloom: Optional[BloomFilter] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config if config is not None else HashNodeConfig()
@@ -90,7 +94,10 @@ class HybridHashNode:
         self.ram_device = ram_device if ram_device is not None else make_ram(sim, f"{node_id}.ram")
         self.ssd_device = ssd_device if ssd_device is not None else make_ssd(sim, f"{node_id}.ssd")
         self.cache = LRUCache(self.config.ram_cache_entries, on_evict=self._on_destage)
-        self.bloom = BloomFilter(
+        # An injected filter (e.g. a shared-memory-backed one from a serving
+        # worker spec) must be in place *before* recovery below restores the
+        # snapshot bits into it.
+        self.bloom = bloom if bloom is not None else BloomFilter(
             expected_items=self.config.bloom_expected_items,
             false_positive_rate=self.config.bloom_false_positive_rate,
         )
@@ -102,6 +109,13 @@ class HybridHashNode:
         )
         self.counters = Counter()
         self.lookup_latency = LatencyRecorder(f"{node_id}.lookup_latency")
+        # Reusable fused-kernel argument block (built lazily by _run_fused;
+        # identity-guarded against cache/bloom/store replacement).
+        self._fused_args: Optional[list] = None
+        # (bloom_object, kernels) memo: the fused-kernel registry lookup is
+        # a tuple-keyed dict probe per bucket serve, this is one identity
+        # check.  Invalidated automatically when recovery swaps the filter.
+        self._kernel_memo: Tuple[Optional[BloomFilter], Optional[Tuple]] = (None, None)
         self._cpu: Optional[Resource] = (
             Resource(sim, capacity=self.config.service_concurrency, name=f"{node_id}.cpu")
             if sim is not None
@@ -164,6 +178,236 @@ class HybridHashNode:
         if new_entries and self.persistence is not None:
             self._persist_new_replies(replies)
         return replies, new_entries
+
+    def serve_bucket_batch(self, batch: DigestBatch) -> Tuple[List[LookupReply], int]:
+        """:meth:`serve_bucket` over a :class:`~repro.core.digest_batch.DigestBatch`.
+
+        Takes the fused batch kernel (:mod:`repro.core.bucket_kernel`) when
+        the bloom shape supports it: the whole RAM/bloom/SSD flow runs as
+        one exec-generated loop over the batch's packed hash words, with
+        store and bloom state settled once per batch.  Replies, counters,
+        and service times are byte-identical to :meth:`serve_bucket` over
+        ``batch.fingerprints()`` -- which is also the fallback for
+        un-unrollable shapes or non-digest-keyed filters.
+        """
+        bloom = self.bloom
+        memo_bloom, kernels = self._kernel_memo
+        if memo_bloom is not bloom:
+            kernels = (
+                fused_kernels(bloom.num_bits, bloom.num_hashes)
+                if bloom.digest_keys
+                else None
+            )
+            self._kernel_memo = (bloom, kernels)
+        if kernels is None:
+            return self.serve_bucket(batch.fingerprints())
+        replies: List[LookupReply] = []
+        service_times: List[float] = []
+        new_entries = self._run_fused(
+            kernels[0], batch, batch.fingerprints(), replies.append,
+            service_times.append, None,
+        )
+        self.lookup_latency.record_many(service_times)
+        if new_entries and self.persistence is not None:
+            self._persist_new_replies(replies)
+        return replies, new_entries
+
+    def serve_digest_batch(self, batch: DigestBatch) -> Tuple[List[bool], int]:
+        """Verdict-only serve for wire batches (the serving worker's path).
+
+        Same state transitions and counters as :meth:`serve_bucket`, but no
+        ``Fingerprint`` or :class:`LookupReply` objects are ever built:
+        returns the per-digest duplicate verdicts (input order) and the
+        batch's new-entry count.  New ``(digest, chunk_size)`` pairs are
+        persisted exactly as the reply path would.
+        """
+        verdicts, _service_times, new_pairs = self.serve_bucket_verdicts(batch)
+        return verdicts, len(new_pairs)
+
+    def serve_bucket_verdicts(
+        self, batch: DigestBatch
+    ) -> Tuple[List[bool], List[float], List[Tuple[bytes, int]]]:
+        """Verdict serve with per-key service times and the new pairs.
+
+        The cluster's result-producing batch path
+        (:meth:`~repro.core.cluster.SHHCCluster.lookup_batch`) builds its
+        ``LookupResult`` objects straight from these three parallel views,
+        skipping the intermediate :class:`LookupReply` allocation entirely;
+        ``new_pairs`` (input order) is what replica propagation needs.
+        State transitions match :meth:`serve_bucket` exactly.
+        """
+        bloom = self.bloom
+        memo_bloom, kernels = self._kernel_memo
+        if memo_bloom is not bloom:
+            kernels = (
+                fused_kernels(bloom.num_bits, bloom.num_hashes)
+                if bloom.digest_keys
+                else None
+            )
+            self._kernel_memo = (bloom, kernels)
+        if kernels is None:
+            replies, service_times, _total_ssd_time, new_entries = self._lookup_batch_core(
+                batch.fingerprints()
+            )
+            self.lookup_latency.record_many(service_times)
+            if new_entries and self.persistence is not None:
+                self._persist_new_replies(replies)
+            verdicts = [reply.is_duplicate for reply in replies]
+            new_pairs = [
+                (reply.fingerprint.digest, reply.fingerprint.chunk_size)
+                for reply in replies
+                if not reply.is_duplicate
+            ]
+            return verdicts, service_times, new_pairs
+        verdicts: List[bool] = []
+        service_times: List[float] = []
+        new_pairs: List[Tuple[bytes, int]] = []
+        # Routed buckets carry Fingerprint objects: the routed variant reads
+        # chunk sizes off them (new entries only), so no chunk-size list is
+        # ever materialised on the cluster path.
+        if batch._fingerprints is not None:
+            kernel, per_key = kernels[2], batch._fingerprints
+        else:
+            kernel, per_key = kernels[1], batch.chunk_sizes
+        self._run_fused(
+            kernel, batch, per_key, verdicts.append,
+            service_times.append, new_pairs.append,
+        )
+        self.lookup_latency.record_many(service_times)
+        if new_pairs and self.persistence is not None:
+            self._persist_new(new_pairs)
+        return verdicts, service_times, new_pairs
+
+    def serve_bucket_results(
+        self, batch: DigestBatch, positions: Sequence[int], merged: List
+    ) -> Tuple[List[float], List[Tuple[bytes, int]]]:
+        """Serve a routed bucket straight into the cluster's merge slots.
+
+        The fused ``result`` kernel builds one
+        :class:`~repro.dedup.index.LookupResult` per key -- the only
+        per-key object on this path -- and stores it at
+        ``merged[positions[i]]``.  Returns ``(service_times, new_pairs)``;
+        the bucket's duplicate count is ``len(batch) - len(new_pairs)``.
+        State transitions match :meth:`serve_bucket` exactly.
+        """
+        bloom = self.bloom
+        memo_bloom, kernels = self._kernel_memo
+        if memo_bloom is not bloom:
+            kernels = (
+                fused_kernels(bloom.num_bits, bloom.num_hashes)
+                if bloom.digest_keys
+                else None
+            )
+            self._kernel_memo = (bloom, kernels)
+        if kernels is None:
+            replies, service_times, _total_ssd_time, new_entries = self._lookup_batch_core(
+                batch.fingerprints()
+            )
+            self.lookup_latency.record_many(service_times)
+            if new_entries and self.persistence is not None:
+                self._persist_new_replies(replies)
+            new_pairs = [
+                (reply.fingerprint.digest, reply.fingerprint.chunk_size)
+                for reply in replies
+                if not reply.is_duplicate
+            ]
+            new_result = object.__new__
+            node_id = self.node_id
+            for reply, position in zip(replies, positions):
+                result = new_result(LookupResult)
+                fields = result.__dict__
+                fields["fingerprint"] = reply.fingerprint
+                fields["is_duplicate"] = reply.is_duplicate
+                fields["location"] = EMPTY_LOCATION
+                fields["latency"] = reply.service_time
+                fields["served_by"] = node_id
+                merged[position] = result
+            return service_times, new_pairs
+        service_times: List[float] = []
+        new_pairs: List[Tuple[bytes, int]] = []
+        self._run_fused(
+            kernels[3], batch, batch._fingerprints, (positions, merged),
+            service_times.append, new_pairs.append,
+        )
+        self.lookup_latency.record_many(service_times)
+        if new_pairs and self.persistence is not None:
+            self._persist_new(new_pairs)
+        return service_times, new_pairs
+
+    def _run_fused(self, kernel, batch, per_key, out_append, times_append,
+                   new_append) -> int:
+        """Invoke a fused kernel and settle store/cache/bloom/counter state."""
+        cache = self.cache
+        cached = cache.data
+        store = self.store
+        store_buckets, store_num_buckets, entries_per_page, write_buffer_pages, buffered = (
+            store.batch_state()
+        )
+        bits = self.bloom.raw_bits()
+        args = self._fused_args
+        if args is None or args[3] is not cached or args[8] is not bits or args[9] is not store_buckets:
+            # (Re)build the constant argument block.  Slots 0-2 and 19-21
+            # are per-batch; everything else is fixed for the lifetime of
+            # the node's cache/bloom/store objects (device costs are pure
+            # functions of the spec), so the identity guard above is the
+            # only invalidation needed -- kill/restart and recovery replace
+            # those objects wholesale.
+            args = self._fused_args = [
+                None, None, None, cached, cached.move_to_end, cached.popitem,
+                cache._on_evict, cache.capacity, bits, store_buckets,
+                store_num_buckets, entries_per_page, write_buffer_pages,
+                buffered, self.node_id,
+                self.config.cpu_per_lookup + self.ram_device.read_cost(64),
+                self.ssd_device.read_cost(store.page_size),
+                self.ssd_device.write_cost(store.page_size),
+                self.ssd_device.write_cost(store.page_size, False),
+                None, None, None,
+            ]
+        args[0] = batch.digests
+        args[1] = batch.hash_words
+        args[2] = per_key
+        args[13] = buffered
+        args[19] = out_append
+        args[20] = times_append
+        args[21] = new_append
+        (
+            ram_hits, ssd_hits, new_entries, bloom_negative_shortcuts,
+            bloom_false_positives, total_ssd_time, page_reads, page_writes,
+            buffer_flushes, buffered, cache_insertions, cache_evictions,
+        ) = kernel(*args)
+        args[0] = args[1] = args[2] = args[19] = args[20] = args[21] = None
+        store.settle_batch(page_reads, page_writes, buffer_flushes, buffered, new_entries)
+        if new_entries:
+            self.bloom.count_inserts(new_entries)
+        total = len(batch.digests)
+        if total:
+            cache.hits += ram_hits
+            cache.misses += total - ram_hits
+        if cache_insertions:
+            cache.insertions += cache_insertions
+        if cache_evictions:
+            cache.evictions += cache_evictions
+        # Counter.increment inlined (same read-modify-write on the raw
+        # values dict): six method calls per bucket add up at batch rates.
+        values = self.counters.values
+        values_get = values.get
+        if total:
+            values["lookups"] = values_get("lookups", 0) + total
+        if ram_hits:
+            values["ram_hits"] = values_get("ram_hits", 0) + ram_hits
+        if ssd_hits:
+            values["ssd_hits"] = values_get("ssd_hits", 0) + ssd_hits
+        if new_entries:
+            values["new_entries"] = values_get("new_entries", 0) + new_entries
+        if bloom_negative_shortcuts:
+            values["bloom_negative_shortcuts"] = (
+                values_get("bloom_negative_shortcuts", 0) + bloom_negative_shortcuts
+            )
+        if bloom_false_positives:
+            values["bloom_false_positives"] = (
+                values_get("bloom_false_positives", 0) + bloom_false_positives
+            )
+        return new_entries
 
     def _lookup_batch_core(
         self, fingerprints: Sequence[Fingerprint]
@@ -443,7 +687,9 @@ class HybridHashNode:
         for the same digests.
         """
         if new_digests:
-            self.bloom.add_many(new_digests)
+            # The digests come straight out of the peer's store: 20-byte by
+            # construction, so the trusted packed add applies.
+            self.bloom.add_digests(new_digests)
             self.counters.increment("replica_inserts", len(new_digests))
             if self.persistence is not None:
                 store_get = self.store.get
@@ -477,6 +723,10 @@ class HybridHashNode:
         """
         config = self.config
         self.cache = LRUCache(config.ram_cache_entries, on_evict=self._on_destage)
+        # A kill models losing *this process's* memory: a shared-memory-backed
+        # filter is detached (not unlinked -- other attachments keep their
+        # copy) and the replacement is always private.
+        self.bloom.close_shared()
         self.bloom = BloomFilter(
             expected_items=config.bloom_expected_items,
             false_positive_rate=config.bloom_false_positive_rate,

@@ -21,7 +21,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 from abc import ABC, abstractmethod
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dedup.fingerprint import Fingerprint
 
@@ -112,6 +112,7 @@ class RangePartitioner(Partitioner):
         # a pure function of the owner index, so they are computed once per
         # (count, membership) and handed out as copies.
         self._cycles: Dict[int, List[Tuple[str, ...]]] = {}
+        self._prefix_tables: Dict[int, List[Optional[Tuple[str, ...]]]] = {}
 
     def nodes(self) -> List[str]:
         return list(self._nodes)
@@ -139,6 +140,18 @@ class RangePartitioner(Partitioner):
         validated >= 1): the cycle tuples are cached per membership, so
         callers must treat the result as immutable.
         """
+        cycles, width, last = self.route_table(count)
+        index = key // width
+        return cycles[index if index < last else last]
+
+    def route_table(self, count: int) -> Tuple[List[Tuple[str, ...]], int, int]:
+        """Routing table ``(cycles, range_width, last_index)`` for ``count``.
+
+        Lets a batch dispatcher resolve cache misses inline --
+        ``cycles[min(key // range_width, last_index)]`` -- without a method
+        call per key.  The table is only valid for the current membership;
+        refetch after any epoch bump.
+        """
         nodes = self._nodes
         count = min(count, len(nodes))
         cycles = self._cycles.get(count)
@@ -149,16 +162,42 @@ class RangePartitioner(Partitioner):
                 for start in range(n)
             ]
             self._cycles[count] = cycles
-        index = key // (KEY_SPACE_SIZE // len(nodes))
-        if index >= len(nodes):
-            index = len(nodes) - 1
-        return cycles[index]
+        return cycles, KEY_SPACE_SIZE // len(nodes), len(nodes) - 1
+
+    def prefix_table(self, count: int) -> List[Optional[Tuple[str, ...]]]:
+        """256-entry table: first digest byte -> replica set, or ``None``.
+
+        Entry ``b`` holds the shared replica-set tuple when *every* key
+        whose top 8 bits equal ``b`` falls in the same node range --
+        true for all but the at-most ``len(nodes) - 1`` prefixes a range
+        boundary cuts through, which stay ``None`` and must be resolved
+        exactly (:meth:`owners_by_key`).  Lets a dispatcher route a
+        digest with two index operations and no per-key arithmetic.
+        Cached per ``(count, membership)``; membership changes rebuild it.
+        """
+        cached = self._prefix_tables.get(count)
+        if cached is None:
+            cycles, width, last = self.route_table(count)
+            shift = KEY_SPACE_BITS - 8
+            cached = []
+            for prefix in range(256):
+                low = prefix << shift
+                first = low // width
+                if first > last:
+                    first = last
+                final = ((low + (1 << shift)) - 1) // width
+                if final > last:
+                    final = last
+                cached.append(cycles[first] if first == final else None)
+            self._prefix_tables[count] = cached
+        return cached
 
     def add_node(self, node: str) -> None:
         if node in self._nodes:
             raise ValueError(f"node {node!r} already present")
         self._nodes.append(node)
         self._cycles.clear()
+        self._prefix_tables.clear()
         self.bump_epoch()
 
     def remove_node(self, node: str) -> None:
@@ -168,6 +207,7 @@ class RangePartitioner(Partitioner):
             raise ValueError("cannot remove the last node")
         self._nodes.remove(node)
         self._cycles.clear()
+        self._prefix_tables.clear()
         self.bump_epoch()
 
     def range_of(self, node: str) -> Tuple[int, int]:

@@ -236,6 +236,9 @@ class NodePersistence:
         intent = self.wal.append("snapshot", records=records)
         meta = {
             "records": records,
+            # bloom.count is insertions performed, not distinct keys (and a
+            # clamped estimate for filters built via BloomFilter.union);
+            # recovery only ever copies it back, so the distinction is safe.
             "count": bloom.count,
             "num_bits": bloom.num_bits,
             "num_hashes": bloom.num_hashes,

@@ -46,6 +46,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..core.partition import KEY_SPACE_SIZE
 from ..simulation.stats import LatencyRecorder
+from ..storage.shm import unlink_segment
 from .wire import WireError, encode_frame, get_codec, read_frame
 from .worker import DIGEST_HEX, WorkerSpec, worker_main
 
@@ -83,6 +84,12 @@ class ServeConfig:
     spawn_timeout: float = 60.0
     #: Seconds close() waits for in-flight batches before forcing shutdown.
     drain_timeout: float = 10.0
+    #: Back each worker's bloom bits with a named shared-memory segment.
+    #: The segment outlives the worker process, so a respawn after a crash
+    #: adopts the filter bits instead of replaying them; the gateway unlinks
+    #: the segments when it closes.  Falls back to private filters where
+    #: shared memory is unavailable.
+    shared_bloom: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -92,6 +99,16 @@ class ServeConfig:
 
     def node_id(self, index: int) -> str:
         return f"node{index}"
+
+    def shared_bloom_name(self, index: int) -> Optional[str]:
+        """Segment name for one worker's bloom bits (``None`` when off).
+
+        Scoped by the gateway's pid: unique across concurrent gateways on
+        one host, stable across that gateway's worker respawns.
+        """
+        if not self.shared_bloom:
+            return None
+        return f"repro-{os.getpid()}-{self.node_id(index)}-bloom"
 
     def worker_spec(self, index: int) -> WorkerSpec:
         directory = None
@@ -105,6 +122,7 @@ class ServeConfig:
             snapshot_every=self.snapshot_every,
             codec=self.codec,
             host=self.host,
+            shared_bloom_name=self.shared_bloom_name(index),
         )
 
 
@@ -278,6 +296,21 @@ class ServiceGateway:
                 if process.is_alive():
                     process.kill()
                     await loop.run_in_executor(None, process.join, 2.0)
+        self._cleanup_shared_segments()
+
+    def _cleanup_shared_segments(self) -> None:
+        """Unlink the workers' shared bloom segments (crash-tolerant).
+
+        Workers disown their segments so respawns can adopt them; once the
+        fleet is gone the gateway is the sole owner and must remove them,
+        including segments left behind by workers that died to ``kill -9``.
+        """
+        if not self.config.shared_bloom:
+            return
+        for worker in self.workers:
+            name = self.config.shared_bloom_name(worker.index)
+            if name is not None:
+                unlink_segment(name)
 
     # ------------------------------------------------------------- worker fleet
     async def _spawn(self, worker: _Worker) -> None:

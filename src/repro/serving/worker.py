@@ -28,9 +28,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..core.config import HashNodeConfig
+from ..core.digest_batch import DigestBatch
 from ..core.hash_node import HybridHashNode
 from ..core.persistence import NodePersistence
-from ..dedup.fingerprint import Fingerprint
+from ..storage.bloom import BloomFilter
+from ..storage.shm import disown_segment
 from .wire import WireError, get_codec, recv_frame, send_frame
 
 __all__ = ["WorkerSpec", "worker_main"]
@@ -57,6 +59,12 @@ class WorkerSpec:
     snapshot_every: int = 0
     codec: str = "json"
     host: str = "127.0.0.1"
+    #: Name of a shared-memory segment to back the node's bloom bits with
+    #: (``None`` keeps the filter private).  The first spawn creates the
+    #: segment; a respawn after ``kill -9`` adopts it, so the bloom bits
+    #: survive the crash and recovery only replays the count.  The gateway
+    #: owns the segment's lifetime (it unlinks on close).
+    shared_bloom_name: Optional[str] = None
 
     def build_node(self) -> HybridHashNode:
         """Construct the node (warm-starts from ``persistence_dir`` if it exists)."""
@@ -66,45 +74,42 @@ class WorkerSpec:
             persistence = NodePersistence(
                 self.persistence_dir, fsync=self.fsync, snapshot_every=self.snapshot_every
             )
-        return HybridHashNode(self.node_id, config=config, persistence=persistence)
+        bloom = None
+        if self.shared_bloom_name is not None:
+            bloom = BloomFilter(
+                expected_items=config.bloom_expected_items,
+                false_positive_rate=config.bloom_false_positive_rate,
+                shared=True,
+                shared_name=self.shared_bloom_name,
+            )
+            if bloom.shared_segment_name is not None:
+                # The gateway supervises segment cleanup; keep this worker's
+                # atexit sweep from unlinking the bits a respawn will adopt.
+                disown_segment(bloom.shared_segment_name)
+        return HybridHashNode(
+            self.node_id, config=config, persistence=persistence, bloom=bloom
+        )
 
 
 def _serve_batch(node: HybridHashNode, message: Dict[str, Any]) -> Dict[str, Any]:
-    """Answer one digest batch; the hot path of the whole serving stack."""
-    blob = bytes.fromhex(message["d"])
-    if len(blob) % DIGEST_BYTES:
-        raise WireError(f"digest blob of {len(blob)} bytes is not a multiple of {DIGEST_BYTES}")
-    count = len(blob) // DIGEST_BYTES
-    sizes = message.get("s", 0)
-    # Build fingerprints without __init__ (the 20-byte invariant is enforced
-    # by the slicing above), mirroring the cluster's hot-path reply
-    # construction -- per-fingerprint Python is what caps throughput.
-    new_fp = object.__new__
-    fp_cls = Fingerprint
-    fingerprints = []
-    append = fingerprints.append
-    if isinstance(sizes, int):
-        for start in range(0, len(blob), DIGEST_BYTES):
-            fingerprint = new_fp(fp_cls)
-            fields = fingerprint.__dict__
-            fields["digest"] = blob[start:start + DIGEST_BYTES]
-            fields["chunk_size"] = sizes
-            append(fingerprint)
-    else:
-        if len(sizes) != count:
-            raise WireError(f"got {len(sizes)} chunk sizes for {count} digests")
-        for index, start in enumerate(range(0, len(blob), DIGEST_BYTES)):
-            fingerprint = new_fp(fp_cls)
-            fields = fingerprint.__dict__
-            fields["digest"] = blob[start:start + DIGEST_BYTES]
-            fields["chunk_size"] = sizes[index]
-            append(fingerprint)
+    """Answer one digest batch; the hot path of the whole serving stack.
 
-    replies, new_entries = node.serve_bucket(fingerprints)
+    The wire blob goes straight into a :class:`DigestBatch` and through the
+    node's verdict-only fused kernel: no ``Fingerprint`` or ``LookupReply``
+    objects exist on this path at all -- per-key Python object construction
+    is what capped the worker's throughput before.
+    """
+    blob = bytes.fromhex(message["d"])
+    sizes = message.get("s", 0)
+    try:
+        batch = DigestBatch.from_blob(blob, sizes)
+    except ValueError as error:
+        raise WireError(str(error)) from None
+    verdicts, new_entries = node.serve_digest_batch(batch)
     mask = 0
     bit = 1
-    for reply in replies:
-        if reply.is_duplicate:
+    for verdict in verdicts:
+        if verdict:
             mask |= bit
         bit <<= 1
     return {
@@ -112,7 +117,7 @@ def _serve_batch(node: HybridHashNode, message: Dict[str, Any]) -> Dict[str, Any
         "id": message.get("id"),
         "ok": True,
         "v": format(mask, "x"),
-        "n": count,
+        "n": len(batch),
         "new": new_entries,
     }
 
@@ -167,6 +172,11 @@ def _shutdown(node: HybridHashNode) -> None:
         if persistence.records:
             persistence.take_snapshot(node.bloom, entries=len(node.store), store=node.store)
         persistence.close()
+    # Detach from a shared-memory-backed filter while its views can still be
+    # released in order (interpreter teardown would close the segment with
+    # exported memoryviews alive and warn).  The segment itself survives for
+    # the gateway to unlink.
+    node.bloom.close_shared()
 
 
 def worker_main(spec: WorkerSpec, ready_conn) -> None:

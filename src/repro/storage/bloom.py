@@ -18,19 +18,47 @@ SHA-256 path, which is also available explicitly via ``digest_keys=False``
 for callers whose long keys are *not* uniform (e.g. file paths).
 
 Batch APIs (:meth:`BloomFilter.add_many` / :meth:`BloomFilter.contains_many`)
-run the probe loop with every attribute bound to a local, amortising
-per-call overhead across a batch; the hash cluster's batched lookups use
-them.
+take the *packed* path when every key is a 20-byte digest (or the caller
+hands a :class:`~repro.core.digest_batch.DigestBatch`): the hash words of
+the whole batch come from one ``struct.unpack`` over the contiguous
+buffer and an exec-unrolled kernel walks the probe sequences with no
+per-key ``int.from_bytes``/type dispatch at all.  The previous per-key
+kernels are retained verbatim as :meth:`BloomFilter.add_many_scalar` /
+:meth:`BloomFilter.contains_many_scalar` -- the reference oracle the
+differential tests (tests/test_vectorized_kernels.py) drive the packed
+path against.
+
+Shared-memory backing (opt-in)
+------------------------------
+``BloomFilter(..., shared=True)`` places the bit vector in a
+``multiprocessing.shared_memory`` segment (16-byte geometry header +
+bits); ``shared_name=...`` attaches to an existing segment -- that is how
+a respawned serving worker re-adopts its predecessor's filter and how
+sweep workers can share one read-mostly filter.  The default remains a
+private ``bytearray``, and platforms without shared memory degrade to it
+silently (see :mod:`repro.storage.shm`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
+import struct
 from functools import partial
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from .packing import digest_hash_words
+from .shm import SharedBuffer
+
 __all__ = ["BloomFilter", "optimal_parameters"]
+
+#: Byte-value -> popcount lookup table (satellite fix: ``fill_ratio`` used
+#: to materialize the whole bit vector as one Python big-int per call).
+_POPCOUNT_TABLE = bytes(bin(value).count("1") for value in range(256))
+
+#: Shared-segment layout: magic, num_bits, num_hashes -- then the bits.
+_SHM_MAGIC = b"RBF1"
+_SHM_HEADER = struct.Struct(">4sQI")
 
 #: Byte keys at least this long are treated as uniform digests by default.
 _DIGEST_KEY_MIN_BYTES = 16
@@ -45,7 +73,15 @@ _KERNEL_CACHE: dict = {}
 
 
 def _batch_kernels(num_bits: int, num_hashes: int):
-    """Return ``(contains_many, add_many, contains_one, add_one)`` kernels.
+    """Return the exec-generated kernel tuple for one filter shape.
+
+    ``(contains_kernel, add_kernel, contains_one_kernel, add_one_kernel,
+    contains_words_kernel, add_words_kernel)`` -- the first four are the
+    original per-key kernels (retained as the scalar reference oracle);
+    the ``*_words`` pair drives the packed path: it takes the flat
+    ``(h1, h2)`` word tuple produced by one ``struct.unpack`` over the
+    contiguous digest buffer (:func:`repro.storage.packing.digest_hash_words`)
+    and probes/sets whole batches with zero per-key hashing or dispatch.
 
     The kernels are specialised with ``exec`` (the ``namedtuple`` technique):
     ``num_bits`` is baked in as a constant and the Kirsch-Mitzenmacher probe
@@ -129,16 +165,60 @@ def _batch_kernels(num_bits: int, num_hashes: int):
             add_one_lines.append("    index += step")
             add_one_lines.append("    if index >= nb: index -= nb")
 
+    # Packed-batch kernels: ``words`` is the flat (h1, h2, h1, h2, ...)
+    # tuple from one struct.unpack over the contiguous digest buffer, so
+    # there is no per-key type dispatch or int.from_bytes left at all.
+    # ``h1 % nb`` equals the scalar kernel's ``(whole >> 96) % nb`` and
+    # ``(h2 | 1) % nb`` its ``(((whole >> 32) & 2**64-1) | 1) % nb`` for a
+    # 20-byte digest, so verdicts and bit mutations are bit-identical.
+    contains_words_lines = [
+        "def contains_words_kernel(words, bits, emit):",
+        f"    nb = {num_bits}",
+        "    _it = iter(words)",
+        "    for h1, h2 in zip(_it, _it):",
+        "        index = h1 % nb",
+    ]
+    for i in range(num_hashes):
+        contains_words_lines.append("        if not bits[index >> 3] & (1 << (index & 7)):")
+        contains_words_lines.append("            emit(False); continue")
+        if i < num_hashes - 1:
+            if i == 0:
+                # The step is only needed once the first probe passes --
+                # definite negatives (the common shortcut) skip the modulo.
+                contains_words_lines.append("        step = (h2 | 1) % nb")
+            contains_words_lines.append("        index += step")
+            contains_words_lines.append("        if index >= nb: index -= nb")
+    contains_words_lines.append("        emit(True)")
+
+    add_words_lines = [
+        "def add_words_kernel(words, bits):",
+        f"    nb = {num_bits}",
+        "    _it = iter(words)",
+        "    for h1, h2 in zip(_it, _it):",
+        "        index = h1 % nb",
+    ]
+    if num_hashes > 1:
+        add_words_lines.append("        step = (h2 | 1) % nb")
+    for i in range(num_hashes):
+        add_words_lines.append("        bits[index >> 3] |= 1 << (index & 7)")
+        if i < num_hashes - 1:
+            add_words_lines.append("        index += step")
+            add_words_lines.append("        if index >= nb: index -= nb")
+
     namespace: dict = {}
     exec("\n".join(probe_lines), namespace)  # noqa: S102 - static template, no user input
     exec("\n".join(add_lines), namespace)  # noqa: S102
     exec("\n".join(probe_one_lines), namespace)  # noqa: S102
     exec("\n".join(add_one_lines), namespace)  # noqa: S102
+    exec("\n".join(contains_words_lines), namespace)  # noqa: S102
+    exec("\n".join(add_words_lines), namespace)  # noqa: S102
     kernels = (
         namespace["contains_kernel"],
         namespace["add_kernel"],
         namespace["contains_one_kernel"],
         namespace["add_one_kernel"],
+        namespace["contains_words_kernel"],
+        namespace["add_words_kernel"],
     )
     _KERNEL_CACHE[shape] = kernels
     return kernels
@@ -171,6 +251,17 @@ class BloomFilter:
         be uniformly distributed digests and ``h1``/``h2`` are read directly
         from the key bytes instead of re-hashing with SHA-256.  Set to
         ``False`` when long keys may be structured (non-uniform).
+    shared / shared_name:
+        Opt-in shared-memory backing for the bit vector.  ``shared=True``
+        creates a segment (anonymous unless ``shared_name`` is given, in
+        which case an existing segment with matching geometry is adopted
+        instead -- the respawned-worker case); ``shared_name`` alone
+        attaches to an existing segment and raises ``FileNotFoundError``
+        if it is missing.  Only the *bits* are shared; ``count`` stays
+        process-local (recovery/replay restores it per process).  When the
+        platform cannot allocate segments, ``shared=True`` silently falls
+        back to a private ``bytearray`` (``shared_segment_name`` is then
+        ``None``).
     """
 
     def __init__(
@@ -180,6 +271,8 @@ class BloomFilter:
         num_bits: Optional[int] = None,
         num_hashes: Optional[int] = None,
         digest_keys: bool = True,
+        shared: bool = False,
+        shared_name: Optional[str] = None,
     ) -> None:
         derived_bits, derived_hashes = optimal_parameters(expected_items, false_positive_rate)
         self.num_bits = int(num_bits) if num_bits is not None else derived_bits
@@ -189,7 +282,12 @@ class BloomFilter:
         self.expected_items = expected_items
         self.false_positive_rate = false_positive_rate
         self.digest_keys = bool(digest_keys)
-        self._bits = bytearray((self.num_bits + 7) // 8)
+        num_bytes = (self.num_bits + 7) // 8
+        self._buffer: Optional[SharedBuffer] = None
+        if shared or shared_name is not None:
+            self._bits = self._map_shared_bits(num_bytes, shared, shared_name)
+        else:
+            self._bits = bytearray(num_bytes)
         self._count = 0
         # Unrolled kernels for this filter shape, or None when num_hashes is
         # too large to unroll (generic loop then).  The single-key variants
@@ -229,6 +327,78 @@ class BloomFilter:
     def count_inserts(self, amount: int) -> None:
         """Advance the insert count for keys added via :attr:`add_one`."""
         self._count += amount
+
+    # -- shared-memory backing ---------------------------------------------------
+    def _map_shared_bits(self, num_bytes: int, shared: bool, shared_name: Optional[str]):
+        """Map the bit vector into a shared segment (or fall back privately).
+
+        Segment layout: :data:`_SHM_HEADER` (magic, num_bits, num_hashes)
+        followed by the bit bytes.  The header is written after the payload
+        region exists zeroed, and attachers validate it, so adopting a
+        segment with mismatched geometry fails loudly instead of silently
+        corrupting probes.
+        """
+        total = _SHM_HEADER.size + num_bytes
+        buffer: Optional[SharedBuffer] = None
+        if shared_name is not None:
+            if shared:
+                try:
+                    buffer = SharedBuffer.create(total, name=shared_name, shared=True)
+                except FileExistsError:
+                    buffer = SharedBuffer.attach(shared_name, total)
+            else:
+                buffer = SharedBuffer.attach(shared_name, total)
+        else:
+            buffer = SharedBuffer.create(total, shared=True)
+        if buffer.name is None:
+            # Platform without shared memory: keep the plain private backing.
+            return bytearray(num_bytes)
+        view = memoryview(buffer.buf)
+        if bytes(view[:4]) == b"\x00\x00\x00\x00":
+            # Freshly created (create zeroes the payload): stamp geometry.
+            _SHM_HEADER.pack_into(view, 0, _SHM_MAGIC, self.num_bits, self.num_hashes)
+        else:
+            magic, seg_bits, seg_hashes = _SHM_HEADER.unpack_from(view, 0)
+            if magic != _SHM_MAGIC or seg_bits != self.num_bits or seg_hashes != self.num_hashes:
+                name = buffer.name
+                view.release()
+                buffer.close()
+                raise ValueError(
+                    f"shared segment {name!r} holds a filter with "
+                    f"bits={seg_bits} hashes={seg_hashes}; "
+                    f"this filter needs bits={self.num_bits} hashes={self.num_hashes}"
+                )
+        self._buffer = buffer
+        return view[_SHM_HEADER.size:]
+
+    @property
+    def shared_segment_name(self) -> Optional[str]:
+        """Name of the backing shared segment (``None`` when private)."""
+        buffer = self._buffer
+        return buffer.name if buffer is not None else None
+
+    def close_shared(self) -> None:
+        """Detach from the shared segment.  Terminal: do not use the filter after.
+
+        The single-key kernels stay bound to the released view, so any
+        probe after this raises -- closing is for teardown paths only.
+        Idempotent; a no-op for private backings.
+        """
+        buffer, self._buffer = self._buffer, None
+        if buffer is not None:
+            bits, self._bits = self._bits, bytearray(0)
+            if isinstance(bits, memoryview):
+                bits.release()
+            buffer.close()
+
+    def unlink_shared(self) -> None:
+        """Detach *and* remove the backing segment from the system."""
+        buffer, self._buffer = self._buffer, None
+        if buffer is not None:
+            bits, self._bits = self._bits, bytearray(0)
+            if isinstance(bits, memoryview):
+                bits.release()
+            buffer.unlink()
 
     # -- internals -------------------------------------------------------------
     def _hash_pair(self, key: bytes) -> Tuple[int, int]:
@@ -291,8 +461,74 @@ class BloomFilter:
                 index -= num_bits
         self._count += 1
 
+    def _packed_words(self, keys) -> Optional[tuple]:
+        """Flat ``(h1, h2)`` words when ``keys`` can take the packed path.
+
+        Eligible inputs: anything exposing ``hash_words()`` (a
+        :class:`~repro.core.digest_batch.DigestBatch`, which has the words
+        cached for the whole routed batch), or a non-empty list/tuple where
+        *every* element is a 20-byte ``bytes`` digest.  The per-key length
+        check is mandatory -- mixed-length keys that merely sum to a
+        multiple of 20 would otherwise hash wrong silently.  Returns
+        ``None`` when the batch must go through the scalar oracle instead
+        (non-digest keys, ``digest_keys=False``, or an un-unrollable shape).
+        """
+        if self._kernels is None or not self.digest_keys:
+            return None
+        hash_words = getattr(keys, "hash_words", None)
+        if hash_words is not None:
+            return hash_words()
+        if type(keys) in (list, tuple) and keys:
+            for key in keys:
+                if type(key) is not bytes or len(key) != 20:
+                    return None
+            return digest_hash_words(b"".join(keys), len(keys))
+        return None
+
     def add_many(self, keys: Iterable[bytes]) -> None:
-        """Insert many keys with per-call overhead amortised across the batch."""
+        """Insert many keys with per-call overhead amortised across the batch.
+
+        Packed fast path: a ``DigestBatch`` or an all-20-byte-digest batch
+        derives every hash word with one ``struct.unpack`` and sets bits
+        through the words kernel.  Anything else falls through to
+        :meth:`add_many_scalar` -- same bits, same count, measured per key.
+        """
+        words = self._packed_words(keys)
+        if words is not None:
+            self._kernels[5](words, self._bits)
+            self._count += len(words) >> 1
+            return
+        if hasattr(keys, "hash_words"):  # DigestBatch on a non-packed shape
+            keys = keys.digests
+        self.add_many_scalar(keys)
+
+    def add_digests(self, digests: Sequence[bytes]) -> None:
+        """Insert keys the caller guarantees are 20-byte digests.
+
+        Trusted-input variant of :meth:`add_many` for internal callers
+        whose keys come straight out of another digest-keyed structure
+        (replica propagation, recovery replay): it skips the per-key
+        shape validation and packs/unpacks the batch directly.  Falls
+        back to the scalar oracle when the filter is not digest-keyed or
+        has an un-unrollable shape.  Same bits, same count as
+        :meth:`add_many` for the same keys.
+        """
+        kernels = self._kernels
+        if kernels is None or not self.digest_keys:
+            self.add_many_scalar(digests)
+            return
+        count = len(digests)
+        if count:
+            kernels[5](digest_hash_words(b"".join(digests), count), self._bits)
+            self._count += count
+
+    def add_many_scalar(self, keys: Iterable[bytes]) -> None:
+        """Per-key insert loop: the reference oracle for the packed path.
+
+        This is the pre-vectorization :meth:`add_many` body, retained
+        verbatim; the differential tests assert the packed kernels leave
+        the bit vector byte-identical to this.
+        """
         if self._kernels is not None:
             if not isinstance(keys, (list, tuple)):
                 keys = list(keys)
@@ -340,7 +576,22 @@ class BloomFilter:
         return True
 
     def contains_many(self, keys: Sequence[bytes]) -> List[bool]:
-        """Membership verdicts for a batch of keys, in input order."""
+        """Membership verdicts for a batch of keys, in input order.
+
+        Takes the packed words path for ``DigestBatch``/all-digest batches
+        (see :meth:`add_many`); otherwise defers to the scalar oracle.
+        """
+        words = self._packed_words(keys)
+        if words is not None:
+            verdicts: List[bool] = []
+            self._kernels[4](words, self._bits, verdicts.append)
+            return verdicts
+        if hasattr(keys, "hash_words"):  # DigestBatch on a non-packed shape
+            keys = keys.digests
+        return self.contains_many_scalar(keys)
+
+    def contains_many_scalar(self, keys: Sequence[bytes]) -> List[bool]:
+        """Per-key probe loop: the reference oracle for the packed path."""
         verdicts: List[bool] = []
         if self._kernels is not None:
             self._kernels[0](keys, self._bits, verdicts.append, self._hash_pair, self.digest_keys)
@@ -385,18 +636,53 @@ class BloomFilter:
         """Approximate memory footprint of the bit vector."""
         return len(self._bits)
 
+    def raw_bits(self):
+        """The live bit vector, for fused external kernels.
+
+        The hash node's fused batch kernel (:mod:`repro.core.bucket_kernel`)
+        probes and sets bits inline with the exact arithmetic of this
+        filter's own kernels; it reads the vector once per batch through
+        this accessor.  The object identity is stable for the filter's
+        lifetime (``clear``/``restore_payload`` mutate in place), matching
+        the contract the pre-bound single-key kernels rely on.
+        """
+        return self._bits
+
     def fill_ratio(self) -> float:
-        """Fraction of bits set (used to estimate the current FP rate)."""
-        value = int.from_bytes(self._bits, "big")
-        try:
-            set_bits = value.bit_count()
-        except AttributeError:  # pragma: no cover - Python < 3.10
-            set_bits = bin(value).count("1")
+        """Fraction of bits set (used to estimate the current FP rate).
+
+        Popcounts through :data:`_POPCOUNT_TABLE` in bounded chunks.  The
+        previous implementation materialized the entire bit vector as one
+        Python big-int (``int.from_bytes``) per call -- an O(num_bits)
+        allocation on every stats/``/stats`` poll, megabytes for the
+        filter sizes the benchmarks run.
+        """
+        bits = self._bits
+        table = _POPCOUNT_TABLE
+        set_bits = 0
+        view = memoryview(bits)
+        chunk = 1 << 16
+        for start in range(0, len(bits), chunk):
+            set_bits += sum(bytes(view[start:start + chunk]).translate(table))
         return set_bits / self.num_bits
 
     def estimated_false_positive_rate(self) -> float:
         """Estimate of the current false-positive probability."""
         return self.fill_ratio() ** self.num_hashes
+
+    def estimated_cardinality(self) -> int:
+        """Estimate of distinct keys inserted, from the fill ratio.
+
+        The standard ``-m/k * ln(1 - fill)`` estimator.  Unlike
+        :attr:`count` (raw insertions) this approximates *distinct* keys,
+        which is what :meth:`union` needs to avoid double-counting overlap.
+        """
+        fill = self.fill_ratio()
+        if fill <= 0.0:
+            return 0
+        if fill >= 1.0:  # saturated: the estimator diverges; report capacity
+            return self.num_bits
+        return int(round(-(self.num_bits / self.num_hashes) * math.log(1.0 - fill)))
 
     def clear(self) -> None:
         """Remove all entries (reset every bit).
@@ -427,7 +713,16 @@ class BloomFilter:
         self._count = int(count)
 
     def union(self, other: "BloomFilter") -> "BloomFilter":
-        """Bitwise OR of two filters with identical parameters."""
+        """Bitwise OR of two filters with identical parameters.
+
+        The merged ``count`` is a *clamped cardinality estimate*, not the
+        sum of the inputs' insertion counts: summing double-counts every
+        key present in both filters (two filters holding the same 500 keys
+        used to report ``count == 1000``).  The estimate is exact when one
+        side is empty and bounded by ``[max(counts), sum(counts)]`` always;
+        like :attr:`count` itself it counts insertions, not a guaranteed
+        distinct-key figure.
+        """
         if (self.num_bits, self.num_hashes, self.digest_keys) != (
             other.num_bits,
             other.num_hashes,
@@ -441,10 +736,25 @@ class BloomFilter:
             num_hashes=self.num_hashes,
             digest_keys=self.digest_keys,
         )
-        # In-place fill: merged's single-key kernels are bound to its bit
-        # vector, so the object must not be replaced.
-        merged._bits[:] = bytes(a | b for a, b in zip(self._bits, other._bits))
-        merged._count = self._count + other._count
+        # In-place fill (merged's single-key kernels are bound to its bit
+        # vector, so the object must not be replaced), OR-ing 8 bytes per
+        # step over memoryview word casts instead of building a throwaway
+        # generator-fed ``bytes`` of the whole vector.
+        a_view = memoryview(self._bits)
+        b_view = memoryview(other._bits)
+        out_view = memoryview(merged._bits)
+        word_bytes = len(a_view) - (len(a_view) & 7)
+        if word_bytes:
+            a_words = a_view[:word_bytes].cast("Q")
+            b_words = b_view[:word_bytes].cast("Q")
+            out_words = out_view[:word_bytes].cast("Q")
+            for i in range(len(a_words)):
+                out_words[i] = a_words[i] | b_words[i]
+        for i in range(word_bytes, len(a_view)):
+            out_view[i] = a_view[i] | b_view[i]
+        low = max(self._count, other._count)
+        high = self._count + other._count
+        merged._count = min(high, max(low, merged.estimated_cardinality()))
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

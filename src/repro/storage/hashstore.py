@@ -23,7 +23,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["IOOperation", "SSDHashStore", "FileHashStore"]
 
@@ -140,6 +140,46 @@ class SSDHashStore:
             self._size += 1
             self._buffered_entries += 1
         return is_new
+
+    def put_many_verdicts(self, pairs: Sequence[Tuple[bytes, Any]]):
+        """Batched :meth:`put` over ``(key, value)`` pairs, partitioned by verdict.
+
+        Returns ``(new_keys, existing_keys)``: the keys that were absent
+        (inserted, in input order) and the keys that were already present
+        (updated in place, in input order).  State transitions are exactly
+        those of calling :meth:`put` per pair -- this only hoists the memo
+        and bucket lookups out of the per-key call overhead, which is what
+        the cluster's replica-propagation path pays per new fingerprint.
+        """
+        memo = _HASH64_MEMO
+        memo_get = memo.get
+        memo_max = _HASH64_MEMO_MAX
+        from_bytes = int.from_bytes
+        blake2b = hashlib.blake2b
+        buckets = self._buckets
+        num_buckets = self.num_buckets
+        new_keys = []
+        existing_keys = []
+        new_append = new_keys.append
+        existing_append = existing_keys.append
+        for key, value in pairs:
+            hash64 = memo_get(key)
+            if hash64 is None:
+                if len(memo) >= memo_max:
+                    memo.clear()
+                hash64 = from_bytes(blake2b(key, digest_size=8).digest(), "big")
+                memo[key] = hash64
+            bucket = buckets[hash64 % num_buckets]
+            if key in bucket:
+                existing_append(key)
+            else:
+                new_append(key)
+            bucket[key] = value
+        if new_keys:
+            inserted = len(new_keys)
+            self._size += inserted
+            self._buffered_entries += inserted
+        return new_keys, existing_keys
 
     def remove(self, key: bytes) -> bool:
         """Delete ``key``; returns whether it was present."""
@@ -277,6 +317,46 @@ class SSDHashStore:
             return pages, False
         self._buffered_entries = buffered
         return 0, False
+
+    def batch_state(self) -> Tuple[List[Dict[bytes, Any]], int, int, int, int]:
+        """Raw state handed to a fused batch kernel (see bucket_kernel).
+
+        Returns ``(buckets, num_buckets, entries_per_page,
+        write_buffer_pages, buffered_entries)``.  The kernel mutates the
+        bucket dicts directly (known-new inserts only, mirroring
+        :meth:`insert_new_pages`), tracks page/flush counts and the write
+        buffer locally from these starting values, and the caller settles
+        the deltas back with :meth:`settle_batch`.  Nothing else may touch
+        the store between the two calls.
+        """
+        return (
+            self._buckets,
+            self.num_buckets,
+            self.entries_per_page,
+            self.write_buffer_pages,
+            self._buffered_entries,
+        )
+
+    def settle_batch(
+        self,
+        page_reads: int,
+        page_writes: int,
+        buffer_flushes: int,
+        buffered_entries: int,
+        inserted: int,
+    ) -> None:
+        """Apply a fused kernel's accounting deltas (see :meth:`batch_state`).
+
+        ``buffered_entries`` is the kernel's final write-buffer fill (an
+        absolute value, not a delta); everything else accumulates.  The
+        result is state-identical to having run :meth:`probe_pages` /
+        :meth:`insert_new_pages` per key.
+        """
+        self.page_reads += page_reads
+        self.page_writes += page_writes
+        self.buffer_flushes += buffer_flushes
+        self._buffered_entries = buffered_entries
+        self._size += inserted
 
     def flush_io(self) -> List[IOOperation]:
         """Force the write buffer to flash (e.g. at shutdown or checkpoint)."""

@@ -1,0 +1,39 @@
+"""Packed-digest hash-word extraction shared by the vectorized kernels.
+
+A 20-byte SHA-1 digest carries both Kirsch-Mitzenmacher hash words in its
+own bytes (see :mod:`repro.storage.bloom`): bytes ``[0:8)`` are ``h1`` and
+bytes ``[8:16)`` are the raw ``h2``.  For a *batch* of digests packed back
+to back, one ``struct.unpack`` with a cached ``">QQ4x"*n`` format yields
+every word pair in a single C call -- this is the primitive underneath
+:class:`repro.core.digest_batch.DigestBatch` and the packed bloom/cuckoo
+batch kernels.  Lives in the storage layer so both the storage structures
+and the core batch object can import it without a layering cycle.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["DIGEST_BYTES", "digest_hash_words"]
+
+DIGEST_BYTES = 20
+
+_WORDS_ONE = "QQ4x"
+_FORMAT_CACHE: dict = {}
+
+
+def _words_struct(count: int) -> struct.Struct:
+    cached = _FORMAT_CACHE.get(count)
+    if cached is None:
+        cached = _FORMAT_CACHE[count] = struct.Struct(">" + _WORDS_ONE * count)
+    return cached
+
+
+def digest_hash_words(blob, count: int) -> tuple:
+    """``(h1_0, h2_0, h1_1, h2_1, ...)`` for ``count`` packed 20-byte digests.
+
+    Equal to ``(int.from_bytes(d[:8], "big"), int.from_bytes(d[8:16],
+    "big"))`` per digest ``d`` -- i.e. exactly the words the scalar kernels
+    derive -- but computed for the whole batch in one call.
+    """
+    return _words_struct(count).unpack(blob)

@@ -10,12 +10,13 @@ backup streams would) or by concatenation.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence
 
 from ..dedup.fingerprint import Fingerprint
 from ..dedup.segment import interleave_streams
 from .profiles import TABLE_I_PROFILES, WorkloadProfile
-from .traces import TraceGenerator
+from .trace_cache import TRACE_CACHE_ENV, generate_trace
 
 __all__ = ["WorkloadMix", "table_i_mix"]
 
@@ -31,12 +32,26 @@ class WorkloadMix:
 
     # -- generation -----------------------------------------------------------------
     def streams(self, scale: float = 1.0) -> List[List[Fingerprint]]:
-        """Generate one fingerprint list per profile (scaled)."""
+        """Generate one fingerprint list per profile (scaled).
+
+        Traces come through the packed trace cache
+        (:mod:`repro.workloads.trace_cache`): byte-identical to running the
+        generator directly, but repeated generations -- including across
+        ``run_sweep`` pool workers, via its shared-memory leg -- rehydrate
+        instead of regenerating.
+        """
+        shared_prefix = os.environ.get(TRACE_CACHE_ENV) or None
         streams: List[List[Fingerprint]] = []
         for profile in self.profiles:
             scaled = profile.scaled(scale) if scale != 1.0 else profile
-            generator = TraceGenerator(scaled, seed=self.seed, identity_space=profile.name)
-            streams.append(list(generator.generate()))
+            streams.append(
+                generate_trace(
+                    scaled,
+                    seed=self.seed,
+                    identity_space=profile.name,
+                    shared_prefix=shared_prefix,
+                )
+            )
         return streams
 
     def interleaved(self, scale: float = 1.0, granularity: int = 64) -> List[Fingerprint]:

@@ -187,7 +187,11 @@ class TestRoutingCacheInvalidation:
 
         cluster = make_cluster()
         fingerprints = workload(64, salt=1_000)
-        drive(cluster, fingerprints, "lookup_batch_replies")
+        # The scalar path still warms the digest-route cache (the routed
+        # batch path resolves through the partitioner's prefix table and
+        # no longer populates it).
+        for fingerprint in fingerprints:
+            cluster.lookup(fingerprint)
         assert cluster._route_cache
         cluster.partitioner = RangePartitioner(cluster.node_names)
         cluster._routes()
@@ -234,3 +238,85 @@ class TestHotPathConstructors:
             assert result.served_by == reply.node_id
         assert cluster.lookups == len(fingerprints)
         assert cluster.duplicates == sum(r.is_duplicate for r in replies)
+
+
+class TestVerdictDirectScenarioEquivalence:
+    """``lookup_batch`` (verdict-direct results) vs the reference reply path.
+
+    The clean run is pinned by
+    :meth:`TestHotPathConstructors.test_lookup_batch_results_match_reply_fields`;
+    these cover the failure scenarios, where the verdict path's deferred
+    replica propagation, bucket-uniform routing shortcut and in-place
+    repair flips must still match the reference path byte for byte.
+    """
+
+    @staticmethod
+    def assert_results_match(cluster, results, reference_cluster, reference_replies):
+        assert [r.is_duplicate for r in results] == [
+            r.is_duplicate for r in reference_replies
+        ]
+        assert [r.latency for r in results] == [
+            r.service_time for r in reference_replies
+        ]
+        assert [r.served_by for r in results] == [r.node_id for r in reference_replies]
+        for name in cluster.nodes:
+            node = cluster.nodes[name]
+            reference_node = reference_cluster.nodes[name]
+            assert node.counters.as_dict() == reference_node.counters.as_dict(), name
+            assert set(node.store.keys()) == set(reference_node.store.keys()), name
+            assert node.cache.stats() == reference_node.cache.stats(), name
+        assert cluster.read_repairs == reference_cluster.read_repairs
+        assert cluster.failovers == reference_cluster.failovers
+        assert cluster.duplicates == sum(r.is_duplicate for r in reference_replies)
+
+    def test_matches_under_downed_nodes_and_recovery(self):
+        fast = make_cluster()
+        reference = make_cluster()
+        warm = workload(200)
+        while_down = workload(200, distinct=200, salt=10_000)
+        results = drive(fast, warm, "lookup_batch")
+        reference_replies = drive(reference, warm, "lookup_batch_replies_reference")
+        victim = fast.node_names[1]
+        fast.mark_down(victim)
+        reference.mark_down(victim)
+        results += drive(fast, while_down, "lookup_batch")
+        reference_replies += drive(reference, while_down, "lookup_batch_replies_reference")
+        fast.mark_up(victim)
+        reference.mark_up(victim)
+        results += drive(fast, while_down, "lookup_batch")
+        reference_replies += drive(reference, while_down, "lookup_batch_replies_reference")
+        assert fast.read_repairs > 0
+        self.assert_results_match(fast, results, reference, reference_replies)
+
+    def test_matches_under_grey_failure(self):
+        fast = make_cluster(num_nodes=3, replication=2)
+        reference = make_cluster(num_nodes=3, replication=2)
+        fingerprints = workload(400)
+        results = drive(fast, fingerprints, "lookup_batch")
+        reference_replies = drive(reference, fingerprints, "lookup_batch_replies_reference")
+        victim = fast.node_names[0]
+        make_flaky(fast, victim, failure_rate=0.4, seed=11)
+        make_flaky(reference, victim, failure_rate=0.4, seed=11)
+        results += drive(fast, fingerprints, "lookup_batch")
+        reference_replies += drive(reference, fingerprints, "lookup_batch_replies_reference")
+        assert fast.failovers > 0
+        self.assert_results_match(fast, results, reference, reference_replies)
+
+    def test_matches_under_membership_churn(self):
+        fast = make_cluster(virtual_nodes=16)
+        reference = make_cluster(virtual_nodes=16)
+        fingerprints = workload(600, salt=50_000)
+        results = drive(fast, fingerprints[:300], "lookup_batch")
+        reference_replies = drive(
+            reference, fingerprints[:300], "lookup_batch_replies_reference"
+        )
+        for cluster in (fast, reference):
+            manager = MembershipManager(cluster)
+            manager.add_node("hashnode-9")
+            manager.remove_node(cluster.config.node_names[0])
+        results += drive(fast, fingerprints[300:], "lookup_batch")
+        reference_replies += drive(
+            reference, fingerprints[300:], "lookup_batch_replies_reference"
+        )
+        assert "hashnode-9" in {r.served_by for r in results[300:]}
+        self.assert_results_match(fast, results, reference, reference_replies)
