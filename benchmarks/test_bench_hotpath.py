@@ -18,6 +18,11 @@ paths every byte of backup data funnels through:
   be quantified;
 * packed whole-batch bloom/cuckoo kernels vs. their per-key scalar
   reference oracles (the vectorized data plane's isolated win);
+* columnar numpy kernels vs. the packed-Python data plane (bloom
+  add/probe, cuckoo gets, and a duplicate-heavy end-to-end node serve) --
+  recorded only where numpy imports, and marked ``requires: numpy`` so
+  tools/check_bench_floors.py skips rather than fails it on runners
+  without the optional ``perf`` extra;
 * one scenario-sweep wall clock, sequential vs. ``run_sweep(workers=N)``
   on a process pool (the speedup column needs real cores; the JSON
   records ``cpu_count``).
@@ -49,6 +54,7 @@ from repro.dedup.fingerprint import synthetic_fingerprint
 from repro.simulation.engine import Simulator
 from repro.storage.bloom import BloomFilter
 from repro.storage.cuckoo import CuckooHashTable
+from repro.storage.npy import HAVE_NUMPY, backend_name
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_JSON = REPO_ROOT / "BENCH_hotpath.json"
@@ -468,6 +474,146 @@ def _bench_vectorized(scale: float) -> dict:
     }
 
 
+def _bench_numpy(scale: float) -> dict:
+    """Columnar numpy kernels vs the packed-Python data plane.
+
+    Both legs run the library's own routed code paths: the packed leg pins
+    each module's ``NUMPY_MIN_BATCH`` crossover above any batch size so the
+    routing falls back to the exec-generated packed kernels; the numpy leg
+    leaves the default crossover in place.  Final filter/table state and
+    every verdict must agree bit for bit -- the columnar backend is only a
+    backend.  The headline ``speedup`` is the end-to-end duplicate-heavy
+    node serve (the paper's steady-state case: a warmed node re-answering
+    known fingerprints, RAM cache far smaller than the working set, so
+    nearly every verdict runs the bloom-positive/store-hit path); the
+    bloom/cuckoo kernel ratios ride along.  The JSON entry carries
+    ``requires: numpy`` so tools/check_bench_floors.py skips (rather than
+    fails) the series on runners without the optional ``perf`` extra, and
+    ``cpu_count`` so committed-value comparisons stay machine-local.
+    """
+    import repro.core.hash_node as hash_node_module
+    import repro.storage.bloom as bloom_module
+    import repro.storage.cuckoo as cuckoo_module
+    from repro.core.digest_batch import DigestBatch
+    from repro.core.hash_node import HybridHashNode
+
+    def _forced_packed(module, fn):
+        crossover = module.NUMPY_MIN_BATCH
+        module.NUMPY_MIN_BATCH = 1 << 62
+        try:
+            return fn()
+        finally:
+            module.NUMPY_MIN_BATCH = crossover
+
+    # --- bloom add / probe kernels ------------------------------------
+    count = max(8_000, int(60_000 * scale))
+    keys = [synthetic_fingerprint(i).digest for i in range(count)]
+    probes = keys + [synthetic_fingerprint(50_000_000 + i).digest for i in range(count)]
+    packed_bloom = BloomFilter(expected_items=count, digest_keys=True)
+    numpy_bloom = BloomFilter(expected_items=count, digest_keys=True)
+    packed_add_time, _ = _forced_packed(
+        bloom_module, lambda: _timed(lambda: packed_bloom.add_many(keys))
+    )
+    numpy_add_time, _ = _timed(lambda: numpy_bloom.add_many(keys))
+    assert packed_bloom.raw_bits() == numpy_bloom.raw_bits()
+    packed_probe_time, packed_verdicts = _forced_packed(
+        bloom_module, lambda: _timed_best(lambda: packed_bloom.contains_many(probes))
+    )
+    numpy_probe_time, numpy_verdicts = _timed_best(lambda: numpy_bloom.contains_many(probes))
+    assert packed_verdicts == numpy_verdicts
+
+    # --- cuckoo get kernel --------------------------------------------
+    table = CuckooHashTable(initial_buckets=1024, digest_keys=True)
+    table.put_many((key, index) for index, key in enumerate(keys))
+    packed_get_time, packed_values = _forced_packed(
+        cuckoo_module, lambda: _timed_best(lambda: table.get_many(probes))
+    )
+    numpy_get_time, numpy_values = _timed_best(lambda: table.get_many(probes))
+    assert packed_values == numpy_values
+    assert sum(1 for value in numpy_values if value is not None) == count
+
+    # --- end-to-end duplicate-heavy node serve ------------------------
+    batch_size = 1024
+    batches = max(12, int(100 * scale))
+    total = batch_size * batches
+
+    def _digest(i: int) -> bytes:
+        return synthetic_fingerprint(i).digest
+
+    warm_blobs = [
+        b"".join(_digest(b * batch_size + i) for i in range(batch_size))
+        for b in range(batches)
+    ]
+    rng = random.Random(11)
+    timed_blobs = [
+        b"".join(_digest(rng.randrange(total)) for _ in range(batch_size))
+        for _ in range(batches)
+    ]
+    node_config = HashNodeConfig(
+        ram_cache_entries=8_192,
+        bloom_expected_items=max(50_000, total),
+        ssd_buckets=1 << 14,
+    )
+
+    def _serve_leg():
+        # Fresh node, identical warm + timed streams per leg: counters and
+        # verdicts must come out identical, only the kernel family differs.
+        node = HybridHashNode("bench", node_config)
+        for blob in warm_blobs:
+            node.serve_digest_batch(DigestBatch.from_blob(blob, 4096))
+        best = None
+        verdicts: list = []
+        for _ in range(3):
+            verdicts = []
+            start = time.perf_counter()
+            for blob in timed_blobs:
+                batch_verdicts, _new = node.serve_digest_batch(
+                    DigestBatch.from_blob(blob, 4096)
+                )
+                verdicts.extend(batch_verdicts)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best, verdicts, node
+
+    packed_elapsed, packed_node_verdicts, packed_node = _forced_packed(
+        hash_node_module, _serve_leg
+    )
+    numpy_elapsed, numpy_node_verdicts, numpy_node = _serve_leg()
+    assert numpy_node.kernel_backend == "numpy"
+    assert packed_node_verdicts == numpy_node_verdicts
+    assert packed_node.counters.as_dict() == numpy_node.counters.as_dict()
+    assert packed_node.bloom.raw_bits() == numpy_node.bloom.raw_bits()
+
+    return {
+        "unit": "fingerprints/s (duplicate-heavy node serve)",
+        "requires": "numpy",
+        "cpu_count": os.cpu_count() or 1,
+        "backend": backend_name(),
+        "baseline": {
+            "path": "packed-Python kernels (NUMPY_MIN_BATCH pinned high)",
+            "fingerprints_per_s": total / packed_elapsed,
+            "fingerprints": total,
+            "batch_size": batch_size,
+            "bloom_add_ops_per_s": count / packed_add_time,
+            "bloom_probe_ops_per_s": len(probes) / packed_probe_time,
+            "cuckoo_get_ops_per_s": len(probes) / packed_get_time,
+        },
+        "fast": {
+            "path": "columnar numpy kernels (default crossover)",
+            "fingerprints_per_s": total / numpy_elapsed,
+            "fingerprints": total,
+            "batch_size": batch_size,
+            "bloom_add_ops_per_s": count / numpy_add_time,
+            "bloom_probe_ops_per_s": len(probes) / numpy_probe_time,
+            "cuckoo_get_ops_per_s": len(probes) / numpy_get_time,
+        },
+        "speedup": packed_elapsed / numpy_elapsed,
+        "bloom_add_speedup": packed_add_time / numpy_add_time,
+        "bloom_probe_speedup": packed_probe_time / numpy_probe_time,
+        "cuckoo_get_speedup": packed_get_time / numpy_get_time,
+    }
+
+
 def _bench_sweep(scale: float) -> dict:
     """Wall-clock of one scenario sweep, sequential vs process pool.
 
@@ -715,6 +861,12 @@ def test_bench_hotpath(results_dir, scale):
         "recovery_time": _bench_recovery(scale),
         "service_throughput": _bench_service(scale),
     }
+    if HAVE_NUMPY:
+        # Optional ``perf`` extra: the series only exists where numpy
+        # imports; its ``requires: numpy`` field turns absence into a named
+        # skip in tools/check_bench_floors.py instead of a dropped-leg
+        # failure.
+        series["numpy_kernels"] = _bench_numpy(scale)
 
     payload = {
         "schema": "repro-shhc-bench/1",
@@ -814,6 +966,14 @@ def test_bench_hotpath(results_dir, scale):
         service = series["service_throughput"]
         if service["cpu_count"] >= 4:
             assert service["fast"]["fingerprints_per_s"] >= 50_000.0, service
+        # Columnar numpy data plane (the PR-10 acceptance number): the
+        # duplicate-heavy end-to-end node serve must beat the packed-Python
+        # path by >= 1.5x at full scale on a numpy-enabled multi-core box.
+        # Gated on scale because the cache-miss working set shrinks with it,
+        # and on cores like the other high floors; small/throttled runners
+        # still record the honest ratio.
+        if "numpy_kernels" in series and (os.cpu_count() or 1) >= 4 and scale >= 1.0:
+            assert series["numpy_kernels"]["speedup"] >= 1.5, series["numpy_kernels"]
     # The JSON must carry both series of the before/after comparison.
     on_disk = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
     assert on_disk["series"]["chunking"]["baseline"] and on_disk["series"]["chunking"]["fast"]

@@ -27,6 +27,28 @@ Two variants are generated per shape: a **reply** kernel that builds
 path) and a **verdict** kernel that only emits duplicate booleans and the
 new ``(digest, chunk_size)`` pairs (the serving worker's wire path, where
 no ``Fingerprint`` or reply objects need to exist at all).
+
+Columnar (numpy) kernel family
+------------------------------
+:func:`fused_columnar_kernels` generates a third family for the numpy
+backend (see :mod:`repro.storage.npy`): instead of walking the bloom probe
+sequence per key, one ``(num_hashes, n)`` gather prefetches the whole
+batch's verdicts *and* the probe-index rows of the negative keys
+(:meth:`~repro.storage.bloom.BloomFilter._prefetch_probe_np`), so no
+hashing or modulo arithmetic survives in the per-key loop at all --
+positives cost one list index, negatives set their bits straight from
+the prefetched row.  Prefetched verdicts can go stale when an
+intra-batch insert sets bits a later key happens to probe -- which would
+silently flip its verdict, counters, and service time away from the
+scalar kernels'.  The family stays byte-identical through a monotonicity
+argument: bloom bits are only ever *set*, so a prefetched ``True`` can
+never become wrong; a prefetched ``False`` is trusted as long as no
+insert has happened yet (``dirty`` flag), and re-checked against the
+live bits via its own prefetched index row (early-exit, no re-hash)
+otherwise.  Negative keys OR in exactly the bits of their prefetched row
+-- the same final bit state the scalar kernels' fused break-site insert
+produces.  The per-key fallback tail (SSD probe, inserts, reply
+construction) is shared verbatim with the scalar family.
 """
 
 from __future__ import annotations
@@ -38,7 +60,8 @@ from ..dedup.index import ChunkLocation, LookupResult
 from ..storage.hashstore import _HASH64_MEMO, _HASH64_MEMO_MAX
 from .protocol import LookupReply, ServedFrom
 
-__all__ = ["fused_kernels", "FUSED_MAX_HASHES", "EMPTY_LOCATION"]
+__all__ = ["fused_kernels", "fused_columnar_kernels", "FUSED_MAX_HASHES",
+           "EMPTY_LOCATION"]
 
 #: Shared empty location for hot-path :class:`LookupResult` construction;
 #: :class:`ChunkLocation` is a frozen value object, so one instance serves
@@ -50,6 +73,7 @@ EMPTY_LOCATION = ChunkLocation()
 FUSED_MAX_HASHES = 16
 
 _FUSED_CACHE: dict = {}
+_COLUMNAR_CACHE: dict = {}
 
 
 def _probe_block(num_hashes: int, pad: str) -> list:
@@ -149,7 +173,8 @@ def _cache_insert_block(pad: str) -> list:
     ]
 
 
-def _kernel_source(num_bits: int, num_hashes: int, variant: str) -> str:
+def _kernel_source(num_bits: int, num_hashes: int, variant: str,
+                   columnar: bool = False) -> str:
     """Source of one fused kernel.
 
     ``variant`` is one of ``reply`` (LookupReply objects), ``verdict``
@@ -157,18 +182,25 @@ def _kernel_source(num_bits: int, num_hashes: int, variant: str) -> str:
     new pairs, chunk sizes off routed fingerprints) or ``result``
     (LookupResult objects written straight into the caller's merge slots;
     ``out_append`` carries the ``(positions, merged)`` pair).
+
+    With ``columnar=True`` the per-key bloom probe walk is replaced by the
+    prefetched-verdict protocol of the module docstring: one trailing
+    parameter (``bloom_prefetch``, a lazy callable returning the whole
+    batch's ``(verdicts, probe_rows)`` pair) and a ``dirty`` staleness
+    flag.  Everything outside the bloom stage is emitted identically.
     """
     reply = variant == "reply"
     result = variant == "result"
     per_key = "chunk_sizes" if variant == "verdict" else "fingerprints"
+    name = f"fused_{variant}_columnar_kernel" if columnar else f"fused_{variant}_kernel"
     lines = [
-        f"def fused_{variant}_kernel(",
+        f"def {name}(",
         f"    digests, hash_words, {per_key}, cached, move_to_end, cache_popitem,",
         "    on_evict, cache_capacity,",
         "    bits, store_buckets, store_num_buckets, entries_per_page,",
         "    write_buffer_pages, buffered, node_id, base_time, page_read_cost,",
         "    page_write_rand_cost, page_write_seq_cost, out_append, times_append,",
-        "    new_append,",
+        "    new_append," + (" bloom_prefetch," if columnar else ""),
         "):",
         f"    nb = {num_bits}",
         "    memo = _MEMO",
@@ -176,13 +208,16 @@ def _kernel_source(num_bits: int, num_hashes: int, variant: str) -> str:
         "    memo_max = _MEMO_MAX",
         "    blake2b = _blake2b",
         "    from_bytes = int.from_bytes",
-        "    words = None",
         "    ram_hits = ssd_hits = new_entries = 0",
         "    bloom_negative_shortcuts = bloom_false_positives = 0",
         "    cache_insertions = cache_evictions = 0",
         "    total_ssd_time = 0.0",
         "    page_reads = page_writes = buffer_flushes = 0",
     ]
+    if columnar:
+        lines += ["    verdicts = None", "    dirty = 0"]
+    else:
+        lines.append("    words = None")
     if reply:
         lines += [
             "    new_reply = _new_reply",
@@ -213,12 +248,32 @@ def _kernel_source(num_bits: int, num_hashes: int, variant: str) -> str:
         lines.append("            out_append(True)")
         lines.append("            times_append(base_time)")
     lines.append("            continue")
-    # 2. Bloom guard over the packed batch words (lazily unpacked: buckets
-    # answered entirely from RAM never pay for the unpack).
-    lines.append("        if words is None:")
-    lines.append("            words = hash_words()")
-    lines.append("        wi = i + i")
-    lines += _probe_block(num_hashes, "        ")
+    # 2. Bloom guard: either the unrolled per-key probe walk over the
+    # packed batch words, or the columnar prefetched-verdict protocol
+    # (both lazily derived: buckets answered entirely from RAM pay nothing).
+    if columnar:
+        lines.append("        if verdicts is None:")
+        lines.append("            verdicts, probe_rows = bloom_prefetch()")
+        # A prefetched True can never go stale (bits are only ever set);
+        # a prefetched False is trusted until the first intra-batch insert,
+        # then re-checked against the live bits via its own prefetched
+        # index row -- early-exit on the first zero bit, no re-hashing.
+        lines.append("        if verdicts[i]:")
+        lines.append("            in_bloom = True")
+        lines.append("        elif dirty:")
+        lines.append("            for index in probe_rows[i]:")
+        lines.append("                if not bits[index >> 3] & (1 << (index & 7)):")
+        lines.append("                    in_bloom = False")
+        lines.append("                    break")
+        lines.append("            else:")
+        lines.append("                in_bloom = True")
+        lines.append("        else:")
+        lines.append("            in_bloom = False")
+    else:
+        lines.append("        if words is None:")
+        lines.append("            words = hash_words()")
+        lines.append("        wi = i + i")
+        lines += _probe_block(num_hashes, "        ")
     lines.append("        if in_bloom:")
     # 3. SSD probe (probe_pages inlined; bucket reused by the FP insert).
     lines += _bucket_block("            ")
@@ -249,6 +304,13 @@ def _kernel_source(num_bits: int, num_hashes: int, variant: str) -> str:
     lines.append("            bloom_false_positives += 1")
     lines.append("        else:")
     lines.append("            bloom_negative_shortcuts += 1")
+    if columnar:
+        # Definitely new: OR in exactly the bits of the prefetched probe
+        # row -- the same final bit state the scalar family's fused
+        # break-site insert leaves -- and mark the verdicts stale.
+        lines.append("            for index in probe_rows[i]:")
+        lines.append("                bits[index >> 3] |= 1 << (index & 7)")
+        lines.append("            dirty = 1")
     lines.append("            ssd_time = 0.0")
     lines += _bucket_block("            ")
     # New fingerprint: cache + store insert (insert_new_pages inlined; the
@@ -345,4 +407,50 @@ def fused_kernels(num_bits: int, num_hashes: int) -> Optional[Tuple]:
         namespace["fused_result_kernel"],
     )
     _FUSED_CACHE[shape] = kernels
+    return kernels
+
+
+def fused_columnar_kernels(num_bits: int, num_hashes: int) -> Optional[Tuple]:
+    """``(reply, verdict, routed, result)`` columnar kernels for a shape.
+
+    Same contract and return tuple as :func:`fused_kernels`, but each
+    kernel takes one extra trailing argument -- ``bloom_prefetch``, a lazy
+    callable returning the batch's prefetched ``(verdicts, probe_rows)``
+    pair (see :meth:`~repro.storage.bloom.BloomFilter._prefetch_probe_np`)
+    that feeds the dirty re-check and the negative-path bit insert.  The caller
+    (:class:`~repro.core.hash_node.HybridHashNode`) selects this family
+    only when the numpy backend is active and the batch is at least
+    ``REPRO_NUMPY_MIN_BATCH`` keys.  ``None`` for un-unrollable shapes,
+    mirroring :func:`fused_kernels`.
+    """
+    if num_hashes > FUSED_MAX_HASHES or num_hashes < 1 or num_bits < 1:
+        return None
+    shape = (num_bits, num_hashes)
+    kernels = _COLUMNAR_CACHE.get(shape)
+    if kernels is not None:
+        return kernels
+    namespace = {
+        "_MEMO": _HASH64_MEMO,
+        "_MEMO_MAX": _HASH64_MEMO_MAX,
+        "_blake2b": hashlib.blake2b,
+        "_new_reply": object.__new__,
+        "_reply_cls": LookupReply,
+        "_served_ram": ServedFrom.RAM,
+        "_served_ssd": ServedFrom.SSD,
+        "_served_new": ServedFrom.NEW,
+        "_new_result": object.__new__,
+        "_result_cls": LookupResult,
+        "_empty_location": EMPTY_LOCATION,
+    }
+    for variant in ("reply", "verdict", "routed", "result"):
+        exec(  # noqa: S102 - static template
+            _kernel_source(num_bits, num_hashes, variant, columnar=True), namespace
+        )
+    kernels = (
+        namespace["fused_reply_columnar_kernel"],
+        namespace["fused_verdict_columnar_kernel"],
+        namespace["fused_routed_columnar_kernel"],
+        namespace["fused_result_columnar_kernel"],
+    )
+    _COLUMNAR_CACHE[shape] = kernels
     return kernels

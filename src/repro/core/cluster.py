@@ -60,6 +60,7 @@ from ..dedup.fingerprint import Fingerprint
 from ..dedup.index import ChunkIndex, ChunkLocation, LookupResult
 from ..network.rpc import RpcLayer
 from ..simulation.costmodel import ControlPlaneLedger, CostModel
+from ..storage.npy import backend_name as npy_backend_name
 from ..simulation.engine import Simulator
 from .batching import reassemble_replies, split_batch_by_replica_set
 from .config import ClusterConfig
@@ -1068,6 +1069,19 @@ class SHHCCluster(ChunkIndex):
         return _handle
 
     # ------------------------------------------------------------------ reporting
+    @property
+    def kernel_backend(self) -> str:
+        """Batch-kernel backend serving this cluster's nodes.
+
+        ``numpy`` (columnar kernels for large buckets) or
+        ``python-packed``; resolved once per process at import (see
+        :mod:`repro.storage.npy`) and identical across nodes, which share
+        one bloom geometry.
+        """
+        for node in self.nodes.values():
+            return node.kernel_backend
+        return npy_backend_name()
+
     def metrics(self) -> ClusterMetrics:
         """Aggregated per-node statistics (plus the distinct/total split).
 

@@ -16,10 +16,17 @@ with a single ``struct.unpack`` call:
   is ``h2 % num_buckets`` -- exactly what the retained scalar kernels
   compute, so verdicts stay bit-identical.
 
-Plain ``array``/``memoryview``/``struct`` only -- numpy is optional for
-users, never required here.  The buffer layout is also what the
-shared-memory trace cache stores, so a sweep worker can rehydrate a
-workload from a segment without re-running the generator.
+Backend selection: when numpy is importable (the optional ``perf``
+extra) and not suppressed via ``REPRO_FORCE_NO_NUMPY=1``,
+:meth:`DigestBatch.hash_words_np` exposes the same word pairs as one
+``(n, 2)`` ``uint64`` array derived from a single ``np.frombuffer`` view
+of the packed blob, and the fused node kernels switch to the columnar
+bloom/cuckoo kernels for buckets of at least ``REPRO_NUMPY_MIN_BATCH``
+keys (default 64).  Without numpy every path falls back to the packed
+pure-Python kernels above, byte-identically -- numpy is never required
+(see :mod:`repro.storage.npy` for the contract).  The buffer layout is
+also what the shared-memory trace cache stores, so a sweep worker can
+rehydrate a workload from a segment without re-running the generator.
 """
 
 from __future__ import annotations
@@ -27,7 +34,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from ..dedup.fingerprint import Fingerprint
-from ..storage.packing import DIGEST_BYTES, digest_hash_words
+from ..storage.npy import HAVE_NUMPY
+from ..storage.packing import DIGEST_BYTES, digest_hash_words, digest_hash_words_np
 
 __all__ = ["DigestBatch", "DIGEST_BYTES", "digest_hash_words"]
 
@@ -45,7 +53,8 @@ class DigestBatch:
     buckets whose keys are all answered from the RAM LRU never pay for it.
     """
 
-    __slots__ = ("digests", "blob", "_chunk_sizes", "_fingerprints", "_words")
+    __slots__ = ("digests", "blob", "_chunk_sizes", "_fingerprints", "_words",
+                 "_words_np")
 
     def __init__(
         self,
@@ -59,6 +68,7 @@ class DigestBatch:
         self._chunk_sizes = chunk_sizes
         self._fingerprints = fingerprints
         self._words: Optional[tuple] = None
+        self._words_np = None
 
     # -- construction -----------------------------------------------------------
     @classmethod
@@ -119,6 +129,22 @@ class DigestBatch:
         words = self._words
         if words is None:
             words = self._words = digest_hash_words(self.packed(), len(self.digests))
+        return words
+
+    def hash_words_np(self):
+        """``(n, 2)`` ``uint64`` (h1, h2) array for every digest (cached).
+
+        Value-identical to :meth:`hash_words` reshaped two-per-row; only
+        available when the numpy backend is active (``HAVE_NUMPY``), else
+        raises :class:`RuntimeError` -- callers gate on the backend.
+        """
+        words = self._words_np
+        if words is None:
+            if not HAVE_NUMPY:
+                raise RuntimeError("numpy backend unavailable (see repro.storage.npy)")
+            words = self._words_np = digest_hash_words_np(
+                self.packed(), len(self.digests)
+            )
         return words
 
     def chunk_size_of(self, index: int) -> int:

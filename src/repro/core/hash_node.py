@@ -41,7 +41,8 @@ from ..storage.devices import StorageDevice, make_ram, make_ssd
 from ..storage.hashstore import SSDHashStore
 from ..storage.lru import LRUCache
 from ..dedup.index import LookupResult
-from .bucket_kernel import EMPTY_LOCATION, fused_kernels
+from ..storage.npy import HAVE_NUMPY, NUMPY_MIN_BATCH
+from .bucket_kernel import EMPTY_LOCATION, fused_columnar_kernels, fused_kernels
 from .config import HashNodeConfig
 from .digest_batch import DigestBatch
 from .persistence import NodePersistence, RecoveryReport
@@ -112,10 +113,14 @@ class HybridHashNode:
         # Reusable fused-kernel argument block (built lazily by _run_fused;
         # identity-guarded against cache/bloom/store replacement).
         self._fused_args: Optional[list] = None
-        # (bloom_object, kernels) memo: the fused-kernel registry lookup is
-        # a tuple-keyed dict probe per bucket serve, this is one identity
-        # check.  Invalidated automatically when recovery swaps the filter.
-        self._kernel_memo: Tuple[Optional[BloomFilter], Optional[Tuple]] = (None, None)
+        # (bloom_object, kernels, columnar_kernels) memo: the fused-kernel
+        # registry lookup is a tuple-keyed dict probe per bucket serve, this
+        # is one identity check.  Invalidated automatically when recovery
+        # swaps the filter.  ``columnar_kernels`` is ``None`` unless the
+        # numpy backend is active and the bloom shape is columnar-eligible.
+        self._kernel_memo: Tuple[Optional[BloomFilter], Optional[Tuple], Optional[Tuple]] = (
+            None, None, None,
+        )
         self._cpu: Optional[Resource] = (
             Resource(sim, capacity=self.config.service_concurrency, name=f"{node_id}.cpu")
             if sim is not None
@@ -143,8 +148,11 @@ class HybridHashNode:
 
     def _on_destage(self, _key, _value) -> None:
         # Entries in the LRU are already persisted in the SSD table, so a
-        # destage is simply dropping the RAM copy; we only count it.
-        self.counters.increment("destages")
+        # destage is simply dropping the RAM copy; we only count it.  This
+        # fires once per eviction on the steady-state hot path, so the
+        # counter bump is inlined rather than routed through increment().
+        values = self.counters.values
+        values["destages"] = values.get("destages", 0) + 1
 
     # --------------------------------------------------------- immediate mode
     def lookup(self, fingerprint: Fingerprint) -> LookupReply:
@@ -190,22 +198,16 @@ class HybridHashNode:
         ``batch.fingerprints()`` -- which is also the fallback for
         un-unrollable shapes or non-digest-keyed filters.
         """
-        bloom = self.bloom
-        memo_bloom, kernels = self._kernel_memo
-        if memo_bloom is not bloom:
-            kernels = (
-                fused_kernels(bloom.num_bits, bloom.num_hashes)
-                if bloom.digest_keys
-                else None
-            )
-            self._kernel_memo = (bloom, kernels)
+        kernels, columnar = self._select_kernels()
         if kernels is None:
             return self.serve_bucket(batch.fingerprints())
+        use_columnar = columnar is not None and len(batch) >= NUMPY_MIN_BATCH
         replies: List[LookupReply] = []
         service_times: List[float] = []
         new_entries = self._run_fused(
-            kernels[0], batch, batch.fingerprints(), replies.append,
-            service_times.append, None,
+            (columnar if use_columnar else kernels)[0], batch,
+            batch.fingerprints(), replies.append,
+            service_times.append, None, columnar=use_columnar,
         )
         self.lookup_latency.record_many(service_times)
         if new_entries and self.persistence is not None:
@@ -236,15 +238,7 @@ class HybridHashNode:
         ``new_pairs`` (input order) is what replica propagation needs.
         State transitions match :meth:`serve_bucket` exactly.
         """
-        bloom = self.bloom
-        memo_bloom, kernels = self._kernel_memo
-        if memo_bloom is not bloom:
-            kernels = (
-                fused_kernels(bloom.num_bits, bloom.num_hashes)
-                if bloom.digest_keys
-                else None
-            )
-            self._kernel_memo = (bloom, kernels)
+        kernels, columnar = self._select_kernels()
         if kernels is None:
             replies, service_times, _total_ssd_time, new_entries = self._lookup_batch_core(
                 batch.fingerprints()
@@ -259,6 +253,10 @@ class HybridHashNode:
                 if not reply.is_duplicate
             ]
             return verdicts, service_times, new_pairs
+        if columnar is not None and len(batch) >= NUMPY_MIN_BATCH:
+            kernels, use_columnar = columnar, True
+        else:
+            use_columnar = False
         verdicts: List[bool] = []
         service_times: List[float] = []
         new_pairs: List[Tuple[bytes, int]] = []
@@ -271,7 +269,7 @@ class HybridHashNode:
             kernel, per_key = kernels[1], batch.chunk_sizes
         self._run_fused(
             kernel, batch, per_key, verdicts.append,
-            service_times.append, new_pairs.append,
+            service_times.append, new_pairs.append, columnar=use_columnar,
         )
         self.lookup_latency.record_many(service_times)
         if new_pairs and self.persistence is not None:
@@ -290,15 +288,7 @@ class HybridHashNode:
         the bucket's duplicate count is ``len(batch) - len(new_pairs)``.
         State transitions match :meth:`serve_bucket` exactly.
         """
-        bloom = self.bloom
-        memo_bloom, kernels = self._kernel_memo
-        if memo_bloom is not bloom:
-            kernels = (
-                fused_kernels(bloom.num_bits, bloom.num_hashes)
-                if bloom.digest_keys
-                else None
-            )
-            self._kernel_memo = (bloom, kernels)
+        kernels, columnar = self._select_kernels()
         if kernels is None:
             replies, service_times, _total_ssd_time, new_entries = self._lookup_batch_core(
                 batch.fingerprints()
@@ -323,19 +313,60 @@ class HybridHashNode:
                 fields["served_by"] = node_id
                 merged[position] = result
             return service_times, new_pairs
+        use_columnar = columnar is not None and len(batch) >= NUMPY_MIN_BATCH
         service_times: List[float] = []
         new_pairs: List[Tuple[bytes, int]] = []
         self._run_fused(
-            kernels[3], batch, batch._fingerprints, (positions, merged),
-            service_times.append, new_pairs.append,
+            (columnar if use_columnar else kernels)[3], batch,
+            batch._fingerprints, (positions, merged),
+            service_times.append, new_pairs.append, columnar=use_columnar,
         )
         self.lookup_latency.record_many(service_times)
         if new_pairs and self.persistence is not None:
             self._persist_new(new_pairs)
         return service_times, new_pairs
 
+    def _select_kernels(self) -> Tuple[Optional[Tuple], Optional[Tuple]]:
+        """``(scalar_kernels, columnar_kernels)`` for the current bloom filter.
+
+        Memoized on bloom identity (kill/restart and recovery replace the
+        filter wholesale).  ``columnar_kernels`` is ``None`` unless the
+        numpy backend is active and the filter is columnar-eligible; the
+        serve methods then pick per batch by the ``REPRO_NUMPY_MIN_BATCH``
+        crossover.
+        """
+        bloom = self.bloom
+        memo_bloom, kernels, columnar = self._kernel_memo
+        if memo_bloom is not bloom:
+            kernels = (
+                fused_kernels(bloom.num_bits, bloom.num_hashes)
+                if bloom.digest_keys
+                else None
+            )
+            columnar = (
+                fused_columnar_kernels(bloom.num_bits, bloom.num_hashes)
+                if kernels is not None and bloom.columnar_eligible
+                else None
+            )
+            self._kernel_memo = (bloom, kernels, columnar)
+        return kernels, columnar
+
+    @property
+    def kernel_backend(self) -> str:
+        """The batch-kernel backend this node resolved: ``numpy`` or ``python-packed``.
+
+        Reported by the serving worker's ``/stats`` and in
+        ``ScenarioResult`` metrics.  ``numpy`` means large batches
+        (``>= REPRO_NUMPY_MIN_BATCH`` keys) run the columnar bloom
+        prefetch; small buckets always keep the exec-generated scalar
+        kernels, whose outputs are byte-identical either way.
+        """
+        if HAVE_NUMPY and self.bloom.columnar_eligible:
+            return "numpy"
+        return "python-packed"
+
     def _run_fused(self, kernel, batch, per_key, out_append, times_append,
-                   new_append) -> int:
+                   new_append, columnar: bool = False) -> int:
         """Invoke a fused kernel and settle store/cache/bloom/counter state."""
         cache = self.cache
         cached = cache.data
@@ -370,11 +401,24 @@ class HybridHashNode:
         args[19] = out_append
         args[20] = times_append
         args[21] = new_append
-        (
-            ram_hits, ssd_hits, new_entries, bloom_negative_shortcuts,
-            bloom_false_positives, total_ssd_time, page_reads, page_writes,
-            buffer_flushes, buffered, cache_insertions, cache_evictions,
-        ) = kernel(*args)
+        if columnar:
+            # Lazy whole-batch bloom prefetch (first RAM-miss pays it):
+            # verdicts for every key plus the probe-index rows of the
+            # negatives, which the kernel uses for dirty re-checks and the
+            # negative-path bit inserts (see core/bucket_kernel.py).
+            words_np = batch.hash_words_np
+            prefetch = self.bloom._prefetch_probe_np
+            (
+                ram_hits, ssd_hits, new_entries, bloom_negative_shortcuts,
+                bloom_false_positives, total_ssd_time, page_reads, page_writes,
+                buffer_flushes, buffered, cache_insertions, cache_evictions,
+            ) = kernel(*args, lambda: prefetch(words_np()))
+        else:
+            (
+                ram_hits, ssd_hits, new_entries, bloom_negative_shortcuts,
+                bloom_false_positives, total_ssd_time, page_reads, page_writes,
+                buffer_flushes, buffered, cache_insertions, cache_evictions,
+            ) = kernel(*args)
         args[0] = args[1] = args[2] = args[19] = args[20] = args[21] = None
         store.settle_batch(page_reads, page_writes, buffer_flushes, buffered, new_entries)
         if new_entries:

@@ -130,6 +130,7 @@ def _stats(node: HybridHashNode) -> Dict[str, Any]:
         "pid": os.getpid(),
         "entries": len(node.store),
         "ram_cached": len(node.cache),
+        "kernel_backend": node.kernel_backend,
         "counters": node.counters.as_dict(),
         "lookup_latency_us": {
             key: value * 1e6 if key not in ("count",) else value

@@ -142,7 +142,10 @@ class ReservoirSample:
         if len(self._values) < self.capacity:
             self._values.append(value)
         else:
-            index = self._rng.randrange(self._seen)
+            # One C-level random() scaled to the stream length replaces
+            # randrange()'s Python-level _randbelow chain; the float
+            # quantisation bias is immaterial for streams far below 2**53.
+            index = int(self._rng.random() * self._seen)
             if index < self.capacity:
                 self._values[index] = value
 
@@ -156,18 +159,32 @@ class ReservoirSample:
 
         While the reservoir has room for the whole batch the samples are
         appended wholesale (no RNG draws happen below capacity, so the RNG
-        state is untouched either way); otherwise it falls back to
-        per-sample offers with the exact same draw sequence.
+        state is untouched either way).  Once full, an inlined Algorithm R
+        loop with hoisted locals makes the exact same draw sequence as
+        per-sample :meth:`_add` calls without the per-sample method
+        dispatch -- this is the batch lookup path's per-reply sink.
         """
         values = values if isinstance(values, (list, tuple)) else list(values)
         with self._lock:
-            if len(self._values) + len(values) <= self.capacity:
-                self._values.extend(values)
+            retained = self._values
+            free = self.capacity - len(retained)
+            if len(values) <= free:
+                retained.extend(values)
                 self._seen += len(values)
                 return
-            add = self._add
+            if free > 0:
+                retained.extend(values[:free])
+                self._seen += free
+                values = values[free:]
+            seen = self._seen
+            capacity = self.capacity
+            rand = self._rng.random
             for value in values:
-                add(value)
+                seen += 1
+                index = int(rand() * seen)
+                if index < capacity:
+                    retained[index] = value
+            self._seen = seen
 
     @property
     def seen(self) -> int:

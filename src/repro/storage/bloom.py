@@ -28,6 +28,17 @@ kernels are retained verbatim as :meth:`BloomFilter.add_many_scalar` /
 differential tests (tests/test_vectorized_kernels.py) drive the packed
 path against.
 
+When the optional numpy backend is active (see :mod:`repro.storage.npy`),
+batches of at least ``REPRO_NUMPY_MIN_BATCH`` keys take a *columnar* path
+instead: every Kirsch-Mitzenmacher probe index for the whole batch is
+computed as one ``(n, num_hashes)`` ``uint64`` array and the bit vector is
+gathered/scattered through a zero-copy ``np.uint8`` view
+(``np.bitwise_or.at`` for inserts, a boolean AND-reduction for probes).
+The arithmetic mirrors the scalar kernels step for step, so bits and
+verdicts stay byte-identical; :meth:`BloomFilter.add_many_np` /
+:meth:`BloomFilter.contains_many_np` expose the columnar kernels
+explicitly for the differential tests and benchmarks.
+
 Shared-memory backing (opt-in)
 ------------------------------
 ``BloomFilter(..., shared=True)`` places the bit vector in a
@@ -47,10 +58,19 @@ import struct
 from functools import partial
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from .packing import digest_hash_words
+from .npy import HAVE_NUMPY, NUMPY_MIN_BATCH, np as _np
+from .packing import digest_hash_words, digest_hash_words_np
 from .shm import SharedBuffer
 
 __all__ = ["BloomFilter", "optimal_parameters"]
+
+#: The columnar kernels compute the whole probe sequence closed-form in
+#: ``uint64`` -- ``(index0 + i * step) % num_bits`` -- which is exact only
+#: while ``index0 + i * step`` cannot overflow: with ``index0, step <
+#: num_bits`` and at most 16 probe rounds (the unroll bound shared with
+#: the packed kernels), ``num_bits < 2**58`` keeps the worst case under
+#: ``2**63``.  Filters anywhere near this would not fit in RAM anyway.
+_NP_MAX_BITS = 1 << 58
 
 #: Byte-value -> popcount lookup table (satellite fix: ``fill_ratio`` used
 #: to materialize the whole bit vector as one Python big-int per call).
@@ -288,6 +308,8 @@ class BloomFilter:
             self._bits = self._map_shared_bits(num_bytes, shared, shared_name)
         else:
             self._bits = bytearray(num_bytes)
+        #: Lazily created ``np.uint8`` view of ``_bits`` (see :meth:`np_bits`).
+        self._np_bits = None
         self._count = 0
         # Unrolled kernels for this filter shape, or None when num_hashes is
         # too large to unroll (generic loop then).  The single-key variants
@@ -386,6 +408,9 @@ class BloomFilter:
         """
         buffer, self._buffer = self._buffer, None
         if buffer is not None:
+            # Drop the numpy view first: it exports the memoryview's buffer,
+            # and release() raises BufferError while exports are live.
+            self._np_bits = None
             bits, self._bits = self._bits, bytearray(0)
             if isinstance(bits, memoryview):
                 bits.release()
@@ -395,6 +420,7 @@ class BloomFilter:
         """Detach *and* remove the backing segment from the system."""
         buffer, self._buffer = self._buffer, None
         if buffer is not None:
+            self._np_bits = None
             bits, self._bits = self._bits, bytearray(0)
             if isinstance(bits, memoryview):
                 bits.release()
@@ -485,14 +511,172 @@ class BloomFilter:
             return digest_hash_words(b"".join(keys), len(keys))
         return None
 
+    # -- columnar numpy kernels --------------------------------------------------
+    @property
+    def columnar_eligible(self) -> bool:
+        """Whether the columnar kernels can serve this filter's batches.
+
+        Requires the numpy backend, digest keys, an unrollable shape (the
+        scalar single-key kernels double as the columnar family's re-probe
+        and insert tail), and exact uint64 probe arithmetic.
+        """
+        return (
+            HAVE_NUMPY
+            and self._kernels is not None
+            and self.digest_keys
+            and self.num_bits < _NP_MAX_BITS
+        )
+
+    def np_bits(self):
+        """Writable ``np.uint8`` view of the live bit vector (zero-copy).
+
+        ``np.frombuffer`` over the same ``bytearray``/shared-memory
+        ``memoryview`` the scalar kernels mutate, so for a shm-backed
+        filter every attached process (serving workers, sweep pools)
+        gathers against one physical copy.  The view is cached; teardown
+        (:meth:`close_shared`/:meth:`unlink_shared`) drops it before
+        releasing the mapping.  ``None`` when the numpy backend is off.
+        """
+        view = self._np_bits
+        if view is None:
+            if not HAVE_NUMPY:
+                return None
+            view = self._np_bits = _np.frombuffer(self._bits, dtype=_np.uint8)
+        return view
+
+    def _packed_words_np(self, keys):
+        """``(n, 2)`` uint64 word array when ``keys`` can take the columnar path.
+
+        Same eligibility as :meth:`_packed_words` plus: the numpy backend
+        must be active and ``num_bits`` small enough for exact uint64
+        probe arithmetic.  ``None`` means fall back (packed or scalar).
+        """
+        if (
+            not HAVE_NUMPY
+            or self._kernels is None
+            or not self.digest_keys
+            or self.num_bits >= _NP_MAX_BITS
+        ):
+            return None
+        hash_words_np = getattr(keys, "hash_words_np", None)
+        if hash_words_np is not None:
+            return hash_words_np()
+        if type(keys) in (list, tuple) and keys:
+            for key in keys:
+                if type(key) is not bytes or len(key) != 20:
+                    return None
+            return digest_hash_words_np(b"".join(keys), len(keys))
+        return None
+
+    def _probe_indexes_np(self, words):
+        """``(num_hashes, n)`` probe-index matrix, scalar-arithmetic-exact.
+
+        The scalar kernels walk ``index += step; if index >= nb: index -=
+        nb`` from ``index0 = h1 % nb`` with ``step = (h2 | 1) % nb``; since
+        both operands stay below ``nb``, the walk is exactly ``(index0 +
+        i * step) % nb``, which vectorizes as one broadcast multiply-add
+        and one modulo over the whole ``(num_hashes, n)`` plane (no
+        per-round Python loop).  ``_NP_MAX_BITS`` bounds ``nb`` so the
+        ``uint64`` products cannot overflow.  Every visited index -- and
+        therefore every bit touched -- is identical to the packed-Python
+        path.
+        """
+        nb = _np.uint64(self.num_bits)
+        index = words[:, 0] % nb
+        num_hashes = self.num_hashes
+        if num_hashes == 1:
+            return index.reshape(1, -1)
+        step = (words[:, 1] | _np.uint64(1)) % nb
+        rounds = _np.arange(num_hashes, dtype=_np.uint64).reshape(-1, 1)
+        return (index[_np.newaxis, :] + rounds * step[_np.newaxis, :]) % nb
+
+    def _add_words_np(self, words) -> None:
+        indexes = self._probe_indexes_np(words)
+        byte_idx = (indexes >> _np.uint64(3)).astype(_np.intp).ravel()
+        masks = _np.left_shift(
+            _np.uint8(1), (indexes & _np.uint64(7)).astype(_np.uint8)
+        ).ravel()
+        # bitwise_or.at, not fancy-assign: duplicate byte indexes within a
+        # batch must all land, exactly as the scalar loop ORs them in turn.
+        _np.bitwise_or.at(self.np_bits(), byte_idx, masks)
+
+    def _contains_words_np(self, words) -> List[bool]:
+        indexes = self._probe_indexes_np(words)
+        byte_idx = (indexes >> _np.uint64(3)).astype(_np.intp)
+        masks = _np.left_shift(
+            _np.uint8(1), (indexes & _np.uint64(7)).astype(_np.uint8)
+        )
+        hits = (self.np_bits()[byte_idx] & masks) != 0
+        return hits.all(axis=0).tolist()
+
+    def _prefetch_probe_np(self, words):
+        """``(verdicts, rows)`` for the columnar fused node kernels.
+
+        ``verdicts`` is the whole batch's membership list against the
+        *current* bits; ``rows[i]`` is key ``i``'s full probe-index list
+        when its verdict is ``False`` -- the fused kernel re-checks
+        staleness and sets the negative-path bits straight from it, so no
+        per-key hashing or modulo survives on the columnar path -- and
+        ``None`` for prefetched positives, which never need their indexes
+        again (bits are only ever set, so a ``True`` cannot go stale).
+        Materializing rows only for the negatives keeps the duplicate-
+        heavy steady state (the paper's headline workload) almost free.
+        """
+        indexes = self._probe_indexes_np(words)
+        byte_idx = (indexes >> _np.uint64(3)).astype(_np.intp)
+        masks = _np.left_shift(
+            _np.uint8(1), (indexes & _np.uint64(7)).astype(_np.uint8)
+        )
+        hits = (self.np_bits()[byte_idx] & masks) != 0
+        verdict = hits.all(axis=0)
+        rows: List = [None] * indexes.shape[1]
+        false_cols = _np.flatnonzero(~verdict)
+        if false_cols.size:
+            false_rows = indexes[:, false_cols].T.tolist()
+            for col, row in zip(false_cols.tolist(), false_rows):
+                rows[col] = row
+        return verdict.tolist(), rows
+
+    def add_many_np(self, keys: Iterable[bytes]) -> None:
+        """Columnar insert regardless of batch size (bench/test entry point).
+
+        Bit-identical to :meth:`add_many_scalar`; ineligible batches (or a
+        missing numpy backend) defer to :meth:`add_many`.
+        """
+        words = self._packed_words_np(keys)
+        if words is None:
+            self.add_many(keys)
+            return
+        self._add_words_np(words)
+        self._count += int(words.shape[0])
+
+    def contains_many_np(self, keys: Sequence[bytes]) -> List[bool]:
+        """Columnar membership probe (bench/test entry point)."""
+        words = self._packed_words_np(keys)
+        if words is None:
+            return self.contains_many(keys)
+        return self._contains_words_np(words)
+
     def add_many(self, keys: Iterable[bytes]) -> None:
         """Insert many keys with per-call overhead amortised across the batch.
 
         Packed fast path: a ``DigestBatch`` or an all-20-byte-digest batch
         derives every hash word with one ``struct.unpack`` and sets bits
-        through the words kernel.  Anything else falls through to
+        through the words kernel; with the numpy backend active, batches of
+        at least ``REPRO_NUMPY_MIN_BATCH`` digests run the columnar kernel
+        instead (same bits).  Anything else falls through to
         :meth:`add_many_scalar` -- same bits, same count, measured per key.
         """
+        if (
+            HAVE_NUMPY
+            and getattr(keys, "__len__", None) is not None
+            and len(keys) >= NUMPY_MIN_BATCH
+        ):
+            words_np = self._packed_words_np(keys)
+            if words_np is not None:
+                self._add_words_np(words_np)
+                self._count += int(words_np.shape[0])
+                return
         words = self._packed_words(keys)
         if words is not None:
             self._kernels[5](words, self._bits)
@@ -518,9 +702,14 @@ class BloomFilter:
             self.add_many_scalar(digests)
             return
         count = len(digests)
-        if count:
-            kernels[5](digest_hash_words(b"".join(digests), count), self._bits)
+        if not count:
+            return
+        if HAVE_NUMPY and count >= NUMPY_MIN_BATCH and self.num_bits < _NP_MAX_BITS:
+            self._add_words_np(digest_hash_words_np(b"".join(digests), count))
             self._count += count
+            return
+        kernels[5](digest_hash_words(b"".join(digests), count), self._bits)
+        self._count += count
 
     def add_many_scalar(self, keys: Iterable[bytes]) -> None:
         """Per-key insert loop: the reference oracle for the packed path.
@@ -578,9 +767,19 @@ class BloomFilter:
     def contains_many(self, keys: Sequence[bytes]) -> List[bool]:
         """Membership verdicts for a batch of keys, in input order.
 
-        Takes the packed words path for ``DigestBatch``/all-digest batches
-        (see :meth:`add_many`); otherwise defers to the scalar oracle.
+        Takes the columnar numpy path for eligible batches of at least
+        ``REPRO_NUMPY_MIN_BATCH`` keys, else the packed words path for
+        ``DigestBatch``/all-digest batches (see :meth:`add_many`);
+        otherwise defers to the scalar oracle.
         """
+        if (
+            HAVE_NUMPY
+            and getattr(keys, "__len__", None) is not None
+            and len(keys) >= NUMPY_MIN_BATCH
+        ):
+            words_np = self._packed_words_np(keys)
+            if words_np is not None:
+                return self._contains_words_np(words_np)
         words = self._packed_words(keys)
         if words is not None:
             verdicts: List[bool] = []

@@ -1,0 +1,70 @@
+"""Optional numpy backend detection for the columnar data-plane kernels.
+
+numpy is an *optional* ``perf`` extra (``pip install repro-shhc[perf]``),
+never a hard dependency: every columnar kernel in
+:mod:`repro.storage.bloom`, :mod:`repro.storage.cuckoo` and
+:mod:`repro.core.bucket_kernel` has a byte-identical pure-Python packed
+path to fall back to.  This module is the single place the decision is
+made, so storage, core, serving, and benchmarks all agree on which
+backend a process runs.
+
+Environment knobs
+-----------------
+``REPRO_FORCE_NO_NUMPY=1``
+    Pretend numpy is not importable even when it is.  Used by the test
+    suite's no-numpy leg and handy for A/B benchmarking; honoured at
+    import time, so set it before the first ``repro`` import.
+
+``REPRO_NUMPY_MIN_BATCH=<n>``
+    Batch-size crossover for the fused node kernels: buckets smaller
+    than ``n`` keep the exec-generated scalar kernels (per-key Python
+    arithmetic beats numpy's fixed per-call overhead on tiny buckets),
+    buckets of ``n`` or more keys run the columnar bloom prefetch.
+    Default 64: a batch-size sweep on the dev box (mixed 50%-duplicate
+    traffic) has the columnar path losing ~10% at 32 keys and winning
+    from 64 up, which also keeps the cluster dispatch's ~32-key
+    per-node sub-batches on the packed kernels.
+
+The resolved state is exposed as module attributes:
+
+* ``np`` -- the numpy module, or ``None`` when absent/suppressed;
+* ``HAVE_NUMPY`` -- ``np is not None``;
+* ``NUMPY_MIN_BATCH`` -- the parsed crossover;
+* ``backend_name()`` -- ``"numpy"`` or ``"python-packed"``, the string
+  reported in worker ``/stats`` and ``ScenarioResult`` metrics.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["np", "HAVE_NUMPY", "NUMPY_MIN_BATCH", "backend_name"]
+
+#: Default fused-kernel crossover (keys per bucket) when the env knob is
+#: unset; see the module docstring.
+DEFAULT_MIN_BATCH = 64
+
+np = None
+if os.environ.get("REPRO_FORCE_NO_NUMPY", "") not in ("1", "true", "yes"):
+    try:  # pragma: no cover - exercised via the no-numpy subprocess leg
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:
+        np = None
+
+HAVE_NUMPY = np is not None
+
+
+def _parse_min_batch(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MIN_BATCH
+    return value if value > 0 else DEFAULT_MIN_BATCH
+
+
+NUMPY_MIN_BATCH = _parse_min_batch(os.environ.get("REPRO_NUMPY_MIN_BATCH", ""))
+
+
+def backend_name() -> str:
+    """The data-plane backend this process resolved at import time."""
+    return "numpy" if HAVE_NUMPY else "python-packed"

@@ -197,7 +197,12 @@ class TestEngine:
         result = run_scenario("ablations", scale=0.0008)
         text = result.render()
         assert "Ablation A" in text and "Ablation B" in text and "Ablation C" in text
-        assert set(result.metrics) == {"tier_ablation", "batch_tradeoff", "scaling_ablation"}
+        assert set(result.metrics) == {
+            "tier_ablation",
+            "batch_tradeoff",
+            "scaling_ablation",
+            "kernel_backend",
+        }
 
 
 class TestRunSweep:

@@ -17,13 +17,22 @@ against it:
 
 Plus the PR's three named satellite regression tests (fill_ratio big-int
 materialization, restore_payload repeated growth, union double-counting).
+
+PR 10 adds the columnar (numpy) backend on top: every ``*_np`` kernel and
+the columnar fused node family are held to the same standard -- verdicts,
+counters, and bit state identical to the scalar oracles -- and the forced
+no-numpy leg (``REPRO_FORCE_NO_NUMPY=1``, subprocess) pins the fallback.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import subprocess
+import sys
+import textwrap
 import tracemalloc
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -33,8 +42,10 @@ from repro.core.config import HashNodeConfig
 from repro.core.digest_batch import DigestBatch
 from repro.core.hash_node import HybridHashNode
 from repro.dedup.fingerprint import Fingerprint
+from repro.storage import npy as npy_backend
 from repro.storage.bloom import BloomFilter
 from repro.storage.cuckoo import CuckooHashTable
+from repro.storage.packing import digest_hash_words, digest_hash_words_np
 from repro.storage.shm import (
     SharedBuffer,
     shared_memory_available,
@@ -56,6 +67,9 @@ wide_geometries = st.tuples(st.integers(64, 1024), st.integers(17, 20))
 
 needs_shm = pytest.mark.skipif(
     not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+needs_numpy = pytest.mark.skipif(
+    not npy_backend.HAVE_NUMPY, reason="numpy unavailable (install the 'perf' extra)"
 )
 
 
@@ -489,3 +503,338 @@ class TestTraceCache:
         ]
         assert trace_cache.cleanup_shared_traces(prefix) == 1
         assert trace_cache.cleanup_shared_traces(prefix) == 0
+
+
+# -------------------------------------------------------- numpy columnar backend
+@needs_numpy
+class TestNumpyHashWordsDifferential:
+    @FAST
+    @given(digest_lists)
+    def test_hash_words_np_match_struct_unpack(self, keys):
+        blob = b"".join(keys)
+        columnar = digest_hash_words_np(blob, len(keys))
+        scalar = digest_hash_words(blob, len(keys))
+        assert columnar.shape == (len(keys), 2)
+        flat = [int(word) for row in columnar for word in row]
+        assert flat == list(scalar)
+
+    @FAST
+    @given(digest_lists)
+    def test_digest_batch_caches_and_matches(self, keys):
+        batch = DigestBatch.from_blob(b"".join(keys), 4096)
+        first = batch.hash_words_np()
+        assert batch.hash_words_np() is first  # memoized per batch
+        scalar = digest_hash_words(batch.packed(), len(keys))
+        assert [int(w) for row in first for w in row] == list(scalar)
+
+
+@needs_numpy
+class TestNumpyBloomDifferential:
+    @FAST
+    @given(geometries, digest_lists)
+    def test_add_and_contains_np_match_scalar_oracle(self, geometry, keys):
+        num_bits, num_hashes = geometry
+        keys = _with_duplicates(keys)
+        columnar = BloomFilter(num_bits=num_bits, num_hashes=num_hashes)
+        oracle = BloomFilter(num_bits=num_bits, num_hashes=num_hashes)
+        columnar.add_many_np(keys)
+        oracle.add_many_scalar(keys)
+        assert bytes(columnar.raw_bits()) == bytes(oracle.raw_bits())
+        assert columnar.count == oracle.count
+        probes = keys + [os.urandom(20) for _ in range(16)]
+        assert columnar.contains_many_np(probes) == oracle.contains_many_scalar(probes)
+
+    @FAST
+    @given(digest_lists)
+    def test_digest_batch_path_matches_list_path(self, keys):
+        batch = DigestBatch.from_blob(b"".join(keys), 4096)
+        from_batch = BloomFilter(num_bits=2048, num_hashes=5)
+        from_list = BloomFilter(num_bits=2048, num_hashes=5)
+        from_batch.add_many_np(batch)
+        from_list.add_many_scalar(keys)
+        assert bytes(from_batch.raw_bits()) == bytes(from_list.raw_bits())
+        assert from_batch.contains_many_np(batch) == from_list.contains_many_scalar(keys)
+
+    @needs_shm
+    @SLOWER
+    @given(digest_lists)
+    def test_shm_backed_bits_match_scalar(self, keys):
+        # The scatter targets the shared segment through a zero-copy numpy
+        # view; the private scalar twin must end with the same bytes.
+        shared = BloomFilter(num_bits=4096, num_hashes=4, shared=True)
+        try:
+            oracle = BloomFilter(num_bits=4096, num_hashes=4)
+            shared.add_many_np(keys)
+            oracle.add_many_scalar(keys)
+            assert bytes(shared.raw_bits()) == bytes(oracle.raw_bits())
+            probes = keys + [os.urandom(20) for _ in range(8)]
+            assert shared.contains_many_np(probes) == oracle.contains_many_scalar(probes)
+        finally:
+            shared.unlink_shared()  # must not BufferError on the cached view
+
+    def test_public_routing_goes_columnar_at_min_batch_1(self, monkeypatch):
+        import repro.storage.bloom as bloom_mod
+
+        monkeypatch.setattr(bloom_mod, "NUMPY_MIN_BATCH", 1)
+        keys = [os.urandom(20) for _ in range(10)]
+        routed = BloomFilter(num_bits=2048, num_hashes=4)
+        oracle = BloomFilter(num_bits=2048, num_hashes=4)
+        routed.add_many(keys)  # 10 >= 1: the public router takes the numpy path
+        oracle.add_many_scalar(keys)
+        assert bytes(routed.raw_bits()) == bytes(oracle.raw_bits())
+        assert routed.contains_many(keys) == oracle.contains_many_scalar(keys)
+
+    def test_non_digest_filter_falls_back_cleanly(self):
+        bloom = BloomFilter(num_bits=1024, num_hashes=3, digest_keys=False)
+        assert not bloom.columnar_eligible
+        bloom.add_many_np([b"short", b"keys"])  # falls back to the packed path
+        assert bloom.contains_many_np([b"short", b"nope"]) == [True, False]
+
+
+@needs_numpy
+class TestNumpyCuckooDifferential:
+    @needs_shm
+    @FAST
+    @given(kv_lists, digest_lists)
+    def test_get_and_contains_np_match_scalar(self, items, extra_probes):
+        items = _with_duplicates(items)
+        table = CuckooHashTable(initial_buckets=8, slots_per_bucket=2, shared=True)
+        try:
+            table.put_many(items)
+            probes = [key for key, _ in items] + extra_probes
+            assert table.get_many_np(probes, default=-1) == table.get_many_scalar(
+                probes, default=-1
+            )
+            assert table.contains_many_np(probes) == table.contains_many_scalar(probes)
+        finally:
+            table.unlink_shared()
+
+    @needs_shm
+    def test_digest_batch_probes_match_list_probes(self):
+        rng = random.Random(11)
+        table = CuckooHashTable(initial_buckets=8, slots_per_bucket=2, shared=True)
+        try:
+            entries = [(rng.randbytes(20), index) for index in range(200)]
+            table.put_many(entries)
+            probes = [key for key, _ in entries[::2]] + [rng.randbytes(20) for _ in range(40)]
+            batch = DigestBatch.from_blob(b"".join(probes), 4096)
+            assert table.get_many_np(batch) == table.get_many_scalar(probes)
+            assert table.contains_many_np(batch) == table.contains_many_scalar(probes)
+        finally:
+            table.unlink_shared()
+
+    def test_list_backing_falls_back_and_agrees(self):
+        # No packed buffer behind a private table: get_many_np must detect
+        # that and still answer (via the routed scalar path).
+        table = CuckooHashTable(initial_buckets=8, slots_per_bucket=2)
+        entries = [(os.urandom(20), index) for index in range(64)]
+        table.put_many(entries)
+        probes = [key for key, _ in entries] + [os.urandom(20) for _ in range(8)]
+        assert table.get_many_np(probes, default=-7) == table.get_many_scalar(
+            probes, default=-7
+        )
+        assert table.contains_many_np(probes) == table.contains_many_scalar(probes)
+
+
+@needs_numpy
+class TestColumnarFusedKernelDifferential:
+    """The columnar fused family vs the scalar ``serve_bucket`` loop.
+
+    ``NUMPY_MIN_BATCH`` is pinned to 1 inside the test so every batch --
+    including single-key ones -- takes the columnar bloom-prefetch path;
+    the dirty-flag protocol must keep verdicts, counters, bloom bits, and
+    cache state byte-identical to the per-key loop.
+    """
+
+    def _force_columnar(self):
+        import repro.core.hash_node as hash_node_mod
+
+        original = hash_node_mod.NUMPY_MIN_BATCH
+        hash_node_mod.NUMPY_MIN_BATCH = 1
+        return hash_node_mod, original
+
+    @SLOWER
+    @given(batch_lists)
+    def test_columnar_serve_bucket_batch_matches_scalar_loop(self, batches):
+        hash_node_mod, original = self._force_columnar()
+        try:
+            scalar, columnar = _twin_nodes()
+            assert columnar.kernel_backend == "numpy"
+            for pairs in batches:
+                pairs = _with_duplicates(pairs)
+                fingerprints = [
+                    Fingerprint(digest=digest, chunk_size=size) for digest, size in pairs
+                ]
+                scalar_replies, scalar_new = scalar.serve_bucket(fingerprints)
+                columnar_replies, columnar_new = columnar.serve_bucket_batch(
+                    DigestBatch.from_fingerprints(fingerprints)
+                )
+                assert scalar_new == columnar_new
+                assert list(map(_reply_tuple, scalar_replies)) == list(
+                    map(_reply_tuple, columnar_replies)
+                )
+            assert scalar.counters.as_dict() == columnar.counters.as_dict()
+            assert scalar.store.stats() == columnar.store.stats()
+            assert bytes(scalar.bloom.raw_bits()) == bytes(columnar.bloom.raw_bits())
+            assert scalar.bloom.count == columnar.bloom.count
+            assert list(scalar.cache.data) == list(columnar.cache.data)
+        finally:
+            hash_node_mod.NUMPY_MIN_BATCH = original
+
+    @SLOWER
+    @given(batch_lists)
+    def test_columnar_serve_digest_batch_matches_scalar_loop(self, batches):
+        hash_node_mod, original = self._force_columnar()
+        try:
+            scalar, columnar = _twin_nodes()
+            for pairs in batches:
+                fingerprints = [
+                    Fingerprint(digest=digest, chunk_size=size) for digest, size in pairs
+                ]
+                scalar_replies, scalar_new = scalar.serve_bucket(fingerprints)
+                verdicts, columnar_new = columnar.serve_digest_batch(
+                    DigestBatch.from_blob(
+                        b"".join(digest for digest, _ in pairs),
+                        [size for _, size in pairs],
+                    )
+                )
+                assert scalar_new == columnar_new
+                assert [reply.is_duplicate for reply in scalar_replies] == verdicts
+            assert scalar.counters.as_dict() == columnar.counters.as_dict()
+            assert scalar.store.stats() == columnar.store.stats()
+            assert sorted(scalar.store.items()) == sorted(columnar.store.items())
+        finally:
+            hash_node_mod.NUMPY_MIN_BATCH = original
+
+    def test_default_crossover_keeps_small_batches_scalar(self):
+        # Below REPRO_NUMPY_MIN_BATCH the serve methods must not pay the
+        # columnar setup; the packed per-key family answers instead.  The
+        # result is identical either way -- this pins the routing itself.
+        node, _ = _twin_nodes()
+        assert node.kernel_backend == "numpy"
+        small = [Fingerprint(digest=os.urandom(20), chunk_size=4096) for _ in range(4)]
+        replies, new_entries = node.serve_bucket_batch(DigestBatch.from_fingerprints(small))
+        assert new_entries == 4
+        assert [reply.is_duplicate for reply in replies] == [False] * 4
+
+
+def test_worker_stats_report_kernel_backend():
+    # The /stats payload must carry the backend either way; which value it
+    # is depends on whether numpy imported in this process.
+    from repro.serving.worker import _stats
+
+    node = HybridHashNode(
+        "stats", config=HashNodeConfig(bloom_expected_items=512, ssd_buckets=16)
+    )
+    payload = _stats(node)
+    assert payload["kernel_backend"] == node.kernel_backend
+    assert payload["kernel_backend"] in ("numpy", "python-packed")
+
+
+class TestForcedNoNumpyFallback:
+    """Satellite: the pure-Python leg, exercised in a real subprocess.
+
+    ``REPRO_FORCE_NO_NUMPY=1`` is read at import time, so the only honest
+    way to test the fallback with numpy installed is a fresh interpreter.
+    The child proves the backend reports ``python-packed``, the ``*_np``
+    entry points fall back bit-identically, and the serving gateway boots
+    and answers stats with the fallback backend name.
+    """
+
+    REPO_ROOT = Path(__file__).resolve().parents[1]
+
+    def _run_child(self, script: str) -> None:
+        env = dict(os.environ)
+        env["REPRO_FORCE_NO_NUMPY"] = "1"
+        env["PYTHONPATH"] = str(self.REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", textwrap.dedent(script)],
+            cwd=str(self.REPO_ROOT),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, (
+            f"no-numpy child failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        )
+
+    def test_backend_and_kernels_fall_back_bit_identically(self):
+        self._run_child(
+            """
+            import os
+
+            from repro.storage import npy
+            from repro.storage.bloom import BloomFilter
+            from repro.storage.cuckoo import CuckooHashTable
+            from repro.core.config import HashNodeConfig
+            from repro.core.digest_batch import DigestBatch
+            from repro.core.hash_node import HybridHashNode
+
+            assert npy.np is None and not npy.HAVE_NUMPY
+            assert npy.backend_name() == "python-packed"
+
+            keys = [os.urandom(20) for _ in range(200)]
+            routed = BloomFilter(num_bits=4096, num_hashes=4)
+            oracle = BloomFilter(num_bits=4096, num_hashes=4)
+            routed.add_many_np(keys)  # explicit entry point must fall back
+            oracle.add_many_scalar(keys)
+            assert bytes(routed.raw_bits()) == bytes(oracle.raw_bits())
+            probes = keys + [os.urandom(20) for _ in range(32)]
+            assert routed.contains_many_np(probes) == oracle.contains_many_scalar(probes)
+            assert not routed.columnar_eligible
+
+            table = CuckooHashTable(initial_buckets=8, slots_per_bucket=2)
+            entries = [(os.urandom(20), index) for index in range(64)]
+            table.put_many(entries)
+            lookup = [key for key, _ in entries] + [os.urandom(20) for _ in range(8)]
+            assert table.get_many_np(lookup, default=-1) == table.get_many_scalar(
+                lookup, default=-1
+            )
+
+            node = HybridHashNode(
+                "no-numpy", config=HashNodeConfig(bloom_expected_items=512, ssd_buckets=16)
+            )
+            assert node.kernel_backend == "python-packed"
+            from repro.serving.worker import _stats
+            assert _stats(node)["kernel_backend"] == "python-packed"
+            digests = [os.urandom(20) for _ in range(100)]
+            verdicts, new_entries = node.serve_digest_batch(
+                DigestBatch.from_blob(b"".join(digests), 4096)
+            )
+            assert new_entries == 100 and verdicts == [False] * 100
+            again, _ = node.serve_digest_batch(
+                DigestBatch.from_blob(b"".join(digests), 4096)
+            )
+            assert again == [True] * 100  # every key is now a duplicate
+            print("no-numpy kernels ok")
+            """
+        )
+
+    def test_serve_stack_boots_without_numpy(self):
+        self._run_child(
+            """
+            import asyncio
+
+            from repro.serving.gateway import ServeConfig, ServiceGateway
+
+            async def go():
+                gateway = ServiceGateway(
+                    ServeConfig(
+                        port=0,
+                        num_nodes=2,
+                        node_config={"bloom_expected_items": 10_000},
+                    )
+                )
+                await gateway.start()
+                try:
+                    stats = gateway.stats()
+                    workers = stats["workers"]
+                    assert len(workers) == 2
+                finally:
+                    await gateway.close()
+
+            asyncio.run(go())
+            print("no-numpy serve ok")
+            """
+        )

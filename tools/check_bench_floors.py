@@ -16,6 +16,14 @@ survived), so a leg cannot be silently dropped.  Series that record a
 speedup is not compared across machines -- the benchmark itself enforces
 their absolute floors under ``REPRO_BENCH_STRICT`` on capable boxes.
 
+A committed series may declare ``"requires": "<module>"`` to mark itself
+conditional on an optional dependency (the ``numpy_kernels`` legs need
+the ``perf`` extra).  When that module is *not* importable on the runner
+doing the check, a missing conditional series is a named skip rather
+than a failure -- so the no-extras CI leg doesn't fail on benchmarks it
+could never have run.  When the module *is* importable, the series is
+held to the same presence + floor contract as everything else.
+
 Usage (the CI hotpath job)::
 
     git show HEAD:BENCH_hotpath.json > committed_bench.json
@@ -26,17 +34,36 @@ Usage (the CI hotpath job)::
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import sys
 
 
-def check_floors(committed: dict, fresh: dict, floor_ratio: float) -> list:
-    """Return a list of human-readable failures (empty = pass)."""
+def requirement_available(requirement: str) -> bool:
+    """True when the optional dependency named by ``requires`` is importable."""
+    try:
+        return importlib.util.find_spec(requirement) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def check_floors(committed: dict, fresh: dict, floor_ratio: float, skips: list = None) -> list:
+    """Return a list of human-readable failures (empty = pass).
+
+    When ``skips`` is a list, skip messages for conditional series whose
+    ``requires`` module is absent on this runner are appended to it.
+    """
     failures = []
+    if skips is None:
+        skips = []
     committed_series = committed.get("series", {})
     fresh_series = fresh.get("series", {})
     for name, entry in committed_series.items():
         if name not in fresh_series:
+            requires = entry.get("requires")
+            if requires is not None and not requirement_available(requires):
+                skips.append(f"{name}: skipped (requires {requires}, absent on this runner)")
+                continue
             available = ", ".join(sorted(fresh_series)) or "(none)"
             failures.append(
                 f"{name}: series disappeared from the fresh benchmark -- the "
@@ -80,15 +107,19 @@ def main(argv=None) -> int:
         committed = json.load(handle)
     with open(args.fresh, "r", encoding="utf-8") as handle:
         fresh = json.load(handle)
-    failures = check_floors(committed, fresh, args.floor_ratio)
+    skips = []
+    failures = check_floors(committed, fresh, args.floor_ratio, skips=skips)
+    for skip in skips:
+        print(f"perf floor skipped: {skip}")
     if failures:
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         return 1
+    skipped_names = {skip.split(":", 1)[0] for skip in skips}
     guarded = sorted(
         name
         for name, entry in committed.get("series", {}).items()
-        if "speedup" in entry and "cpu_count" not in entry
+        if "speedup" in entry and "cpu_count" not in entry and name not in skipped_names
     )
     print(f"perf floors ok ({args.floor_ratio} x committed) for: {', '.join(guarded)}")
     return 0
